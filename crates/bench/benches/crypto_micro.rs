@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks of the threshold-cryptography layer: the
+//! primitive operation costs behind every protocol timing in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sintra_crypto::coin::CoinScheme;
+use sintra_crypto::hash::Sha256;
+use sintra_crypto::thenc::EncScheme;
+use sintra_crypto::thsig::{deal_kits, SigFlavor};
+use sintra_crypto::{fixtures, hmac::HmacKey};
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    c.bench_function("sha256/4KiB", |b| b.iter(|| Sha256::digest(&data)));
+    let key = HmacKey::new(vec![7; 16]);
+    c.bench_function("hmac-sha256/4KiB", |b| b.iter(|| key.sign(&data)));
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    for bits in [512u32, 1024] {
+        let key = fixtures::rsa_key(bits, 0).expect("fixture");
+        group.bench_with_input(BenchmarkId::new("sign-crt", bits), &bits, |b, _| {
+            b.iter(|| key.sign(b"benchmark message"))
+        });
+        let sig = key.sign(b"benchmark message");
+        group.bench_with_input(BenchmarkId::new("verify", bits), &bits, |b, _| {
+            b.iter(|| key.public().verify(b"benchmark message", &sig))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coin(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("coin");
+    for bits in [512u32, 1024] {
+        let g = fixtures::schnorr_group(bits).expect("fixture");
+        let (public, secrets) = CoinScheme::deal(&g, 4, 2, &mut rng);
+        let scheme = CoinScheme::new(g, public);
+        group.bench_with_input(BenchmarkId::new("release", bits), &bits, |b, _| {
+            b.iter(|| scheme.release_share(b"bench coin", &secrets[0]))
+        });
+        let share = scheme.release_share(b"bench coin", &secrets[0]);
+        group.bench_with_input(BenchmarkId::new("verify", bits), &bits, |b, _| {
+            b.iter(|| scheme.verify_share(b"bench coin", &share))
+        });
+        let shares = vec![
+            scheme.release_share(b"bench coin", &secrets[0]),
+            scheme.release_share(b"bench coin", &secrets[1]),
+        ];
+        group.bench_with_input(BenchmarkId::new("assemble", bits), &bits, |b, _| {
+            b.iter(|| scheme.assemble(b"bench coin", &shares, 16).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thsig(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let bits = 1024u32;
+    let mut group = c.benchmark_group("thsig-1024");
+
+    // Multi-signature flavor.
+    let rsa_keys: Vec<_> = (0..4)
+        .map(|i| fixtures::rsa_key(bits, i).expect("fixture"))
+        .collect();
+    let multi = deal_kits(SigFlavor::Multi, 4, 3, &rsa_keys, None, &mut rng);
+    group.bench_function("multi/sign-share", |b| {
+        b.iter(|| multi[0].sign_share(b"statement"))
+    });
+    let shares: Vec<_> = multi
+        .iter()
+        .take(3)
+        .map(|k| k.sign_share(b"statement"))
+        .collect();
+    group.bench_function("multi/assemble", |b| {
+        b.iter(|| multi[0].public.assemble(b"statement", &shares).expect("ok"))
+    });
+    let sig = multi[0].public.assemble(b"statement", &shares).expect("ok");
+    group.bench_function("multi/verify", |b| {
+        b.iter(|| multi[0].public.verify(b"statement", &sig))
+    });
+
+    // Shoup RSA flavor.
+    let modulus = fixtures::shoup_modulus(bits).expect("fixture");
+    let shoup = deal_kits(SigFlavor::ShoupRsa, 4, 3, &[], Some(&modulus), &mut rng);
+    group.bench_function("shoup/sign-share", |b| {
+        b.iter(|| shoup[0].sign_share(b"statement"))
+    });
+    let sshares: Vec<_> = shoup
+        .iter()
+        .take(3)
+        .map(|k| k.sign_share(b"statement"))
+        .collect();
+    group.bench_function("shoup/verify-share", |b| {
+        b.iter(|| shoup[0].public.verify_share(b"statement", &sshares[1]))
+    });
+    group.sample_size(10);
+    group.bench_function("shoup/assemble", |b| {
+        b.iter(|| {
+            shoup[0]
+                .public
+                .assemble(b"statement", &sshares)
+                .expect("ok")
+        })
+    });
+    let ssig = shoup[0]
+        .public
+        .assemble(b"statement", &sshares)
+        .expect("ok");
+    group.bench_function("shoup/verify", |b| {
+        b.iter(|| shoup[0].public.verify(b"statement", &ssig))
+    });
+    group.finish();
+}
+
+fn bench_thenc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = fixtures::schnorr_group(1024).expect("fixture");
+    let (public, secrets) = EncScheme::deal(&g, 4, 2, &mut rng);
+    let scheme = EncScheme::new(g, public);
+    let mut group = c.benchmark_group("tdh2-1024");
+    group.bench_function("encrypt", |b| {
+        b.iter(|| scheme.encrypt(b"label", b"a short confidential payload", &mut rng))
+    });
+    let ct = scheme.encrypt(b"label", b"a short confidential payload", &mut rng);
+    group.bench_function("verify-ciphertext", |b| {
+        b.iter(|| scheme.verify_ciphertext(&ct))
+    });
+    group.bench_function("decryption-share", |b| {
+        b.iter(|| scheme.decryption_share(&ct, &secrets[0]).expect("valid"))
+    });
+    let shares: Vec<_> = secrets
+        .iter()
+        .take(2)
+        .map(|s| scheme.decryption_share(&ct, s).expect("valid"))
+        .collect();
+    group.bench_function("combine", |b| {
+        b.iter(|| scheme.combine(&ct, &shares).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_rsa,
+    bench_coin,
+    bench_thsig,
+    bench_thenc
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 5**: delivery time per message for
+//! `AtomicChannel` on the four-continent Internet setup.
+//!
+//! Paper workload: senders in Zürich, Tokyo and New York send 1000 short
+//! payloads; measured in Zürich. Expected shape: a band at 0 s
+//! (batch-mates), the main round band at 2–2.5 s, and a secondary band at
+//! 3–3.5 s (~¼ of deliveries) from rounds whose first candidate was
+//! rejected and needed a second binary agreement; mean ≈ 4× the LAN
+//! figure.
+//!
+//! Run with: `cargo bench -p sintra-bench --bench fig5_atomic_internet`
+//! Environment: `SINTRA_MESSAGES` overrides the payload count.
+
+use sintra_testbed::experiments::fig5_atomic_internet;
+use sintra_testbed::stats;
+
+fn main() {
+    let messages: usize = std::env::var("SINTRA_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    eprintln!("fig5: {messages} messages, Internet setup, 1024-bit keys, multi-signatures");
+    let wall = std::time::Instant::now();
+    let result = fig5_atomic_internet(messages, 1024, 5);
+    eprintln!(
+        "simulated in {:.1}s wall time",
+        wall.elapsed().as_secs_f64()
+    );
+
+    println!("{result}");
+
+    let series = result.inter_delivery();
+    let nonzero: Vec<f64> = series.iter().copied().filter(|&v| v >= 0.05).collect();
+    println!("# shape summary");
+    println!(
+        "#   zero band (batch-mates):  {:4.0}% (paper: ~50%)",
+        result.zero_band_fraction() * 100.0
+    );
+    println!(
+        "#   round band median:        {:.2} s (paper: 2-2.5 s)",
+        stats::quantile(&nonzero, 0.5)
+    );
+    println!(
+        "#   90th percentile:          {:.2} s (paper: secondary band at 3-3.5 s)",
+        stats::quantile(&nonzero, 0.9)
+    );
+    println!(
+        "#   mean delivery time:       {:.2} s (paper: ~4x the LAN mean)",
+        result.mean_s()
+    );
+    // Which origin closes out the run? The paper: Tokyo, the hardest to
+    // reach, finishes last.
+    if let Some(last) = result.points.last() {
+        println!(
+            "#   final delivery from P{} (paper: the last ~300 deliveries are Tokyo's)",
+            last.origin
+        );
+    }
+}

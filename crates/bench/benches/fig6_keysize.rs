@@ -1,0 +1,65 @@
+//! Regenerates **Figure 6**: average delivery time versus public-key
+//! size, with standard threshold signatures (ts) and multi-signatures
+//! (multi), on the LAN and Internet setups.
+//!
+//! Expected shape: the multi-signature curves are essentially flat in the
+//! key size (CRT signing is cheap and network dominates); the
+//! threshold-signature curves grow visibly above 256 bits — on the LAN
+//! the 512→1024 step costs almost 4× — while on the Internet the growth
+//! per doubling stays under 2× because latency still dominates.
+//!
+//! Run with: `cargo bench -p sintra-bench --bench fig6_keysize`
+//! Environment: `SINTRA_MESSAGES` overrides the per-point payload count.
+
+use sintra_crypto::thsig::SigFlavor;
+use sintra_testbed::experiments::fig6_keysize;
+use sintra_testbed::setups::Setup;
+
+fn main() {
+    let messages: usize = std::env::var("SINTRA_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let sizes = [128u32, 256, 512, 1024];
+    eprintln!(
+        "fig6: {messages} messages per point, key sizes {sizes:?}, LAN + Internet, ts + multi"
+    );
+    let wall = std::time::Instant::now();
+    let result = fig6_keysize(messages, &sizes, 7);
+    eprintln!(
+        "simulated in {:.1}s wall time",
+        wall.elapsed().as_secs_f64()
+    );
+
+    println!("sec/delivery by key size:");
+    println!("{result}");
+
+    println!("# shape checks");
+    let lan_ts = result.series(Setup::Lan, SigFlavor::ShoupRsa);
+    let lan_multi = result.series(Setup::Lan, SigFlavor::Multi);
+    let inet_ts = result.series(Setup::Internet, SigFlavor::ShoupRsa);
+    if let (Some(a), Some(b)) = (
+        lan_ts.iter().find(|(bits, _)| *bits == 512),
+        lan_ts.iter().find(|(bits, _)| *bits == 1024),
+    ) {
+        println!(
+            "#   LAN ts 512 -> 1024 step: {:.1}x (paper: almost 4x)",
+            b.1 / a.1
+        );
+    }
+    if let (Some(a), Some(b)) = (lan_multi.first(), lan_multi.last()) {
+        println!(
+            "#   LAN multi across the whole sweep: {:.1}x (paper: no significant influence)",
+            b.1 / a.1
+        );
+    }
+    if let (Some(a), Some(b)) = (
+        inet_ts.iter().find(|(bits, _)| *bits == 512),
+        inet_ts.iter().find(|(bits, _)| *bits == 1024),
+    ) {
+        println!(
+            "#   Internet ts per doubling: {:.1}x (paper: always < 2x)",
+            b.1 / a.1
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 1**: average delivery times (s) for the atomic,
+//! secure causal atomic, reliable and consistent channels on the LAN,
+//! Internet and combined setups.
+//!
+//! Paper workload: one sender (P0, Zürich) sends 500 short payloads;
+//! the mean time between successive deliveries is reported.
+//!
+//! Expected shape: reliable ≈ consistent ≪ atomic < secure; atomic is
+//! 4–6× the reliable channel; the hybrid (n = 7) setup is not much
+//! slower — and for most channels slightly *faster* — than the 4-party
+//! Internet setup.
+//!
+//! Run with: `cargo bench -p sintra-bench --bench table1_channels`
+//! Environment: `SINTRA_MESSAGES` overrides the payload count.
+
+use sintra_testbed::experiments::{table1_channels, ChannelKind, TABLE1_PAPER};
+use sintra_testbed::setups::Setup;
+
+fn main() {
+    let messages: usize = std::env::var("SINTRA_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    eprintln!("table1: {messages} messages per cell, 1024-bit keys, multi-signatures");
+    let wall = std::time::Instant::now();
+    let result = table1_channels(
+        messages,
+        1024,
+        6,
+        &[Setup::Lan, Setup::Internet, Setup::Hybrid],
+    );
+    eprintln!(
+        "simulated in {:.1}s wall time",
+        wall.elapsed().as_secs_f64()
+    );
+
+    println!("measured (this reproduction):");
+    println!("{result}");
+
+    println!("paper (Table 1):");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>11}",
+        "Setup", "atomic", "secure", "reliable", "consistent"
+    );
+    for (setup, row) in TABLE1_PAPER {
+        println!(
+            "{:<10} {:8.2} {:8.2} {:9.2} {:11.2}",
+            setup.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+    }
+
+    println!("\n# shape checks");
+    for setup in [Setup::Lan, Setup::Internet, Setup::Hybrid] {
+        let atomic = result.get(setup, ChannelKind::Atomic).unwrap_or(0.0);
+        let secure = result.get(setup, ChannelKind::Secure).unwrap_or(0.0);
+        let reliable = result.get(setup, ChannelKind::Reliable).unwrap_or(0.0);
+        let ratio = if reliable > 0.0 {
+            atomic / reliable
+        } else {
+            0.0
+        };
+        println!(
+            "#   {:<10} atomic/reliable = {ratio:4.1}x (paper: 4-6x); secure-atomic delta = {:+.2} s (paper: +0.4..+1 s)",
+            setup.label(),
+            secure - atomic,
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Benchmark-only crate; see the `benches/` directory.
+#![forbid(unsafe_code)]

@@ -1,0 +1,91 @@
+//! Bit-level access for [`Ubig`].
+
+use crate::Ubig;
+
+impl Ubig {
+    /// Returns bit `index` (little-endian bit order; bit 0 is the least
+    /// significant).
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// let v = Ubig::from(0b1010u64);
+    /// assert!(!v.bit(0));
+    /// assert!(v.bit(1));
+    /// assert!(v.bit(3));
+    /// assert!(!v.bit(100));
+    /// ```
+    pub fn bit(&self, index: u32) -> bool {
+        let limb = (index / crate::LIMB_BITS) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (index % crate::LIMB_BITS)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `index` set to `value`.
+    pub fn with_bit(&self, index: u32, value: bool) -> Ubig {
+        let limb = (index / crate::LIMB_BITS) as usize;
+        let mut limbs = self.limbs.clone();
+        if limb >= limbs.len() {
+            if !value {
+                return self.clone();
+            }
+            limbs.resize(limb + 1, 0);
+        }
+        let mask = 1u64 << (index % crate::LIMB_BITS);
+        if value {
+            limbs[limb] |= mask;
+        } else {
+            limbs[limb] &= !mask;
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<u32> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i as u32 * crate::LIMB_BITS + limb.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Population count (number of one bits).
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut v = Ubig::zero();
+        for i in [0u32, 5, 63, 64, 130] {
+            v = v.with_bit(i, true);
+            assert!(v.bit(i));
+        }
+        assert_eq!(v.count_ones(), 5);
+        for i in [0u32, 5, 63, 64, 130] {
+            v = v.with_bit(i, false);
+            assert!(!v.bit(i));
+        }
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn clearing_unset_high_bit_is_noop() {
+        let v = Ubig::from(3u64);
+        assert_eq!(v.with_bit(200, false), v);
+    }
+
+    #[test]
+    fn trailing_zeros_cases() {
+        assert_eq!(Ubig::zero().trailing_zeros(), None);
+        assert_eq!(Ubig::one().trailing_zeros(), Some(0));
+        assert_eq!((&Ubig::one() << 77).trailing_zeros(), Some(77));
+    }
+}

@@ -1,0 +1,198 @@
+//! Conversions between [`Ubig`] and primitive integers, byte strings and
+//! text representations.
+
+use crate::arith;
+use crate::ubig::{ParseErrorKind, ParseUbigError};
+use crate::Ubig;
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Ubig::zero()
+        } else {
+            Ubig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<usize> for Ubig {
+    fn from(v: usize) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl Ubig {
+    /// Constructs a value from big-endian bytes.
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// assert_eq!(Ubig::from_be_bytes(&[0x01, 0x00]), Ubig::from(256u64));
+    /// ```
+    pub fn from_be_bytes(bytes: &[u8]) -> Ubig {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zero bytes (zero
+    /// serializes to an empty vector).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded with zeros to exactly
+    /// `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Ubig, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut v = Ubig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseUbigError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            arith::mul_limb_assign(&mut v.limbs, 16);
+            arith::add_limb_assign(&mut v.limbs, d as u64);
+        }
+        Ok(v)
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input or non-decimal characters.
+    pub fn from_dec(s: &str) -> Result<Ubig, ParseUbigError> {
+        if s.is_empty() {
+            return Err(ParseUbigError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut v = Ubig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseUbigError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            arith::mul_limb_assign(&mut v.limbs, 10);
+            arith::add_limb_assign(&mut v.limbs, d as u64);
+        }
+        Ok(v)
+    }
+
+    /// Renders as a lowercase hexadecimal string (no prefix; `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        format!("{self:x}")
+    }
+}
+
+impl std::str::FromStr for Ubig {
+    type Err = ParseUbigError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ubig::from_dec(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        for hex in ["0", "1", "ff", "100", "0123456789abcdef0123456789abcdef11"] {
+            let v = Ubig::from_hex(hex).unwrap();
+            assert_eq!(Ubig::from_be_bytes(&v.to_be_bytes()), v);
+        }
+    }
+
+    #[test]
+    fn be_bytes_no_leading_zeros() {
+        let v = Ubig::from(256u64);
+        assert_eq!(v.to_be_bytes(), vec![1, 0]);
+        assert!(Ubig::zero().to_be_bytes().is_empty());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = Ubig::from(0xABCDu64);
+        assert_eq!(v.to_be_bytes_padded(4), vec![0, 0, 0xAB, 0xCD]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        Ubig::from(0xABCDu64).to_be_bytes_padded(1);
+    }
+
+    #[test]
+    fn hex_parse_and_format() {
+        let v = Ubig::from_hex("DeadBeef").unwrap();
+        assert_eq!(v, Ubig::from(0xDEAD_BEEFu64));
+        assert_eq!(v.to_hex(), "deadbeef");
+        assert!(Ubig::from_hex("").is_err());
+        assert!(Ubig::from_hex("12g4").is_err());
+    }
+
+    #[test]
+    fn dec_parse_matches_display() {
+        let v: Ubig = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        assert_eq!(v, &Ubig::one() << 128);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn from_primitives() {
+        assert_eq!(Ubig::from(7u32), Ubig::from(7u64));
+        assert_eq!(Ubig::from(u128::MAX).bit_length(), 128);
+        assert_eq!(Ubig::from(9usize), Ubig::from(9u64));
+    }
+}

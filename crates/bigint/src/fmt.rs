@@ -1,0 +1,132 @@
+//! `Display`, `Debug` and radix formatting for [`Ubig`].
+
+use std::fmt;
+
+use crate::arith;
+use crate::Ubig;
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeated division by the largest power of ten that fits a limb.
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut digits = String::new();
+        let mut rest = self.limbs.clone();
+        while !rest.is_empty() {
+            let (q, r) = arith::div_rem_limb(&rest, CHUNK);
+            rest = q;
+            if rest.is_empty() {
+                digits.insert_str(0, &format!("{r}"));
+            } else {
+                digits.insert_str(0, &format!("{r:019}"));
+            }
+        }
+        f.pad_integral(true, "", &digits)
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hex is the natural debugging radix for crypto-sized integers.
+        write!(f, "Ubig(0x{self:x})")
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        f.pad_integral(true, "0x", &lower.to_uppercase())
+    }
+}
+
+impl fmt::Binary for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 64);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:b}"));
+            } else {
+                s.push_str(&format!("{limb:064b}"));
+            }
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+impl fmt::Octal for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0o", "0");
+        }
+        let mut digits = String::new();
+        let mut rest = self.limbs.clone();
+        while !rest.is_empty() {
+            let (q, r) = arith::div_rem_limb(&rest, 8);
+            rest = q;
+            digits.insert_str(0, &format!("{r}"));
+        }
+        f.pad_integral(true, "0o", &digits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_u128() {
+        for v in [0u128, 1, 9, 10, 1 << 64, u128::MAX] {
+            assert_eq!(Ubig::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn hex_formats() {
+        let v = Ubig::from(0xDEAD_BEEFu64);
+        assert_eq!(format!("{v:x}"), "deadbeef");
+        assert_eq!(format!("{v:X}"), "DEADBEEF");
+        assert_eq!(format!("{v:#x}"), "0xdeadbeef");
+    }
+
+    #[test]
+    fn binary_and_octal_match_u128() {
+        for v in [0u128, 5, 64, (1 << 64) + 7] {
+            let u = Ubig::from(v);
+            assert_eq!(format!("{u:b}"), format!("{v:b}"));
+            assert_eq!(format!("{u:o}"), format!("{v:o}"));
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_zero() {
+        assert_eq!(format!("{:?}", Ubig::zero()), "Ubig(0x0)");
+    }
+
+    #[test]
+    fn multi_limb_hex_zero_padding() {
+        let v = &Ubig::one() << 64; // hex: 1 followed by 16 zeros
+        assert_eq!(format!("{v:x}"), format!("1{}", "0".repeat(16)));
+    }
+}

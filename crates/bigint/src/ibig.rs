@@ -1,0 +1,245 @@
+//! A minimal signed integer built on [`Ubig`], used mainly for the extended
+//! Euclidean algorithm where Bézout cofactors may be negative.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::Ubig;
+
+/// Sign of an [`Ibig`]. Zero is always [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Negative (magnitude is nonzero).
+    Minus,
+}
+
+/// An arbitrary-precision signed integer (sign + magnitude).
+///
+/// This type intentionally implements only the operations SINTRA's
+/// cryptography needs: ring arithmetic, comparison and reduction into
+/// `[0, m)` via [`Ibig::mod_floor`].
+///
+/// ```
+/// use sintra_bigint::{Ibig, Ubig};
+///
+/// let a = Ibig::from(3i64) - Ibig::from(10i64);
+/// assert_eq!(a, Ibig::from(-7i64));
+/// assert_eq!(a.mod_floor(&Ubig::from(5u64)), Ubig::from(3u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ibig {
+    sign: Sign,
+    magnitude: Ubig,
+}
+
+impl Ibig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ibig {
+            sign: Sign::Plus,
+            magnitude: Ubig::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ibig {
+            sign: Sign::Plus,
+            magnitude: Ubig::one(),
+        }
+    }
+
+    /// Builds a signed value from a sign and magnitude, normalizing zero to
+    /// positive.
+    pub fn new(sign: Sign, magnitude: Ubig) -> Self {
+        if magnitude.is_zero() {
+            Ibig::zero()
+        } else {
+            Ibig { sign, magnitude }
+        }
+    }
+
+    /// Returns the sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Returns the magnitude.
+    pub fn magnitude(&self) -> &Ubig {
+        &self.magnitude
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Returns `true` if the value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Euclidean reduction into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_floor(&self, m: &Ubig) -> Ubig {
+        let r = &self.magnitude % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<&Ubig> for Ibig {
+    fn from(v: &Ubig) -> Self {
+        Ibig::new(Sign::Plus, v.clone())
+    }
+}
+
+impl From<Ubig> for Ibig {
+    fn from(v: Ubig) -> Self {
+        Ibig::new(Sign::Plus, v)
+    }
+}
+
+impl From<i64> for Ibig {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Ibig::new(Sign::Minus, Ubig::from(v.unsigned_abs()))
+        } else {
+            Ibig::new(Sign::Plus, Ubig::from(v as u64))
+        }
+    }
+}
+
+impl Neg for Ibig {
+    type Output = Ibig;
+    fn neg(self) -> Ibig {
+        let sign = match self.sign {
+            _ if self.is_zero() => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        };
+        Ibig::new(sign, self.magnitude)
+    }
+}
+
+impl Add for Ibig {
+    type Output = Ibig;
+    fn add(self, rhs: Ibig) -> Ibig {
+        match (self.sign, rhs.sign) {
+            (a, b) if a == b => Ibig::new(a, &self.magnitude + &rhs.magnitude),
+            _ => match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => Ibig::zero(),
+                Ordering::Greater => Ibig::new(self.sign, &self.magnitude - &rhs.magnitude),
+                Ordering::Less => Ibig::new(rhs.sign, &rhs.magnitude - &self.magnitude),
+            },
+        }
+    }
+}
+
+impl Sub for Ibig {
+    type Output = Ibig;
+    fn sub(self, rhs: Ibig) -> Ibig {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: Ibig) -> Ibig {
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        Ibig::new(sign, &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl Mul<&Ubig> for Ibig {
+    type Output = Ibig;
+    fn mul(self, rhs: &Ubig) -> Ibig {
+        Ibig::new(self.sign, &self.magnitude * rhs)
+    }
+}
+
+impl fmt::Display for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+impl fmt::Debug for Ibig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ibig({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib(v: i64) -> Ibig {
+        Ibig::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i64() {
+        let cases = [
+            (5, 3),
+            (3, 5),
+            (-5, 3),
+            (5, -3),
+            (-5, -3),
+            (0, 7),
+            (7, 0),
+            (0, 0),
+        ];
+        for (a, b) in cases {
+            assert_eq!(ib(a) + ib(b), ib(a + b), "{a} + {b}");
+            assert_eq!(ib(a) - ib(b), ib(a - b), "{a} - {b}");
+            assert_eq!(ib(a) * ib(b), ib(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn neg_zero_is_positive() {
+        assert_eq!(-Ibig::zero(), Ibig::zero());
+        assert_eq!((-Ibig::zero()).sign(), Sign::Plus);
+    }
+
+    #[test]
+    fn mod_floor_matches_rem_euclid() {
+        let m = Ubig::from(7u64);
+        for v in [-20i64, -7, -1, 0, 1, 6, 7, 8, 20] {
+            assert_eq!(
+                ib(v).mod_floor(&m),
+                Ubig::from(v.rem_euclid(7) as u64),
+                "{v} mod 7"
+            );
+        }
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(ib(-42).to_string(), "-42");
+        assert_eq!(format!("{:?}", ib(-42)), "Ibig(-42)");
+    }
+}

@@ -1,0 +1,303 @@
+//! Modular arithmetic, greatest common divisors and modular inversion.
+
+use crate::ibig::Ibig;
+use crate::{Montgomery, Ubig};
+
+impl Ubig {
+    /// `(self + other) mod m`. Operands need not be reduced.
+    pub fn mod_add(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        &(self + other) % m
+    }
+
+    /// `(self - other) mod m`. Operands need not be reduced.
+    pub fn mod_sub(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        let a = self % m;
+        let b = other % m;
+        if a >= b {
+            &(&a - &b) % m
+        } else {
+            &(&(m - &b) + &a) % m
+        }
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mod_mul(&self, other: &Ubig, m: &Ubig) -> Ubig {
+        &(self * other) % m
+    }
+
+    /// `self^exp mod m`.
+    ///
+    /// Uses a Montgomery ladder for odd moduli and falls back to plain
+    /// square-and-multiply with division for even moduli.
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// let m = Ubig::from(1000000007u64);
+    /// assert_eq!(
+    ///     Ubig::from(2u64).mod_pow(&Ubig::from(10u64), &m),
+    ///     Ubig::from(1024u64)
+    /// );
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        if m.is_odd() {
+            return Montgomery::new(m).pow(self, exp);
+        }
+        // Generic square-and-multiply for even moduli (rare in practice).
+        let mut base = self % m;
+        let mut acc = Ubig::one();
+        for i in 0..exp.bit_length() {
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m);
+            }
+            base = base.mod_mul(&base, m);
+        }
+        acc
+    }
+
+    /// Greatest common divisor (binary GCD).
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// assert_eq!(Ubig::from(12u64).gcd(&Ubig::from(18u64)), Ubig::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &Ubig) -> Ubig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros().unwrap();
+        let bz = b.trailing_zeros().unwrap();
+        let common = az.min(bz);
+        a = &a >> az;
+        b = &b >> bz;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return &a << common;
+            }
+            b = &b >> b.trailing_zeros().unwrap();
+        }
+    }
+
+    /// Extended Euclidean algorithm: returns `(g, x, y)` with
+    /// `x*self + y*other = g = gcd(self, other)`.
+    pub fn egcd(&self, other: &Ubig) -> (Ubig, Ibig, Ibig) {
+        let (mut r0, mut r1) = (self.clone(), other.clone());
+        let (mut x0, mut x1) = (Ibig::one(), Ibig::zero());
+        let (mut y0, mut y1) = (Ibig::zero(), Ibig::one());
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            r0 = std::mem::replace(&mut r1, r);
+            let x_next = x0 - x1.clone() * &q;
+            x0 = std::mem::replace(&mut x1, x_next);
+            let y_next = y0 - y1.clone() * &q;
+            y0 = std::mem::replace(&mut y1, y_next);
+        }
+        (r0, x0, y0)
+    }
+
+    /// Modular inverse: `self^-1 mod m`, if it exists.
+    ///
+    /// Returns `None` when `gcd(self, m) != 1`.
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// let inv = Ubig::from(3u64).mod_inverse(&Ubig::from(7u64)).unwrap();
+    /// assert_eq!(inv, Ubig::from(5u64)); // 3*5 = 15 = 1 (mod 7)
+    /// assert!(Ubig::from(2u64).mod_inverse(&Ubig::from(4u64)).is_none());
+    /// ```
+    pub fn mod_inverse(&self, m: &Ubig) -> Option<Ubig> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self % m;
+        if a.is_zero() {
+            return None;
+        }
+        let (g, x, _) = a.egcd(m);
+        if !g.is_one() {
+            return None;
+        }
+        Some(x.mod_floor(m))
+    }
+
+    /// Least common multiple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both operands are zero.
+    pub fn lcm(&self, other: &Ubig) -> Ubig {
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+
+    /// Jacobi symbol `(self / m)` for odd positive `m`.
+    ///
+    /// Returns a value in `{-1, 0, 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or zero.
+    pub fn jacobi(&self, m: &Ubig) -> i8 {
+        assert!(
+            m.is_odd() && !m.is_zero(),
+            "jacobi needs odd positive modulus"
+        );
+        let mut a = self % m;
+        let mut n = m.clone();
+        let mut result: i8 = 1;
+        while !a.is_zero() {
+            while a.is_even() {
+                a = &a >> 1;
+                let n_mod8 = n.low_u64() & 7;
+                if n_mod8 == 3 || n_mod8 == 5 {
+                    result = -result;
+                }
+            }
+            std::mem::swap(&mut a, &mut n);
+            if a.low_u64() & 3 == 3 && n.low_u64() & 3 == 3 {
+                result = -result;
+            }
+            a = &a % &n;
+        }
+        if n.is_one() {
+            result
+        } else {
+            0
+        }
+    }
+
+    /// Chinese remainder theorem for two coprime moduli: the unique value
+    /// congruent to `r1 mod m1` and `r2 mod m2`, reduced modulo `m1*m2`.
+    ///
+    /// Returns `None` when the moduli are not coprime.
+    pub fn crt(r1: &Ubig, m1: &Ubig, r2: &Ubig, m2: &Ubig) -> Option<Ubig> {
+        let m1_inv = m1.mod_inverse(m2)?;
+        // x = r1 + m1 * ((r2 - r1) * m1^-1 mod m2)
+        let diff = r2.mod_sub(r1, m2);
+        let h = diff.mod_mul(&m1_inv, m2);
+        Some(r1 + &(m1 * &h))
+    }
+}
+
+impl std::ops::Div<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn div(self, rhs: &Ubig) -> Ubig {
+        self.div_rem(rhs).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u64) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn mod_sub_wraps() {
+        let m = ub(10);
+        assert_eq!(ub(3).mod_sub(&ub(7), &m), ub(6));
+        assert_eq!(ub(7).mod_sub(&ub(3), &m), ub(4));
+        assert_eq!(ub(5).mod_sub(&ub(5), &m), ub(0));
+        // unreduced operands
+        assert_eq!(ub(23).mod_sub(&ub(47), &m), ub(6));
+    }
+
+    #[test]
+    fn mod_pow_matches_naive_small() {
+        let m = ub(1009);
+        for b in [0u64, 1, 2, 5, 1008] {
+            for e in [0u64, 1, 2, 17, 1008] {
+                let mut expect = 1u64;
+                for _ in 0..e {
+                    expect = expect * b % 1009;
+                }
+                assert_eq!(ub(b).mod_pow(&ub(e), &m), ub(expect), "{b}^{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        let m = ub(1 << 20);
+        assert_eq!(ub(3).mod_pow(&ub(5), &m), ub(243));
+        assert_eq!(ub(2).mod_pow(&ub(25), &m), ub(0));
+    }
+
+    #[test]
+    fn mod_pow_modulus_one() {
+        assert_eq!(ub(5).mod_pow(&ub(5), &ub(1)), ub(0));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(ub(0).gcd(&ub(5)), ub(5));
+        assert_eq!(ub(5).gcd(&ub(0)), ub(5));
+        assert_eq!(ub(48).gcd(&ub(36)), ub(12));
+        assert_eq!(ub(17).gcd(&ub(13)), ub(1));
+        assert_eq!(ub(1 << 20).gcd(&ub(1 << 13)), ub(1 << 13));
+    }
+
+    #[test]
+    fn egcd_bezout_identity() {
+        let a = Ubig::from_hex("123456789abcdef").unwrap();
+        let b = Ubig::from_hex("fedcba987654321").unwrap();
+        let (g, x, y) = a.egcd(&b);
+        let lhs = x * &a + y * &b;
+        assert_eq!(lhs, Ibig::from(g.clone()));
+        assert_eq!(g, a.gcd(&b));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = ub(1_000_000_007);
+        for v in [1u64, 2, 3, 999_999_999] {
+            let inv = ub(v).mod_inverse(&m).unwrap();
+            assert_eq!(ub(v).mod_mul(&inv, &m), ub(1));
+        }
+        assert!(ub(0).mod_inverse(&m).is_none());
+        assert!(ub(6).mod_inverse(&ub(9)).is_none());
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(ub(4).lcm(&ub(6)), ub(12));
+        assert_eq!(ub(7).lcm(&ub(5)), ub(35));
+    }
+
+    #[test]
+    fn jacobi_symbols() {
+        // Known quadratic residues mod 7: 1, 2, 4.
+        let seven = ub(7);
+        assert_eq!(ub(1).jacobi(&seven), 1);
+        assert_eq!(ub(2).jacobi(&seven), 1);
+        assert_eq!(ub(3).jacobi(&seven), -1);
+        assert_eq!(ub(4).jacobi(&seven), 1);
+        assert_eq!(ub(5).jacobi(&seven), -1);
+        assert_eq!(ub(7).jacobi(&seven), 0);
+    }
+
+    #[test]
+    fn crt_reconstruction() {
+        let x = Ubig::crt(&ub(2), &ub(3), &ub(3), &ub(5)).unwrap();
+        assert_eq!(x, ub(8)); // 8 = 2 mod 3, 3 mod 5
+        assert!(Ubig::crt(&ub(1), &ub(4), &ub(2), &ub(6)).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+
+use crate::{DoubleLimb, Limb, Ubig};
+
+/// A reusable Montgomery reduction context for a fixed odd modulus.
+///
+/// Constructing the context performs the one-time setup (computing `-n^-1
+/// mod 2^64` and `R^2 mod n`); afterwards [`Montgomery::pow`] and
+/// [`Montgomery::mul`] avoid all trial division.
+///
+/// ```
+/// use sintra_bigint::{Montgomery, Ubig};
+///
+/// let m = Ubig::from_hex("ffffffffffffffc5").unwrap();
+/// let ctx = Montgomery::new(&m);
+/// let a = Ubig::from(123456u64);
+/// assert_eq!(ctx.pow(&a, &Ubig::from(2u64)), a.mod_mul(&a, &m));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: Ubig,
+    /// `-n^{-1} mod 2^64`
+    n_prime: Limb,
+    /// `R^2 mod n` where `R = 2^(64 * limbs)`
+    r2: Ubig,
+    limbs: usize,
+}
+
+impl Montgomery {
+    /// Creates a context for modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or less than 3.
+    pub fn new(n: &Ubig) -> Self {
+        assert!(n.is_odd(), "Montgomery modulus must be odd");
+        assert!(*n > Ubig::two(), "Montgomery modulus must be >= 3");
+        let limbs = n.limbs().len();
+        // Newton iteration for the inverse of n mod 2^64.
+        let n0 = n.limbs()[0];
+        let mut inv: Limb = n0; // correct mod 2^3 for odd n0
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        // R^2 mod n, computed by shifting.
+        let r = &Ubig::one() << (64 * limbs as u32);
+        let r2 = &(&r * &r) % n;
+        Montgomery {
+            n: n.clone(),
+            n_prime,
+            r2,
+            limbs,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Montgomery reduction: computes `t * R^-1 mod n` for `t < n*R`.
+    fn redc(&self, t: &Ubig) -> Ubig {
+        let k = self.limbs;
+        let mut a: Vec<Limb> = t.limbs().to_vec();
+        a.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = a[i].wrapping_mul(self.n_prime);
+            // a += m * n << (64*i)
+            let mut carry: DoubleLimb = 0;
+            for (j, &nl) in self.n.limbs().iter().enumerate() {
+                let t = (a[i + j] as DoubleLimb) + (m as DoubleLimb) * (nl as DoubleLimb) + carry;
+                a[i + j] = t as Limb;
+                carry = t >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let t = (a[idx] as DoubleLimb) + carry;
+                a[idx] = t as Limb;
+                carry = t >> 64;
+                idx += 1;
+            }
+        }
+        let result = Ubig::from_limbs(a[k..].to_vec());
+        if result >= self.n {
+            &result - &self.n
+        } else {
+            result
+        }
+    }
+
+    /// Converts into Montgomery form (`a * R mod n`).
+    pub fn to_mont(&self, a: &Ubig) -> Ubig {
+        self.redc(&(&(a % &self.n) * &self.r2))
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &Ubig) -> Ubig {
+        self.redc(a)
+    }
+
+    /// Modular multiplication of two values in Montgomery form.
+    pub fn mont_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.redc(&(a * b))
+    }
+
+    /// Plain modular multiplication `a * b mod n` (converts in and out).
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a 4-bit fixed window.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return &Ubig::one() % &self.n;
+        }
+        let one_m = self.to_mont(&Ubig::one());
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        for i in 1..16 {
+            let prev: &Ubig = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(4);
+        let mut acc = one_m;
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut nibble = 0u32;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                if idx < bits && exp.bit(idx) {
+                    nibble |= 1 << (3 - b);
+                }
+            }
+            if nibble != 0 {
+                acc = self.mont_mul(&acc, &table[nibble as usize]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redc_identity() {
+        let n = Ubig::from_hex("f000000000000001f").unwrap();
+        let ctx = Montgomery::new(&n);
+        for hex in ["0", "1", "deadbeef", "e000000000000001e"] {
+            let a = Ubig::from_hex(hex).unwrap();
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), &a % &n, "value {hex}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let n = Ubig::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // odd
+        let ctx = Montgomery::new(&n);
+        let a = Ubig::from_hex("123456789abcdef123456789abcdef").unwrap();
+        let b = Ubig::from_hex("fedcba9876543210fedcba987654321").unwrap();
+        assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn pow_matches_small_modulus() {
+        let n = Ubig::from(1_000_003u64); // odd prime
+        let ctx = Montgomery::new(&n);
+        let mut expect = 1u64;
+        let base = 7u64;
+        for e in 0..50u64 {
+            assert_eq!(
+                ctx.pow(&Ubig::from(base), &Ubig::from(e)),
+                Ubig::from(expect),
+                "7^{e}"
+            );
+            expect = expect * base % 1_000_003;
+        }
+    }
+
+    #[test]
+    fn pow_exponent_zero_and_large() {
+        let n = Ubig::from_hex("ffffffffffffffc5").unwrap();
+        let ctx = Montgomery::new(&n);
+        assert_eq!(ctx.pow(&Ubig::from(5u64), &Ubig::zero()), Ubig::one());
+        // Fermat's little theorem at 64 bits.
+        let p_minus_1 = &n - &Ubig::one();
+        assert_eq!(ctx.pow(&Ubig::from(2u64), &p_minus_1), Ubig::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        Montgomery::new(&Ubig::from(100u64));
+    }
+}

@@ -1,0 +1,171 @@
+//! Operator trait implementations for [`Ubig`].
+
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Rem, Shl, Shr, Sub};
+
+use crate::arith;
+use crate::Ubig;
+
+impl Add for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        let mut limbs = self.limbs.clone();
+        arith::add_assign(&mut limbs, &rhs.limbs);
+        Ubig { limbs }
+    }
+}
+
+impl Add for Ubig {
+    type Output = Ubig;
+    fn add(mut self, rhs: Ubig) -> Ubig {
+        arith::add_assign(&mut self.limbs, &rhs.limbs);
+        self
+    }
+}
+
+impl Sub for &Ubig {
+    type Output = Ubig;
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use [`Ubig::checked_sub`] to
+    /// detect underflow instead.
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        self.checked_sub(rhs)
+            .expect("Ubig subtraction underflowed; use checked_sub")
+    }
+}
+
+impl Sub for Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: Ubig) -> Ubig {
+        &self - &rhs
+    }
+}
+
+impl Mul for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: &Ubig) -> Ubig {
+        Ubig::from_limbs(arith::mul(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: Ubig) -> Ubig {
+        &self * &rhs
+    }
+}
+
+impl Rem for &Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: &Ubig) -> Ubig {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: Ubig) -> Ubig {
+        &self % &rhs
+    }
+}
+
+impl Shl<u32> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: u32) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        let limb_shift = (shift / crate::LIMB_BITS) as usize;
+        let bit_shift = shift % crate::LIMB_BITS;
+        let shifted = arith::shl_bits(&self.limbs, bit_shift);
+        let mut limbs = vec![0; limb_shift];
+        limbs.extend_from_slice(&shifted);
+        Ubig::from_limbs(limbs)
+    }
+}
+
+impl Shr<u32> for &Ubig {
+    type Output = Ubig;
+    fn shr(self, shift: u32) -> Ubig {
+        let limb_shift = (shift / crate::LIMB_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let bit_shift = shift % crate::LIMB_BITS;
+        Ubig::from_limbs(arith::shr_bits(&self.limbs[limb_shift..], bit_shift))
+    }
+}
+
+macro_rules! bit_op {
+    ($trait:ident, $method:ident, $op:tt, $extend_longer:expr) => {
+        impl $trait for &Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: &Ubig) -> Ubig {
+                let (short, long) = if self.limbs.len() <= rhs.limbs.len() {
+                    (&self.limbs, &rhs.limbs)
+                } else {
+                    (&rhs.limbs, &self.limbs)
+                };
+                let mut out: Vec<u64> = short
+                    .iter()
+                    .zip(long.iter())
+                    .map(|(a, b)| a $op b)
+                    .collect();
+                if $extend_longer {
+                    out.extend_from_slice(&long[short.len()..]);
+                }
+                Ubig::from_limbs(out)
+            }
+        }
+    };
+}
+
+bit_op!(BitAnd, bitand, &, false);
+bit_op!(BitOr, bitor, |, true);
+bit_op!(BitXor, bitxor, ^, true);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = 0x0123_4567_89AB_CDEFu128;
+        for s in [0u32, 1, 17, 64, 71] {
+            // v has 57 significant bits, so these shifts stay within u128.
+            assert_eq!(&ub(v) << s, ub(v << s));
+        }
+        // Shifts past 128 bits must keep all bits (unlike u128).
+        assert_eq!((&ub(v) << 100).bit_length(), 157);
+        for s in [0u32, 1, 17, 63, 64, 120, 200] {
+            assert_eq!(&ub(v) >> s, ub(v.checked_shr(s).unwrap_or(0)));
+        }
+    }
+
+    #[test]
+    fn bit_ops_match_u128() {
+        let a = 0xF0F0_F0F0_1234_5678_9999_AAAA_BBBB_CCCCu128;
+        let b = 0x0FF0_1234u128;
+        assert_eq!(&ub(a) & &ub(b), ub(a & b));
+        assert_eq!(&ub(a) | &ub(b), ub(a | b));
+        assert_eq!(&ub(a) ^ &ub(b), ub(a ^ b));
+    }
+
+    #[test]
+    fn owned_operator_forms() {
+        assert_eq!(ub(2) + ub(3), ub(5));
+        assert_eq!(ub(5) - ub(3), ub(2));
+        assert_eq!(ub(5) * ub(3), ub(15));
+        assert_eq!(ub(17) % ub(5), ub(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = ub(1) - ub(2);
+    }
+}

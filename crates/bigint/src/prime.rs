@@ -1,0 +1,254 @@
+//! Probabilistic primality testing and prime generation.
+
+use rand::Rng;
+
+use crate::{Ubig, UbigRandom};
+
+/// Small primes used for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Configuration for primality testing.
+///
+/// The defaults (40 Miller–Rabin rounds) give an error probability below
+/// `2^-80`, the standard choice for cryptographic key generation.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimeConfig {
+    /// Number of random-base Miller–Rabin rounds.
+    pub miller_rabin_rounds: u32,
+}
+
+impl Default for PrimeConfig {
+    fn default() -> Self {
+        PrimeConfig {
+            miller_rabin_rounds: 40,
+        }
+    }
+}
+
+/// Tests `n` for primality with trial division plus Miller–Rabin.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sintra_bigint::{is_prime, PrimeConfig, Ubig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = Ubig::from_hex("ffffffffffffffc5").unwrap();
+/// assert!(is_prime(&p, &PrimeConfig::default(), &mut rng));
+/// assert!(!is_prime(&Ubig::from(91u64), &PrimeConfig::default(), &mut rng));
+/// ```
+pub fn is_prime<R: Rng + ?Sized>(n: &Ubig, config: &PrimeConfig, rng: &mut R) -> bool {
+    if let Some(small) = n.to_u64() {
+        if small < 2 {
+            return false;
+        }
+        if SMALL_PRIMES.contains(&small) {
+            return true;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES[1..] {
+        let pb = Ubig::from(p);
+        if &pb >= n {
+            break;
+        }
+        if (n % &pb).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, config.miller_rabin_rounds, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. `n` must be odd and `> 3`.
+fn miller_rabin<R: Rng + ?Sized>(n: &Ubig, rounds: u32, rng: &mut R) -> bool {
+    let n_minus_1 = n - &Ubig::one();
+    let s = n_minus_1.trailing_zeros().expect("n > 1 is odd so n-1 > 0");
+    let d = &n_minus_1 >> s;
+    let mont = crate::Montgomery::new(n);
+    let two = Ubig::two();
+    'witness: for _ in 0..rounds {
+        let a = rng.gen_ubig_range(&two, &n_minus_1);
+        let mut x = mont.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` significant bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: u32, config: &PrimeConfig, rng: &mut R) -> Ubig {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    loop {
+        let mut candidate = rng.gen_ubig_bits(bits);
+        candidate = candidate.with_bit(0, true); // force odd
+        if is_prime(&candidate, config, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a *safe prime* `p = 2q + 1` (with `q` also prime) of exactly
+/// `bits` bits. Returns `(p, q)`.
+///
+/// Safe primes are required by Shoup's RSA threshold-signature scheme.
+/// Generation is expensive (expected hundreds of candidates at 512+ bits);
+/// the `sintra-crypto` crate ships precomputed fixtures for common sizes.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn gen_safe_prime<R: Rng + ?Sized>(
+    bits: u32,
+    config: &PrimeConfig,
+    rng: &mut R,
+) -> (Ubig, Ubig) {
+    assert!(bits >= 3, "a safe prime needs at least 3 bits");
+    loop {
+        let mut q = rng.gen_ubig_bits(bits - 1);
+        q = q.with_bit(0, true);
+        // Cheap pre-filters on both q and p before full Miller-Rabin.
+        let p = &(&q << 1) + &Ubig::one();
+        let mut composite = false;
+        for &sp in &SMALL_PRIMES[1..] {
+            let spb = Ubig::from(sp);
+            if spb >= q {
+                break;
+            }
+            if (&q % &spb).is_zero() || (&p % &spb).is_zero() {
+                composite = true;
+                break;
+            }
+        }
+        if composite {
+            continue;
+        }
+        if is_prime(&q, config, rng) && is_prime(&p, config, rng) {
+            return (p, q);
+        }
+    }
+}
+
+/// Generates a prime `p` of `p_bits` bits such that `q | p - 1` for a fresh
+/// prime `q` of `q_bits` bits (a *Schnorr group* modulus). Returns `(p, q)`.
+///
+/// This is the group structure used by the SINTRA threshold coin and
+/// threshold encryption: a 1024-bit `p` whose order has a 160-bit prime
+/// factor `q` in the paper's configuration.
+///
+/// # Panics
+///
+/// Panics if `q_bits + 2 > p_bits`.
+pub fn gen_schnorr_group<R: Rng + ?Sized>(
+    p_bits: u32,
+    q_bits: u32,
+    config: &PrimeConfig,
+    rng: &mut R,
+) -> (Ubig, Ubig) {
+    assert!(
+        q_bits + 2 <= p_bits,
+        "subgroup must be smaller than the field"
+    );
+    let q = gen_prime(q_bits, config, rng);
+    loop {
+        // p = 2*k*q + 1 with k random of the right size.
+        let k_bits = p_bits - q_bits - 1;
+        let k = rng.gen_ubig_bits(k_bits);
+        let p = &(&(&k * &q) << 1) + &Ubig::one();
+        if p.bit_length() != p_bits {
+            continue;
+        }
+        if is_prime(&p, config, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_values() {
+        let cfg = PrimeConfig::default();
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 11, 13, 251, 257, 65537];
+        let composites = [0u64, 1, 4, 9, 15, 91, 561, 65535, 6601]; // incl. Carmichael numbers
+        for p in primes {
+            assert!(is_prime(&Ubig::from(p), &cfg, &mut r), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(&Ubig::from(c), &cfg, &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = &(&Ubig::one() << 127) - &Ubig::one();
+        assert!(is_prime(&m127, &PrimeConfig::default(), &mut rng()));
+        // 2^128 - 1 factors.
+        let c = &(&Ubig::one() << 128) - &Ubig::one();
+        assert!(!is_prime(&c, &PrimeConfig::default(), &mut rng()));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let cfg = PrimeConfig {
+            miller_rabin_rounds: 16,
+        };
+        let mut r = rng();
+        for bits in [16u32, 32, 64, 128] {
+            let p = gen_prime(bits, &cfg, &mut r);
+            assert_eq!(p.bit_length(), bits);
+            assert!(is_prime(&p, &cfg, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let cfg = PrimeConfig {
+            miller_rabin_rounds: 16,
+        };
+        let mut r = rng();
+        let (p, q) = gen_safe_prime(32, &cfg, &mut r);
+        assert_eq!(p, &(&q << 1) + &Ubig::one());
+        assert!(is_prime(&p, &cfg, &mut r));
+        assert!(is_prime(&q, &cfg, &mut r));
+        assert_eq!(p.bit_length(), 32);
+    }
+
+    #[test]
+    fn gen_schnorr_group_structure() {
+        let cfg = PrimeConfig {
+            miller_rabin_rounds: 16,
+        };
+        let mut r = rng();
+        let (p, q) = gen_schnorr_group(96, 32, &cfg, &mut r);
+        assert_eq!(p.bit_length(), 96);
+        assert_eq!(q.bit_length(), 32);
+        assert!((&(&p - &Ubig::one()) % &q).is_zero(), "q divides p-1");
+    }
+}

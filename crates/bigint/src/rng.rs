@@ -1,0 +1,132 @@
+//! Random generation of [`Ubig`] values.
+
+use rand::Rng;
+
+use crate::Ubig;
+
+/// Extension trait for generating random [`Ubig`] values from any
+/// [`rand::Rng`].
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sintra_bigint::{Ubig, UbigRandom};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let bound = Ubig::from(1000u64);
+/// let v = rng.gen_ubig_below(&bound);
+/// assert!(v < bound);
+/// let w = rng.gen_ubig_bits(256);
+/// assert_eq!(w.bit_length(), 256);
+/// ```
+pub trait UbigRandom {
+    /// Uniformly random value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_ubig_below(&mut self, bound: &Ubig) -> Ubig;
+
+    /// Random value with *exactly* `bits` significant bits (top bit set).
+    /// Returns zero when `bits == 0`.
+    fn gen_ubig_bits(&mut self, bits: u32) -> Ubig;
+
+    /// Uniformly random value in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn gen_ubig_range(&mut self, low: &Ubig, high: &Ubig) -> Ubig;
+}
+
+impl<R: Rng + ?Sized> UbigRandom for R {
+    fn gen_ubig_below(&mut self, bound: &Ubig) -> Ubig {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_length();
+        let limbs = bits.div_ceil(64) as usize;
+        let top_mask = if bits.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        // Rejection sampling: expected < 2 iterations.
+        loop {
+            let mut raw: Vec<u64> = (0..limbs).map(|_| self.gen()).collect();
+            if let Some(last) = raw.last_mut() {
+                *last &= top_mask;
+            }
+            let candidate = Ubig::from_limbs(raw);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_ubig_bits(&mut self, bits: u32) -> Ubig {
+        if bits == 0 {
+            return Ubig::zero();
+        }
+        let below = self.gen_ubig_below(&(&Ubig::one() << (bits - 1)));
+        &below + &(&Ubig::one() << (bits - 1))
+    }
+
+    fn gen_ubig_range(&mut self, low: &Ubig, high: &Ubig) -> Ubig {
+        assert!(low < high, "empty range");
+        let width = high - low;
+        low + &self.gen_ubig_below(&width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = Ubig::from_hex("10000000000000001").unwrap();
+        for _ in 0..200 {
+            assert!(rng.gen_ubig_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = Ubig::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[rng.gen_ubig_below(&bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn bits_sets_top_bit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bits in [1u32, 2, 63, 64, 65, 257] {
+            let v = rng.gen_ubig_bits(bits);
+            assert_eq!(v.bit_length(), bits, "requested {bits}");
+        }
+        assert!(rng.gen_ubig_bits(0).is_zero());
+    }
+
+    #[test]
+    fn range_inclusive_exclusive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let low = Ubig::from(10u64);
+        let high = Ubig::from(13u64);
+        for _ in 0..100 {
+            let v = rng.gen_ubig_range(&low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        rng.gen_ubig_below(&Ubig::zero());
+    }
+}

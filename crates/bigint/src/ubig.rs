@@ -1,0 +1,213 @@
+//! The core [`Ubig`] type: representation, construction and comparison.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+
+use crate::Limb;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The value is stored as little-endian 64-bit limbs with the invariant that
+/// the most significant limb is nonzero (zero is the empty limb vector).
+/// All operations preserve this normalization.
+///
+/// Arithmetic operators are implemented for both owned values and
+/// references; prefer the reference forms (`&a + &b`) in hot paths to avoid
+/// clones.
+///
+/// # Examples
+///
+/// ```
+/// use sintra_bigint::Ubig;
+///
+/// let a = Ubig::from(10u64);
+/// let b = Ubig::from(4u64);
+/// assert_eq!(&a * &b, Ubig::from(40u64));
+/// assert_eq!((&a).div_rem(&b), (Ubig::from(2u64), Ubig::from(2u64)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl Ubig {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    pub fn two() -> Self {
+        Ubig { limbs: vec![2] }
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Constructs a value from little-endian limbs, normalizing trailing
+    /// zeros.
+    pub(crate) fn from_limbs(mut limbs: Vec<Limb>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Borrows the little-endian limb representation.
+    pub(crate) fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    ///
+    /// ```
+    /// use sintra_bigint::Ubig;
+    /// assert_eq!(Ubig::from(0u64).bit_length(), 0);
+    /// assert_eq!(Ubig::from(255u64).bit_length(), 8);
+    /// assert_eq!(Ubig::from(256u64).bit_length(), 9);
+    /// ```
+    pub fn bit_length(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * crate::LIMB_BITS + (64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the low 64 bits of the value (the value modulo 2^64).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Compares two magnitudes.
+    pub(crate) fn cmp_magnitude(a: &[Limb], b: &[Limb]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Ubig::cmp_magnitude(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An error produced when parsing a [`Ubig`] from a string fails.
+///
+/// ```
+/// use sintra_bigint::Ubig;
+/// assert!(Ubig::from_hex("xyz").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUbigError {
+    pub(crate) kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer string"),
+        }
+    }
+}
+
+impl Error for ParseUbigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized() {
+        assert!(Ubig::zero().is_zero());
+        assert_eq!(Ubig::from_limbs(vec![0, 0, 0]), Ubig::zero());
+        assert_eq!(Ubig::zero().bit_length(), 0);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Ubig::zero().is_even());
+        assert!(Ubig::one().is_odd());
+        assert!(Ubig::two().is_even());
+        assert!(Ubig::from(u64::MAX).is_odd());
+    }
+
+    #[test]
+    fn ordering_by_length_then_limbs() {
+        let small = Ubig::from(u64::MAX);
+        let big = &small + &Ubig::one();
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.limbs().len(), 2);
+    }
+
+    #[test]
+    fn bit_length_cases() {
+        assert_eq!(Ubig::one().bit_length(), 1);
+        assert_eq!(Ubig::from(u64::MAX).bit_length(), 64);
+        assert_eq!((&Ubig::from(u64::MAX) + &Ubig::one()).bit_length(), 65);
+    }
+
+    #[test]
+    fn to_u64_roundtrip() {
+        assert_eq!(Ubig::from(0u64).to_u64(), Some(0));
+        assert_eq!(Ubig::from(42u64).to_u64(), Some(42));
+        let big = &Ubig::from(u64::MAX) + &Ubig::one();
+        assert_eq!(big.to_u64(), None);
+        assert_eq!(big.low_u64(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the bigint substrate: ring axioms, division
+//! invariants, modular identities and codec round-trips.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sintra_bigint::{Montgomery, Ubig, UbigRandom};
+
+/// Strategy producing Ubig values of widely varying sizes.
+fn ubig() -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u8>(), 0..64).prop_map(|bytes| Ubig::from_be_bytes(&bytes))
+}
+
+/// Strategy producing nonzero Ubig values.
+fn ubig_nonzero() -> impl Strategy<Value = Ubig> {
+    ubig().prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+/// Strategy producing odd moduli >= 3.
+fn odd_modulus() -> impl Strategy<Value = Ubig> {
+    ubig().prop_map(|v| {
+        let v = v.with_bit(0, true);
+        if v.is_one() {
+            Ubig::from(3u64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn square_matches_mul(a in ubig()) {
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn division_invariant(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_left_is_mul_by_power_of_two(a in ubig(), s in 0u32..200) {
+        prop_assert_eq!(&a << s, &a * &(&Ubig::one() << s));
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig(), s in 0u32..200) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn dec_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_dec(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn mod_mul_matches_naive(a in ubig(), b in ubig(), m in ubig_nonzero()) {
+        prop_assert_eq!(a.mod_mul(&b, &m), &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn montgomery_matches_generic_pow(a in ubig(), e in ubig(), m in odd_modulus()) {
+        let mont = Montgomery::new(&m);
+        // Reference: simple square-and-multiply with division.
+        let mut base = &a % &m;
+        let mut acc = &Ubig::one() % &m;
+        for i in 0..e.bit_length() {
+            if e.bit(i) {
+                acc = acc.mod_mul(&base, &m);
+            }
+            base = base.mod_mul(&base, &m);
+        }
+        prop_assert_eq!(mont.pow(&a, &e), acc);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn gcd_matches_egcd(a in ubig(), b in ubig()) {
+        let (g, _, _) = a.egcd(&b);
+        prop_assert_eq!(g, a.gcd(&b));
+    }
+
+    #[test]
+    fn inverse_is_inverse(a in ubig_nonzero(), m in odd_modulus()) {
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mod_mul(&inv, &m), &Ubig::one() % &m);
+            prop_assert!(inv < m);
+        } else {
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn mod_sub_then_add_cancels(a in ubig(), b in ubig(), m in ubig_nonzero()) {
+        let d = a.mod_sub(&b, &m);
+        prop_assert_eq!(d.mod_add(&b, &m), &a % &m);
+    }
+
+    #[test]
+    fn bit_length_consistent_with_shift(a in ubig_nonzero()) {
+        let bits = a.bit_length();
+        prop_assert!(a < (&Ubig::one() << bits));
+        prop_assert!(a >= (&Ubig::one() << (bits - 1)));
+    }
+
+    #[test]
+    fn random_below_in_range(bound in ubig_nonzero(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = rng.gen_ubig_below(&bound);
+        prop_assert!(v < bound);
+    }
+
+    #[test]
+    fn crt_reconstructs(r1 in ubig(), r2 in ubig()) {
+        // Fixed coprime moduli.
+        let m1 = Ubig::from(0xffff_fffb_u64); // prime
+        let m2 = Ubig::from(0xffff_ffef_u64 << 1 | 1); // odd, coprime w.h.p.
+        if m1.gcd(&m2).is_one() {
+            let a = &r1 % &m1;
+            let b = &r2 % &m2;
+            let x = Ubig::crt(&a, &m1, &b, &m2).unwrap();
+            prop_assert_eq!(&x % &m1, a);
+            prop_assert_eq!(&x % &m2, b);
+            prop_assert!(x < &m1 * &m2);
+        }
+    }
+}
+
+#[test]
+fn fermat_on_generated_prime() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let cfg = sintra_bigint::PrimeConfig {
+        miller_rabin_rounds: 16,
+    };
+    let p = sintra_bigint::prime::gen_prime(128, &cfg, &mut rng);
+    let a = Ubig::from(2u64);
+    assert_eq!(a.mod_pow(&(&p - &Ubig::one()), &p), Ubig::one());
+}

@@ -1,0 +1,969 @@
+//! Randomized binary Byzantine agreement (Cachin–Kursawe–Shoup).
+//!
+//! Each round has three exchanges (paper §2.3):
+//!
+//! 1. **Pre-vote**: every party relays its current preference, justified
+//!    by evidence from the previous round, together with a threshold-
+//!    signature share on the pre-vote statement.
+//! 2. **Main-vote**: based on `n - t` pre-votes a party votes the
+//!    unanimous bit (justified by the assembled threshold signature on the
+//!    pre-vote statement) or *abstain* (justified by exhibiting justified
+//!    pre-votes for both bits), with a share on the main-vote statement.
+//! 3. **Decision / coin**: `n - t` unanimous main-votes decide; otherwise
+//!    the party releases its share of the round's threshold coin, and the
+//!    coin (or an observed main-vote value) becomes the new preference.
+//!
+//! A decision is announced with its justification (the threshold signature
+//! on the unanimous main-vote statement), letting every party decide on
+//! receipt — this subsumes the "run one extra round" termination device of
+//! the original protocol.
+//!
+//! The *validated* variant attaches external validation data to round-1
+//! pre-votes; the *biased* variant fixes the round-1 coin to the bias so
+//! the protocol always decides the preferred value when an honest party
+//! proposed it.
+
+use std::collections::HashMap;
+
+use sintra_crypto::coin::CoinShare;
+use sintra_crypto::thsig::{SigShare, ThresholdSignature};
+
+use crate::config::GroupContext;
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::{
+    coin_name, statement_main_vote, statement_pre_vote, Body, MainVote, MainVoteJust, PreVoteJust,
+};
+use crate::outgoing::Outgoing;
+use crate::validator::BinaryValidator;
+
+/// Which exchange of the current round this party is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for `propose`.
+    Idle,
+    /// Pre-vote sent; collecting pre-votes.
+    CollectingPreVotes,
+    /// Main-vote sent; collecting main-votes.
+    CollectingMainVotes,
+    /// Coin share released; collecting coin shares.
+    CollectingCoin,
+    /// Decided; the instance is quiescent.
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct RoundState {
+    /// Accepted pre-votes: party -> (value, signature share).
+    pre_votes: HashMap<PartyId, (bool, SigShare)>,
+    /// First accepted pre-vote justification (+ proof) per bit, used as
+    /// abstain evidence.
+    pre_just: [Option<(PreVoteJust, Option<Vec<u8>>)>; 2],
+    /// Whether the pre-vote quorum has already been evaluated.
+    pre_evaluated: bool,
+    /// Accepted main-votes: party -> (vote, share).
+    main_votes: HashMap<PartyId, (MainVote, SigShare)>,
+    /// First accepted value main-vote justification: the threshold
+    /// signature on `pre(pid, round, b)`, reusable as the hard pre-vote
+    /// justification for the next round.
+    value_just: Option<(bool, ThresholdSignature)>,
+    main_evaluated: bool,
+    /// Verified coin shares by holder index.
+    coin_shares: HashMap<usize, CoinShare>,
+}
+
+/// A binary Byzantine agreement instance.
+///
+/// Construct with [`BinaryAgreement::new`] (plain), or configure
+/// [validation](BinaryAgreement::with_validator) and
+/// [bias](BinaryAgreement::with_bias) before proposing.
+#[derive(Debug)]
+pub struct BinaryAgreement {
+    pid: ProtocolId,
+    ctx: GroupContext,
+    validator: BinaryValidator,
+    validated: bool,
+    bias: Option<bool>,
+    round: u32,
+    stage: Stage,
+    preference: bool,
+    next_just: PreVoteJust,
+    rounds: HashMap<u32, RoundState>,
+    /// Cached external validation data per bit.
+    proofs: [Option<Vec<u8>>; 2],
+    decided: Option<(bool, Option<Vec<u8>>)>,
+    decision_taken: bool,
+}
+
+impl BinaryAgreement {
+    /// Creates a plain (non-validated, unbiased) instance.
+    pub fn new(pid: ProtocolId, ctx: GroupContext) -> Self {
+        BinaryAgreement {
+            pid,
+            ctx,
+            validator: BinaryValidator::always(),
+            validated: false,
+            bias: None,
+            round: 0,
+            stage: Stage::Idle,
+            preference: false,
+            next_just: PreVoteJust::Initial,
+            rounds: HashMap::new(),
+            proofs: [None, None],
+            decided: None,
+            decision_taken: false,
+        }
+    }
+
+    /// Enables external validity with the given predicate.
+    pub fn with_validator(mut self, validator: BinaryValidator) -> Self {
+        self.validator = validator;
+        self.validated = true;
+        self
+    }
+
+    /// Biases the agreement toward `bias` (the round-1 coin is fixed).
+    pub fn with_bias(mut self, bias: bool) -> Self {
+        self.bias = Some(bias);
+        self
+    }
+
+    /// The instance identifier.
+    pub fn pid(&self) -> &ProtocolId {
+        &self.pid
+    }
+
+    /// The current round (0 before `propose`).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Starts the instance with this party's proposal. For validated
+    /// agreement, `proof` must satisfy the validator for `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or if the proposal fails validation.
+    pub fn propose(&mut self, value: bool, proof: Vec<u8>, out: &mut Outgoing) {
+        if self.stage == Stage::Done {
+            // A valid decide message arrived before we proposed (possible
+            // after partitions): the decision stands, our proposal is moot.
+            return;
+        }
+        assert_eq!(self.stage, Stage::Idle, "propose may be executed once");
+        assert!(
+            !self.validated || self.validator.is_valid(value, &proof),
+            "own proposal must satisfy the validator"
+        );
+        if self.validated {
+            self.proofs[value as usize] = Some(proof);
+        }
+        self.preference = value;
+        self.next_just = PreVoteJust::Initial;
+        self.round = 1;
+        self.send_pre_vote(out);
+    }
+
+    /// Whether a decision is available (and not yet taken).
+    pub fn can_decide(&self) -> bool {
+        self.decided.is_some() && !self.decision_taken
+    }
+
+    /// Takes the decision `(value, proof)`, once.
+    pub fn take_decision(&mut self) -> Option<(bool, Option<Vec<u8>>)> {
+        if self.decision_taken {
+            return None;
+        }
+        let d = self.decided.clone();
+        if d.is_some() {
+            self.decision_taken = true;
+        }
+        d
+    }
+
+    /// Read-only view of the decision.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided.as_ref().map(|(v, _)| *v)
+    }
+
+    /// Read-only view of the decision's validation data.
+    pub fn decision_proof(&self) -> Option<&[u8]> {
+        self.decided.as_ref().and_then(|(_, p)| p.as_deref())
+    }
+
+    fn quorum(&self) -> usize {
+        self.ctx.n_minus_t()
+    }
+
+    fn send_pre_vote(&mut self, out: &mut Outgoing) {
+        let statement = statement_pre_vote(&self.pid, self.round, self.preference);
+        let share = self.ctx.keys().thsig_agreement.sign_share(&statement);
+        let proof = if self.validated {
+            self.proofs[self.preference as usize].clone()
+        } else {
+            None
+        };
+        out.send_all(
+            &self.pid,
+            Body::BaPreVote {
+                round: self.round,
+                value: self.preference,
+                just: self.next_just.clone(),
+                share,
+                proof,
+            },
+        );
+        self.stage = Stage::CollectingPreVotes;
+        self.try_advance(out);
+    }
+
+    /// Processes a protocol message from `from`.
+    pub fn handle(&mut self, from: PartyId, body: &Body, out: &mut Outgoing) {
+        if self.stage == Stage::Done || !self.ctx.is_valid_party(from) {
+            return;
+        }
+        match body {
+            Body::BaPreVote {
+                round,
+                value,
+                just,
+                share,
+                proof,
+            } => self.on_pre_vote(from, *round, *value, just, share, proof.as_deref()),
+            Body::BaMainVote {
+                round,
+                vote,
+                just,
+                share,
+                proof,
+            } => self.on_main_vote(from, *round, *vote, just, share, proof.as_deref()),
+            Body::BaCoinShare { round, share } => self.on_coin_share(*round, share),
+            Body::BaDecide {
+                round,
+                value,
+                sig,
+                proof,
+            } => self.on_decide(*round, *value, sig, proof.as_deref(), out),
+            _ => return,
+        }
+        self.try_advance(out);
+    }
+
+    /// Caches externally validated proof data for a bit.
+    fn note_proof(&mut self, value: bool, proof: Option<&[u8]>) {
+        if !self.validated || self.proofs[value as usize].is_some() {
+            return;
+        }
+        if let Some(p) = proof {
+            if self.validator.is_valid(value, p) {
+                self.proofs[value as usize] = Some(p.to_vec());
+            }
+        }
+    }
+
+    /// Checks a pre-vote justification for `(round, value)`. `proof` is
+    /// the external validation data accompanying the message.
+    fn pre_vote_justified(
+        &self,
+        round: u32,
+        value: bool,
+        just: &PreVoteJust,
+        proof: Option<&[u8]>,
+    ) -> bool {
+        match just {
+            PreVoteJust::Initial => {
+                if round != 1 {
+                    return false;
+                }
+                if !self.validated {
+                    return true;
+                }
+                // Either the message carries a valid proof or we know one.
+                proof
+                    .map(|p| self.validator.is_valid(value, p))
+                    .unwrap_or(false)
+                    || self.proofs[value as usize].is_some()
+            }
+            PreVoteJust::Hard(sig) => {
+                round > 1
+                    && self
+                        .ctx
+                        .keys()
+                        .common
+                        .thsig_agreement
+                        .verify(&statement_pre_vote(&self.pid, round - 1, value), sig)
+            }
+            PreVoteJust::Soft { sig, coin_shares } => {
+                if round <= 1 {
+                    return false;
+                }
+                let abstain_ok = self.ctx.keys().common.thsig_agreement.verify(
+                    &statement_main_vote(&self.pid, round - 1, MainVote::Abstain),
+                    sig,
+                );
+                if !abstain_ok {
+                    return false;
+                }
+                match self.coin_value_from_shares(round - 1, coin_shares) {
+                    Some(coin) => coin == value,
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// The round's coin value as proven by `shares` (or the bias for a
+    /// biased round 1, where no shares are needed).
+    fn coin_value_from_shares(&self, round: u32, shares: &[CoinShare]) -> Option<bool> {
+        if round == 1 {
+            if let Some(b) = self.bias {
+                return Some(b);
+            }
+        }
+        let name = coin_name(&self.pid, round);
+        self.ctx.keys().common.coin.assemble_bit(&name, shares).ok()
+    }
+
+    fn on_pre_vote(
+        &mut self,
+        from: PartyId,
+        round: u32,
+        value: bool,
+        just: &PreVoteJust,
+        share: &SigShare,
+        proof: Option<&[u8]>,
+    ) {
+        if round == 0 || share.index != from.0 {
+            return;
+        }
+        self.note_proof(value, proof);
+        if self
+            .rounds
+            .get(&round)
+            .is_some_and(|r| r.pre_votes.contains_key(&from))
+        {
+            return;
+        }
+        if !self.pre_vote_justified(round, value, just, proof) {
+            return;
+        }
+        let statement = statement_pre_vote(&self.pid, round, value);
+        if !self
+            .ctx
+            .keys()
+            .common
+            .thsig_agreement
+            .verify_share(&statement, share)
+        {
+            return;
+        }
+        let state = self.rounds.entry(round).or_default();
+        state.pre_votes.insert(from, (value, share.clone()));
+        if state.pre_just[value as usize].is_none() {
+            state.pre_just[value as usize] = Some((just.clone(), proof.map(<[u8]>::to_vec)));
+        }
+    }
+
+    /// Checks a main-vote justification.
+    fn main_vote_justified(&self, round: u32, vote: MainVote, just: &MainVoteJust) -> bool {
+        match (vote, just) {
+            (MainVote::Value(b), MainVoteJust::Value(sig)) => self
+                .ctx
+                .keys()
+                .common
+                .thsig_agreement
+                .verify(&statement_pre_vote(&self.pid, round, b), sig),
+            (
+                MainVote::Abstain,
+                MainVoteJust::Abstain {
+                    just0,
+                    just1,
+                    proof0,
+                    proof1,
+                },
+            ) => {
+                self.pre_vote_justified(round, false, just0, proof0.as_deref())
+                    && self.pre_vote_justified(round, true, just1, proof1.as_deref())
+            }
+            _ => false,
+        }
+    }
+
+    fn on_main_vote(
+        &mut self,
+        from: PartyId,
+        round: u32,
+        vote: MainVote,
+        just: &MainVoteJust,
+        share: &SigShare,
+        proof: Option<&[u8]>,
+    ) {
+        if round == 0 || share.index != from.0 {
+            return;
+        }
+        if let MainVote::Value(b) = vote {
+            self.note_proof(b, proof);
+        }
+        if self
+            .rounds
+            .get(&round)
+            .is_some_and(|r| r.main_votes.contains_key(&from))
+        {
+            return;
+        }
+        if !self.main_vote_justified(round, vote, just) {
+            return;
+        }
+        let statement = statement_main_vote(&self.pid, round, vote);
+        if !self
+            .ctx
+            .keys()
+            .common
+            .thsig_agreement
+            .verify_share(&statement, share)
+        {
+            return;
+        }
+        let state = self.rounds.entry(round).or_default();
+        state.main_votes.insert(from, (vote, share.clone()));
+        if state.value_just.is_none() {
+            if let (MainVote::Value(b), MainVoteJust::Value(sig)) = (vote, just) {
+                state.value_just = Some((b, sig.clone()));
+            }
+        }
+    }
+
+    fn on_coin_share(&mut self, round: u32, share: &CoinShare) {
+        if round == 0 {
+            return;
+        }
+        let name = coin_name(&self.pid, round);
+        if !self.ctx.keys().common.coin.verify_share(&name, share) {
+            return;
+        }
+        self.rounds
+            .entry(round)
+            .or_default()
+            .coin_shares
+            .insert(share.index, share.clone());
+    }
+
+    fn on_decide(
+        &mut self,
+        round: u32,
+        value: bool,
+        sig: &ThresholdSignature,
+        proof: Option<&[u8]>,
+        out: &mut Outgoing,
+    ) {
+        if self.decided.is_some() || round == 0 {
+            return;
+        }
+        let statement = statement_main_vote(&self.pid, round, MainVote::Value(value));
+        if !self
+            .ctx
+            .keys()
+            .common
+            .thsig_agreement
+            .verify(&statement, sig)
+        {
+            return;
+        }
+        self.note_proof(value, proof);
+        // In validated mode we must be able to hand the application the
+        // validation data for the decision. An honest decider always
+        // attaches it; a decide message without usable data (only possible
+        // from a corrupted party) is ignored rather than letting it strand
+        // callers that need the proof.
+        if self.validated && self.proofs[value as usize].is_none() {
+            return;
+        }
+        self.finish(value, round, sig.clone(), out);
+    }
+
+    fn finish(&mut self, value: bool, round: u32, sig: ThresholdSignature, out: &mut Outgoing) {
+        let proof = if self.validated {
+            self.proofs[value as usize].clone()
+        } else {
+            None
+        };
+        // Re-announce so every party terminates even if the original
+        // decider's message is the only copy in flight.
+        out.send_all(
+            &self.pid,
+            Body::BaDecide {
+                round,
+                value,
+                sig,
+                proof: proof.clone(),
+            },
+        );
+        self.decided = Some((value, proof));
+        self.stage = Stage::Done;
+    }
+
+    /// Drives the round state machine after any mutation.
+    fn try_advance(&mut self, out: &mut Outgoing) {
+        loop {
+            match self.stage {
+                Stage::Idle | Stage::Done => return,
+                Stage::CollectingPreVotes => {
+                    let round = self.round;
+                    let quorum = self.quorum();
+                    let Some(state) = self.rounds.get_mut(&round) else {
+                        return;
+                    };
+                    if state.pre_evaluated || state.pre_votes.len() < quorum {
+                        return;
+                    }
+                    state.pre_evaluated = true;
+                    // Evaluate the first quorum of accepted pre-votes.
+                    let votes: Vec<(bool, SigShare)> = state.pre_votes.values().cloned().collect();
+                    let ones = votes.iter().filter(|(v, _)| *v).count();
+                    let (vote, just, proof) = if ones >= quorum || ones == 0 {
+                        let b = ones > 0;
+                        let shares: Vec<SigShare> = votes
+                            .iter()
+                            .filter(|(v, _)| *v == b)
+                            .map(|(_, s)| s.clone())
+                            .collect();
+                        let statement = statement_pre_vote(&self.pid, round, b);
+                        match self
+                            .ctx
+                            .keys()
+                            .common
+                            .thsig_agreement
+                            .assemble_preverified(&statement, &shares)
+                        {
+                            Ok(sig) => (
+                                MainVote::Value(b),
+                                MainVoteJust::Value(sig),
+                                self.proofs[b as usize].clone(),
+                            ),
+                            // A share that verified individually but fails
+                            // assembly indicates an internal inconsistency;
+                            // abstaining keeps us safe and live.
+                            Err(_) => match self.abstain_just(round) {
+                                Some(j) => (MainVote::Abstain, j, None),
+                                None => return,
+                            },
+                        }
+                    } else {
+                        match self.abstain_just(round) {
+                            Some(j) => (MainVote::Abstain, j, None),
+                            None => return,
+                        }
+                    };
+                    let statement = statement_main_vote(&self.pid, round, vote);
+                    let share = self.ctx.keys().thsig_agreement.sign_share(&statement);
+                    out.send_all(
+                        &self.pid,
+                        Body::BaMainVote {
+                            round,
+                            vote,
+                            just,
+                            share,
+                            proof,
+                        },
+                    );
+                    self.stage = Stage::CollectingMainVotes;
+                }
+                Stage::CollectingMainVotes => {
+                    let round = self.round;
+                    let quorum = self.quorum();
+                    let Some(state) = self.rounds.get_mut(&round) else {
+                        return;
+                    };
+                    if state.main_evaluated || state.main_votes.len() < quorum {
+                        return;
+                    }
+                    state.main_evaluated = true;
+                    let votes: Vec<(MainVote, SigShare)> =
+                        state.main_votes.values().cloned().collect();
+                    let value_vote = votes.iter().find_map(|(v, _)| match v {
+                        MainVote::Value(b) => Some(*b),
+                        MainVote::Abstain => None,
+                    });
+                    let unanimous = value_vote
+                        .is_some_and(|b| votes.iter().all(|(v, _)| *v == MainVote::Value(b)));
+                    if let (true, Some(b)) = (unanimous, value_vote) {
+                        // Decide: assemble the justification.
+                        let shares: Vec<SigShare> = votes.iter().map(|(_, s)| s.clone()).collect();
+                        let statement = statement_main_vote(&self.pid, round, MainVote::Value(b));
+                        if let Ok(sig) = self
+                            .ctx
+                            .keys()
+                            .common
+                            .thsig_agreement
+                            .assemble_preverified(&statement, &shares)
+                        {
+                            self.finish(b, round, sig, out);
+                            return;
+                        }
+                    }
+                    // Not decided: release our coin share (others may need
+                    // the coin even if we adopt a value).
+                    let name = coin_name(&self.pid, round);
+                    let skip_coin = round == 1 && self.bias.is_some();
+                    if !skip_coin {
+                        let share = self
+                            .ctx
+                            .keys()
+                            .common
+                            .coin
+                            .release_share(&name, &self.ctx.keys().coin_secret);
+                        // Record our own share locally too.
+                        self.rounds
+                            .entry(round)
+                            .or_default()
+                            .coin_shares
+                            .insert(share.index, share.clone());
+                        out.send_all(&self.pid, Body::BaCoinShare { round, share });
+                    }
+                    if let Some(b) = value_vote {
+                        // Adopt the observed value; the accepted main-vote's
+                        // justification (a threshold signature on the
+                        // round's pre-vote statement for b) doubles as the
+                        // hard pre-vote justification for the next round.
+                        let sig = self.hard_justification(round, b);
+                        match sig {
+                            Some(sig) => {
+                                self.preference = b;
+                                self.next_just = PreVoteJust::Hard(sig);
+                                self.round += 1;
+                                self.send_pre_vote(out);
+                            }
+                            None => {
+                                // Fall back to the coin path; we cannot
+                                // justify adopting b without its signature.
+                                self.stage = Stage::CollectingCoin;
+                            }
+                        }
+                    } else {
+                        self.stage = Stage::CollectingCoin;
+                    }
+                }
+                Stage::CollectingCoin => {
+                    let round = self.round;
+                    let coin_k = self.ctx.keys().common.coin.threshold();
+                    let biased_round1 = round == 1 && self.bias.is_some();
+                    let (coin, shares_used) = if biased_round1 {
+                        (self.bias.expect("bias set"), Vec::new())
+                    } else {
+                        let Some(state) = self.rounds.get(&round) else {
+                            return;
+                        };
+                        if state.coin_shares.len() < coin_k {
+                            return;
+                        }
+                        let shares: Vec<CoinShare> = state.coin_shares.values().cloned().collect();
+                        let name = coin_name(&self.pid, round);
+                        match self.ctx.keys().common.coin.assemble_bit(&name, &shares) {
+                            Ok(bit) => (bit, shares[..coin_k].to_vec()),
+                            Err(_) => return,
+                        }
+                    };
+                    // Soft justification: threshold signature on the
+                    // abstain main-vote statement.
+                    let Some(state) = self.rounds.get(&round) else {
+                        return;
+                    };
+                    let abstain_shares: Vec<SigShare> = state
+                        .main_votes
+                        .values()
+                        .filter(|(v, _)| *v == MainVote::Abstain)
+                        .map(|(_, s)| s.clone())
+                        .collect();
+                    let statement = statement_main_vote(&self.pid, round, MainVote::Abstain);
+                    let Ok(sig) = self
+                        .ctx
+                        .keys()
+                        .common
+                        .thsig_agreement
+                        .assemble_preverified(&statement, &abstain_shares)
+                    else {
+                        // Not all main-votes were abstain: we got here via
+                        // the fallback path; wait for more abstain shares
+                        // or a hard justification to appear.
+                        return;
+                    };
+                    self.preference = coin;
+                    self.next_just = PreVoteJust::Soft {
+                        sig,
+                        coin_shares: shares_used,
+                    };
+                    self.round += 1;
+                    self.send_pre_vote(out);
+                }
+            }
+        }
+    }
+
+    /// A threshold signature on `pre(pid, round, b)`: taken from an
+    /// accepted value main-vote's justification, or assembled from our own
+    /// accepted pre-vote shares if we hold a quorum for `b`.
+    fn hard_justification(&self, round: u32, b: bool) -> Option<ThresholdSignature> {
+        let state = self.rounds.get(&round)?;
+        if let Some((jb, sig)) = &state.value_just {
+            if *jb == b {
+                return Some(sig.clone());
+            }
+        }
+        let shares: Vec<SigShare> = state
+            .pre_votes
+            .values()
+            .filter(|(v, _)| *v == b)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let statement = statement_pre_vote(&self.pid, round, b);
+        self.ctx
+            .keys()
+            .common
+            .thsig_agreement
+            .assemble_preverified(&statement, &shares)
+            .ok()
+    }
+
+    /// Abstain justification: justified pre-votes for both bits of `round`.
+    fn abstain_just(&self, round: u32) -> Option<MainVoteJust> {
+        let state = self.rounds.get(&round)?;
+        let (just0, proof0) = state.pre_just[0].clone()?;
+        let (just1, proof1) = state.pre_just[1].clone()?;
+        Some(MainVoteJust::Abstain {
+            just0: Box::new(just0),
+            just1: Box::new(just1),
+            proof0,
+            proof1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outgoing::Recipient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    fn group(n: usize, t: usize) -> Vec<GroupContext> {
+        let mut rng = StdRng::seed_from_u64(23);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|k| GroupContext::new(Arc::new(k)))
+            .collect()
+    }
+
+    /// Drives a full group of instances to quiescence, FIFO order.
+    fn run(instances: &mut [BinaryAgreement], proposals: &[bool]) {
+        let n = instances.len();
+        let mut queue: VecDeque<(PartyId, usize, Body)> = VecDeque::new();
+        for (i, inst) in instances.iter_mut().enumerate() {
+            let mut out = Outgoing::new();
+            inst.propose(proposals[i], Vec::new(), &mut out);
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for to in 0..n {
+                            queue.push_back((PartyId(i), to, env.body.clone()));
+                        }
+                    }
+                    Recipient::One(p) => queue.push_back((PartyId(i), p.0, env.body)),
+                }
+            }
+        }
+        let mut steps = 0;
+        while let Some((from, to, body)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 1_000_000, "agreement did not terminate");
+            let mut out = Outgoing::new();
+            instances[to].handle(from, &body, &mut out);
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for dest in 0..n {
+                            queue.push_back((PartyId(to), dest, env.body.clone()));
+                        }
+                    }
+                    Recipient::One(p) => queue.push_back((PartyId(to), p.0, env.body)),
+                }
+            }
+        }
+    }
+
+    fn fresh(ctxs: &[GroupContext], tag: &str) -> Vec<BinaryAgreement> {
+        ctxs.iter()
+            .map(|c| BinaryAgreement::new(ProtocolId::new(tag), c.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_proposals_decide_fast() {
+        let ctxs = group(4, 1);
+        for value in [false, true] {
+            let mut instances = fresh(&ctxs, &format!("ba-unanimous-{value}"));
+            run(&mut instances, &[value; 4]);
+            for (i, inst) in instances.iter_mut().enumerate() {
+                let (decided, _) = inst.take_decision().expect("decided");
+                assert_eq!(decided, value, "party {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_proposals_agree() {
+        let ctxs = group(4, 1);
+        for (case, proposals) in [
+            [true, false, true, false],
+            [true, true, true, false],
+            [false, false, false, true],
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut instances = fresh(&ctxs, &format!("ba-mixed-{case}"));
+            run(&mut instances, proposals);
+            let decisions: Vec<bool> = instances
+                .iter_mut()
+                .map(|i| i.take_decision().expect("decided").0)
+                .collect();
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "disagreement in case {case}: {decisions:?}"
+            );
+            // Validity: the decision was proposed by someone.
+            assert!(proposals.contains(&decisions[0]));
+        }
+    }
+
+    #[test]
+    fn biased_agreement_prefers_bias() {
+        let ctxs = group(4, 1);
+        // One honest party proposes the bias; a biased protocol must
+        // decide the bias value.
+        let mut instances: Vec<BinaryAgreement> = ctxs
+            .iter()
+            .map(|c| BinaryAgreement::new(ProtocolId::new("ba-biased"), c.clone()).with_bias(true))
+            .collect();
+        run(&mut instances, &[true, false, false, false]);
+        for inst in instances.iter_mut() {
+            assert!(inst.take_decision().expect("decided").0);
+        }
+    }
+
+    #[test]
+    fn validated_agreement_returns_proof() {
+        let ctxs = group(4, 1);
+        let validator = BinaryValidator::new(|value, proof| {
+            (value && proof == b"proof-of-1") || (!value && proof == b"proof-of-0")
+        });
+        let mut instances: Vec<BinaryAgreement> = ctxs
+            .iter()
+            .map(|c| {
+                BinaryAgreement::new(ProtocolId::new("ba-validated"), c.clone())
+                    .with_validator(validator.clone())
+            })
+            .collect();
+        // All propose 1 with valid proofs.
+        let n = instances.len();
+        let mut queue: VecDeque<(PartyId, usize, Body)> = VecDeque::new();
+        for (i, inst) in instances.iter_mut().enumerate() {
+            let mut out = Outgoing::new();
+            inst.propose(true, b"proof-of-1".to_vec(), &mut out);
+            for (recipient, env) in out.drain() {
+                if let Recipient::All = recipient {
+                    for to in 0..n {
+                        queue.push_back((PartyId(i), to, env.body.clone()));
+                    }
+                }
+            }
+        }
+        while let Some((from, to, body)) = queue.pop_front() {
+            let mut out = Outgoing::new();
+            instances[to].handle(from, &body, &mut out);
+            for (recipient, env) in out.drain() {
+                if let Recipient::All = recipient {
+                    for dest in 0..n {
+                        queue.push_back((PartyId(to), dest, env.body.clone()));
+                    }
+                }
+            }
+        }
+        for inst in instances.iter_mut() {
+            let (value, proof) = inst.take_decision().expect("decided");
+            assert!(value);
+            assert_eq!(proof.as_deref(), Some(&b"proof-of-1"[..]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "satisfy the validator")]
+    fn invalid_own_proposal_rejected() {
+        let ctxs = group(4, 1);
+        let validator = BinaryValidator::new(|_, proof| proof == b"ok");
+        let mut inst =
+            BinaryAgreement::new(ProtocolId::new("ba"), ctxs[0].clone()).with_validator(validator);
+        inst.propose(true, b"bad".to_vec(), &mut Outgoing::new());
+    }
+
+    #[test]
+    fn forged_decide_rejected() {
+        let ctxs = group(4, 1);
+        let mut inst = BinaryAgreement::new(ProtocolId::new("ba-forge"), ctxs[0].clone());
+        let mut out = Outgoing::new();
+        inst.propose(false, Vec::new(), &mut out);
+        inst.handle(
+            PartyId(1),
+            &Body::BaDecide {
+                round: 1,
+                value: true,
+                sig: ThresholdSignature::Multi(vec![]),
+                proof: None,
+            },
+            &mut Outgoing::new(),
+        );
+        assert!(inst.decision().is_none());
+    }
+
+    #[test]
+    fn crash_fault_tolerated() {
+        // Party 3 never participates (crash). The remaining n - t = 3
+        // parties must still decide.
+        let ctxs = group(4, 1);
+        let mut instances = fresh(&ctxs, "ba-crash");
+        let n = 4;
+        let mut queue: VecDeque<(PartyId, usize, Body)> = VecDeque::new();
+        for i in 0..3 {
+            let mut out = Outgoing::new();
+            instances[i].propose(i % 2 == 0, Vec::new(), &mut out);
+            for (recipient, env) in out.drain() {
+                if let Recipient::All = recipient {
+                    for to in 0..n - 1 {
+                        queue.push_back((PartyId(i), to, env.body.clone()));
+                    }
+                }
+            }
+        }
+        let mut steps = 0;
+        while let Some((from, to, body)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 1_000_000, "no termination under crash fault");
+            let mut out = Outgoing::new();
+            instances[to].handle(from, &body, &mut out);
+            for (recipient, env) in out.drain() {
+                if let Recipient::All = recipient {
+                    for dest in 0..n - 1 {
+                        queue.push_back((PartyId(to), dest, env.body.clone()));
+                    }
+                }
+            }
+        }
+        let decisions: Vec<bool> = instances[..3]
+            .iter_mut()
+            .map(|i| i.take_decision().expect("decided despite crash").0)
+            .collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    }
+}

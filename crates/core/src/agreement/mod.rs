@@ -1,0 +1,15 @@
+//! Byzantine agreement protocols (paper §2.3–2.4).
+//!
+//! * [`BinaryAgreement`]: the randomized binary agreement of Cachin,
+//!   Kursawe & Shoup ("Random oracles in Constantinople"), with justified
+//!   pre-votes/main-votes, a threshold common coin, and optional external
+//!   validity and bias. Expected constant rounds, quadratic messages.
+//! * [`MultiValuedAgreement`]: the multi-valued (array) agreement of
+//!   Cachin, Kursawe, Petzold & Shoup, built from verifiable consistent
+//!   broadcast and a sequence of biased validated binary agreements.
+
+mod binary;
+mod multi;
+
+pub use binary::BinaryAgreement;
+pub use multi::{CandidateOrder, MultiValuedAgreement};

@@ -1,0 +1,491 @@
+//! Consistent (echo) broadcast with threshold signatures, and its
+//! verifiable extension.
+//!
+//! Protocol (paper §2.2, Reiter's echo broadcast with threshold
+//! signatures): the sender sends the payload to all parties; each party
+//! returns a threshold-signature share binding the payload to the instance;
+//! from a quorum of `⌈(n+t+1)/2⌉` shares the sender assembles a threshold
+//! signature and sends it to all; a party delivers on receiving a valid
+//! `(payload, signature)` pair. Linear communication, but signature work.
+//!
+//! Because any two quorums intersect in an honest party, no two different
+//! payloads can both acquire signatures — delivering parties are
+//! *consistent*, though some parties may deliver nothing (that is the
+//! primitive's contract).
+
+use sintra_crypto::thsig::{SigShare, ThresholdSignature};
+
+use crate::config::GroupContext;
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::{statement_cb, Body};
+use crate::outgoing::Outgoing;
+use crate::wire::{put_bytes, Reader, Wire};
+
+/// A consistent broadcast instance.
+#[derive(Debug)]
+pub struct ConsistentBroadcast {
+    pid: ProtocolId,
+    ctx: GroupContext,
+    sender: PartyId,
+    sent: bool,
+    echoed: bool,
+    /// (sender only) payload being broadcast and collected shares.
+    own_payload: Option<Vec<u8>>,
+    shares: Vec<SigShare>,
+    final_sent: bool,
+    delivered: Option<(Vec<u8>, ThresholdSignature)>,
+    delivery_taken: bool,
+}
+
+impl ConsistentBroadcast {
+    /// Creates an instance for `sender`'s broadcast under `pid`.
+    pub fn new(pid: ProtocolId, ctx: GroupContext, sender: PartyId) -> Self {
+        ConsistentBroadcast {
+            pid,
+            ctx,
+            sender,
+            sent: false,
+            echoed: false,
+            own_payload: None,
+            shares: Vec::new(),
+            final_sent: false,
+            delivered: None,
+            delivery_taken: false,
+        }
+    }
+
+    /// The instance identifier.
+    pub fn pid(&self) -> &ProtocolId {
+        &self.pid
+    }
+
+    /// The distinguished sender.
+    pub fn sender(&self) -> PartyId {
+        self.sender
+    }
+
+    /// Starts the broadcast. May only be called once, by the sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called by a non-sender or twice.
+    pub fn send(&mut self, payload: Vec<u8>, out: &mut Outgoing) {
+        assert_eq!(self.ctx.me(), self.sender, "only the sender may send");
+        assert!(!self.sent, "send may be executed exactly once");
+        self.sent = true;
+        self.own_payload = Some(payload.clone());
+        out.send_all(&self.pid, Body::CbSend(payload));
+    }
+
+    /// Whether a payload has been delivered (and not yet taken).
+    pub fn can_receive(&self) -> bool {
+        self.delivered.is_some() && !self.delivery_taken
+    }
+
+    /// Takes the delivered payload, once.
+    pub fn take_delivery(&mut self) -> Option<Vec<u8>> {
+        if self.delivery_taken {
+            return None;
+        }
+        let d = self.delivered.as_ref().map(|(p, _)| p.clone());
+        if d.is_some() {
+            self.delivery_taken = true;
+        }
+        d
+    }
+
+    /// Read-only view of the delivered payload.
+    pub fn delivered(&self) -> Option<&[u8]> {
+        self.delivered.as_ref().map(|(p, _)| p.as_slice())
+    }
+
+    /// The threshold signature that closed this broadcast, if delivered.
+    pub fn delivered_signature(&self) -> Option<&ThresholdSignature> {
+        self.delivered.as_ref().map(|(_, s)| s)
+    }
+
+    /// Processes a protocol message from `from`.
+    pub fn handle(&mut self, from: PartyId, body: &Body, out: &mut Outgoing) {
+        if !self.ctx.is_valid_party(from) {
+            return;
+        }
+        match body {
+            Body::CbSend(payload) => {
+                if from != self.sender || self.echoed {
+                    return;
+                }
+                self.echoed = true;
+                let statement = statement_cb(&self.pid, payload);
+                let share = self.ctx.keys().thsig_broadcast.sign_share(&statement);
+                out.send_to(self.sender, &self.pid, Body::CbEcho(share));
+            }
+            Body::CbEcho(share) => {
+                // Only the sender collects shares.
+                let Some(payload) = &self.own_payload else {
+                    return;
+                };
+                if self.final_sent || share.index != from.0 {
+                    return;
+                }
+                if self.shares.iter().any(|s| s.index == share.index) {
+                    return;
+                }
+                let statement = statement_cb(&self.pid, payload);
+                let public = &self.ctx.keys().common.thsig_broadcast;
+                if !public.verify_share(&statement, share) {
+                    return;
+                }
+                self.shares.push(share.clone());
+                if self.shares.len() >= public.threshold() {
+                    if let Ok(sig) = public.assemble_preverified(&statement, &self.shares) {
+                        self.final_sent = true;
+                        out.send_all(
+                            &self.pid,
+                            Body::CbFinal {
+                                payload: payload.clone(),
+                                sig,
+                            },
+                        );
+                    }
+                }
+            }
+            Body::CbFinal { payload, sig } => {
+                if self.delivered.is_some() {
+                    return;
+                }
+                let statement = statement_cb(&self.pid, payload);
+                if self
+                    .ctx
+                    .keys()
+                    .common
+                    .thsig_broadcast
+                    .verify(&statement, sig)
+                {
+                    self.delivered = Some((payload.clone(), sig.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Verifiable consistent broadcast: consistent broadcast plus transferable
+/// *closing messages* (paper §3.2).
+///
+/// A party that delivered can produce a single byte string which lets any
+/// other party deliver the same payload and terminate — no further network
+/// interaction needed. This "virtual protocol" adds no messages of its own.
+#[derive(Debug)]
+pub struct VerifiableConsistentBroadcast {
+    inner: ConsistentBroadcast,
+}
+
+/// A closing message: the payload together with the threshold signature
+/// binding it to the instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosingMessage {
+    /// The payload.
+    pub payload: Vec<u8>,
+    /// The instance-binding threshold signature.
+    pub sig: ThresholdSignature,
+}
+
+impl Wire for ClosingMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, &self.payload);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(ClosingMessage {
+            payload: r.bytes()?.to_vec(),
+            sig: ThresholdSignature::decode(r)?,
+        })
+    }
+}
+
+impl VerifiableConsistentBroadcast {
+    /// Creates an instance for `sender`'s broadcast under `pid`.
+    pub fn new(pid: ProtocolId, ctx: GroupContext, sender: PartyId) -> Self {
+        VerifiableConsistentBroadcast {
+            inner: ConsistentBroadcast::new(pid, ctx, sender),
+        }
+    }
+
+    /// The instance identifier.
+    pub fn pid(&self) -> &ProtocolId {
+        self.inner.pid()
+    }
+
+    /// The distinguished sender.
+    pub fn sender(&self) -> PartyId {
+        self.inner.sender()
+    }
+
+    /// Starts the broadcast (sender only).
+    pub fn send(&mut self, payload: Vec<u8>, out: &mut Outgoing) {
+        self.inner.send(payload, out);
+    }
+
+    /// Whether a payload has been delivered (and not yet taken).
+    pub fn can_receive(&self) -> bool {
+        self.inner.can_receive()
+    }
+
+    /// Takes the delivered payload, once.
+    pub fn take_delivery(&mut self) -> Option<Vec<u8>> {
+        self.inner.take_delivery()
+    }
+
+    /// Read-only view of the delivered payload.
+    pub fn delivered(&self) -> Option<&[u8]> {
+        self.inner.delivered()
+    }
+
+    /// Processes a protocol message.
+    pub fn handle(&mut self, from: PartyId, body: &Body, out: &mut Outgoing) {
+        self.inner.handle(from, body, out);
+    }
+
+    /// Returns the closing message once the broadcast has delivered.
+    pub fn closing(&self) -> Option<Vec<u8>> {
+        let (payload, sig) = self.inner.delivered.as_ref()?;
+        Some(
+            ClosingMessage {
+                payload: payload.clone(),
+                sig: sig.clone(),
+            }
+            .to_bytes(),
+        )
+    }
+
+    /// Delivers from a closing message obtained out-of-band. Returns
+    /// whether the message was valid (and the instance is now delivered).
+    pub fn deliver_closing(&mut self, closing: &[u8]) -> bool {
+        if self.inner.delivered.is_some() {
+            return true;
+        }
+        let Some(msg) = Self::validate_closing_bytes(self.inner.pid(), &self.inner.ctx, closing)
+        else {
+            return false;
+        };
+        self.inner.delivered = Some((msg.payload, msg.sig));
+        true
+    }
+
+    /// Extracts the payload from a closing message without validation.
+    pub fn payload_from_closing(closing: &[u8]) -> Option<Vec<u8>> {
+        ClosingMessage::from_bytes(closing).ok().map(|m| m.payload)
+    }
+
+    /// Statically checks a closing message for instance `pid` against the
+    /// group's broadcast threshold key, returning the parsed message if
+    /// valid.
+    pub fn validate_closing_bytes(
+        pid: &ProtocolId,
+        ctx: &GroupContext,
+        closing: &[u8],
+    ) -> Option<ClosingMessage> {
+        let msg = ClosingMessage::from_bytes(closing).ok()?;
+        let statement = statement_cb(pid, &msg.payload);
+        if ctx
+            .keys()
+            .common
+            .thsig_broadcast
+            .verify(&statement, &msg.sig)
+        {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
+    /// Boolean form of [`Self::validate_closing_bytes`], mirroring the
+    /// Java API's `isValidClosing`.
+    pub fn is_valid_closing(pid: &ProtocolId, ctx: &GroupContext, closing: &[u8]) -> bool {
+        Self::validate_closing_bytes(pid, ctx, closing).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outgoing::Recipient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::sync::Arc;
+
+    fn group(n: usize, t: usize) -> Vec<GroupContext> {
+        let mut rng = StdRng::seed_from_u64(17);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|k| GroupContext::new(Arc::new(k)))
+            .collect()
+    }
+
+    fn run(instances: &mut [ConsistentBroadcast], initial: Vec<(PartyId, Recipient, Body)>) {
+        let n = instances.len();
+        let mut queue: Vec<(PartyId, usize, Body)> = Vec::new();
+        for (from, recipient, body) in initial {
+            match recipient {
+                Recipient::All => {
+                    for to in 0..n {
+                        queue.push((from, to, body.clone()));
+                    }
+                }
+                Recipient::One(p) => queue.push((from, p.0, body)),
+            }
+        }
+        while let Some((from, to, body)) = queue.pop() {
+            let mut out = Outgoing::new();
+            instances[to].handle(from, &body, &mut out);
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for dest in 0..n {
+                            queue.push((PartyId(to), dest, env.body.clone()));
+                        }
+                    }
+                    Recipient::One(p) => queue.push((PartyId(to), p.0, env.body)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_honest_deliver_consistently() {
+        let ctxs = group(4, 1);
+        let mut instances: Vec<ConsistentBroadcast> = ctxs
+            .iter()
+            .map(|c| ConsistentBroadcast::new(ProtocolId::new("cb"), c.clone(), PartyId(1)))
+            .collect();
+        let mut out = Outgoing::new();
+        instances[1].send(b"consistent".to_vec(), &mut out);
+        let initial = out
+            .drain()
+            .into_iter()
+            .map(|(r, env)| (PartyId(1), r, env.body))
+            .collect();
+        run(&mut instances, initial);
+        for (i, inst) in instances.iter_mut().enumerate() {
+            assert_eq!(
+                inst.take_delivery().as_deref(),
+                Some(&b"consistent"[..]),
+                "party {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_final_rejected() {
+        let ctxs = group(4, 1);
+        let mut inst = ConsistentBroadcast::new(ProtocolId::new("cb"), ctxs[2].clone(), PartyId(0));
+        let mut out = Outgoing::new();
+        // A final with a garbage signature must not deliver.
+        inst.handle(
+            PartyId(0),
+            &Body::CbFinal {
+                payload: b"fake".to_vec(),
+                sig: ThresholdSignature::Multi(vec![]),
+            },
+            &mut out,
+        );
+        assert!(inst.delivered().is_none());
+    }
+
+    #[test]
+    fn signature_bound_to_instance() {
+        // A valid final for pid A must not deliver in an instance with pid B.
+        let ctxs = group(4, 1);
+        let pid_a = ProtocolId::new("cb-A");
+        let pid_b = ProtocolId::new("cb-B");
+        let mut senders: Vec<ConsistentBroadcast> = ctxs
+            .iter()
+            .map(|c| ConsistentBroadcast::new(pid_a.clone(), c.clone(), PartyId(0)))
+            .collect();
+        let mut out = Outgoing::new();
+        senders[0].send(b"m".to_vec(), &mut out);
+        let initial = out
+            .drain()
+            .into_iter()
+            .map(|(r, env)| (PartyId(0), r, env.body))
+            .collect();
+        run(&mut senders, initial);
+        let sig = senders[1].delivered_signature().unwrap().clone();
+
+        let mut other = ConsistentBroadcast::new(pid_b, ctxs[1].clone(), PartyId(0));
+        other.handle(
+            PartyId(0),
+            &Body::CbFinal {
+                payload: b"m".to_vec(),
+                sig,
+            },
+            &mut Outgoing::new(),
+        );
+        assert!(
+            other.delivered().is_none(),
+            "cross-instance replay rejected"
+        );
+    }
+
+    #[test]
+    fn verifiable_closing_transfers_delivery() {
+        let ctxs = group(4, 1);
+        let pid = ProtocolId::new("vcb");
+        let mut instances: Vec<ConsistentBroadcast> = ctxs
+            .iter()
+            .map(|c| ConsistentBroadcast::new(pid.clone(), c.clone(), PartyId(0)))
+            .collect();
+        let mut out = Outgoing::new();
+        instances[0].send(b"proposal".to_vec(), &mut out);
+        let initial = out
+            .drain()
+            .into_iter()
+            .map(|(r, env)| (PartyId(0), r, env.body))
+            .collect();
+        run(&mut instances, initial);
+
+        // Wrap a delivered instance to extract the closing message.
+        let delivered = VerifiableConsistentBroadcast {
+            inner: instances.remove(1),
+        };
+        let closing = delivered.closing().unwrap();
+        assert_eq!(
+            VerifiableConsistentBroadcast::payload_from_closing(&closing).unwrap(),
+            b"proposal"
+        );
+        assert!(VerifiableConsistentBroadcast::is_valid_closing(
+            &pid, &ctxs[2], &closing
+        ));
+
+        // A fresh party instance that saw no messages delivers from it.
+        let mut fresh =
+            VerifiableConsistentBroadcast::new(pid.clone(), ctxs[2].clone(), PartyId(0));
+        assert!(fresh.deliver_closing(&closing));
+        assert_eq!(fresh.take_delivery().as_deref(), Some(&b"proposal"[..]));
+
+        // Tampered closing is rejected.
+        let mut bad = closing.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        let mut fresh2 =
+            VerifiableConsistentBroadcast::new(pid.clone(), ctxs[3].clone(), PartyId(0));
+        assert!(!fresh2.deliver_closing(&bad));
+        assert!(fresh2.delivered().is_none());
+    }
+
+    #[test]
+    fn echo_share_from_wrong_index_ignored() {
+        let ctxs = group(4, 1);
+        let pid = ProtocolId::new("cb");
+        let mut sender = ConsistentBroadcast::new(pid.clone(), ctxs[0].clone(), PartyId(0));
+        let mut out = Outgoing::new();
+        sender.send(b"m".to_vec(), &mut out);
+        // Party 2's share claimed to be from party 3: must be dropped.
+        let statement = statement_cb(&pid, b"m");
+        let share = ctxs[2].keys().thsig_broadcast.sign_share(&statement);
+        sender.handle(PartyId(3), &Body::CbEcho(share), &mut Outgoing::new());
+        assert!(sender.shares.is_empty());
+    }
+}

@@ -1,0 +1,679 @@
+//! The atomic broadcast channel (paper §2.5).
+//!
+//! The protocol proceeds in global rounds, following the structure of
+//! Chandra–Toueg atomic broadcast transplanted to the Byzantine setting:
+//!
+//! 1. every party signs its next payload together with the round number
+//!    and sends the signed *entry* to all parties; a party with nothing to
+//!    send may *adopt* another party's payload and sign that;
+//! 2. once a party holds a *batch* of `n - f + 1` entries signed by
+//!    distinct parties, it proposes the batch to a multi-valued agreement
+//!    whose external validity predicate checks exactly that property;
+//! 3. all payloads of the agreed batch are delivered in a fixed order
+//!    (by signer index), deduplicated by `(origin, sequence-number)` —
+//!    the paper's practical weakening of integrity.
+//!
+//! Fairness: with batch size `n - f + 1`, a payload known to `f` honest
+//! parties is delivered within a bounded number of rounds, because every
+//! agreed batch contains at least one entry signed by one of them.
+//!
+//! Termination: `close` enqueues a termination request as a regular
+//! payload; the channel terminates at the end of the round in which
+//! requests from `t + 1` distinct parties have been delivered.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::agreement::{CandidateOrder, MultiValuedAgreement};
+use crate::config::GroupContext;
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::{statement_entry, Body, Entry, Payload, PayloadKind};
+use crate::outgoing::Outgoing;
+use crate::validator::ArrayValidator;
+use crate::wire::Wire;
+
+/// Configuration of an atomic channel.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicChannelConfig {
+    /// The fairness parameter `f` (`t + 1 <= f <= n - t`); the batch size
+    /// is `n - f + 1`. `None` selects the paper's experimental setup
+    /// `f = n - t`, i.e. batch size `t + 1`.
+    pub fairness: Option<usize>,
+    /// Candidate order for the inner multi-valued agreements.
+    pub order: CandidateOrder,
+}
+
+impl Default for AtomicChannelConfig {
+    fn default() -> Self {
+        AtomicChannelConfig {
+            fairness: None,
+            order: CandidateOrder::LocalRandom,
+        }
+    }
+}
+
+/// An atomic broadcast channel endpoint at one party.
+#[derive(Debug)]
+pub struct AtomicChannel {
+    pid: ProtocolId,
+    ctx: GroupContext,
+    batch_size: usize,
+    order: CandidateOrder,
+    round: u64,
+    /// Own payloads not yet delivered.
+    queue: VecDeque<Payload>,
+    next_seq: u64,
+    /// Delivered payload identities (the integrity filter).
+    delivered: HashSet<(PartyId, u64)>,
+    /// Application deliveries not yet drained by the runtime.
+    deliveries: VecDeque<Payload>,
+    /// Valid entries by round, in arrival order (the paper: "the protocol
+    /// considers the messages in the order in which they arrive in the
+    /// current round"), at most one per signer.
+    entries: HashMap<u64, Vec<Entry>>,
+    /// Whether we broadcast our own entry for a round.
+    sent_entry: HashSet<u64>,
+    /// Whether we proposed a batch for a round.
+    proposed: HashSet<u64>,
+    vbas: HashMap<u64, MultiValuedAgreement>,
+    close_requested: bool,
+    /// Origins whose termination requests have been delivered.
+    close_origins: HashSet<PartyId>,
+    closed: bool,
+    closed_taken: bool,
+}
+
+/// Wire container for a batch of entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Batch(Vec<Entry>);
+
+impl Wire for Batch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.0.len() as u32).to_be_bytes());
+        for e in &self.0 {
+            e.encode(buf);
+        }
+    }
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::WireError> {
+        let len = r.u32()? as usize;
+        if len > 4096 {
+            return Err(crate::wire::WireError::LengthOverflow);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(Entry::decode(r)?);
+        }
+        Ok(Batch(out))
+    }
+}
+
+impl AtomicChannel {
+    /// Opens a channel endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fairness parameter is outside `t + 1 ..= n - t`.
+    pub fn new(pid: ProtocolId, ctx: GroupContext, config: AtomicChannelConfig) -> Self {
+        let n = ctx.n();
+        let t = ctx.t();
+        let f = config.fairness.unwrap_or(n - t);
+        assert!(f > t && f <= n - t, "fairness must satisfy t+1 <= f <= n-t");
+        AtomicChannel {
+            pid,
+            ctx,
+            batch_size: n - f + 1,
+            order: config.order,
+            round: 0,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            delivered: HashSet::new(),
+            deliveries: VecDeque::new(),
+            entries: HashMap::new(),
+            sent_entry: HashSet::new(),
+            proposed: HashSet::new(),
+            vbas: HashMap::new(),
+            close_requested: false,
+            close_origins: HashSet::new(),
+            closed: false,
+            closed_taken: false,
+        }
+    }
+
+    /// The channel identifier.
+    pub fn pid(&self) -> &ProtocolId {
+        &self.pid
+    }
+
+    /// The configured batch size `n - f + 1`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The current protocol round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Whether the channel accepts further `send` calls.
+    pub fn can_send(&self) -> bool {
+        !self.close_requested && !self.closed
+    }
+
+    /// Queues a payload for total-order delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `close` has been called.
+    pub fn send(&mut self, data: Vec<u8>, out: &mut Outgoing) {
+        assert!(self.can_send(), "channel is closing or closed");
+        let payload = Payload {
+            origin: self.ctx.me(),
+            seq: self.next_seq,
+            kind: PayloadKind::App,
+            data,
+        };
+        self.next_seq += 1;
+        self.queue.push_back(payload);
+        self.try_advance(out);
+    }
+
+    /// Requests channel termination: a termination request is sent as this
+    /// party's last payload.
+    pub fn close(&mut self, out: &mut Outgoing) {
+        if self.close_requested || self.closed {
+            return;
+        }
+        self.close_requested = true;
+        let payload = Payload {
+            origin: self.ctx.me(),
+            seq: self.next_seq,
+            kind: PayloadKind::Close,
+            data: Vec::new(),
+        };
+        self.next_seq += 1;
+        self.queue.push_back(payload);
+        self.try_advance(out);
+    }
+
+    /// Whether a delivery is waiting to be received.
+    pub fn can_receive(&self) -> bool {
+        !self.deliveries.is_empty()
+    }
+
+    /// Takes the next delivered payload, in total order.
+    pub fn take_delivery(&mut self) -> Option<Payload> {
+        self.deliveries.pop_front()
+    }
+
+    /// Whether the channel has terminated.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Returns `true` exactly once, when the channel has terminated (used
+    /// by runtimes to emit a single closed event).
+    pub fn take_closed(&mut self) -> bool {
+        if self.closed && !self.closed_taken {
+            self.closed_taken = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of own payloads still waiting for delivery.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn batch_validator(&self, round: u64) -> ArrayValidator {
+        let pid = self.pid.clone();
+        let batch_size = self.batch_size;
+        let keys: Vec<_> = self.ctx.keys().common.sig_publics.clone();
+        ArrayValidator::new(move |bytes| {
+            let Ok(batch) = Batch::from_bytes(bytes) else {
+                return false;
+            };
+            if batch.0.len() != batch_size {
+                return false;
+            }
+            let mut signers = HashSet::new();
+            for entry in &batch.0 {
+                if entry.signer.0 >= keys.len() || !signers.insert(entry.signer) {
+                    return false;
+                }
+                let statement = statement_entry(&pid, round, &entry.payload);
+                if !keys[entry.signer.0].verify(&statement, &entry.sig) {
+                    return false;
+                }
+            }
+            true
+        })
+    }
+
+    fn vba_instance(&mut self, round: u64) -> &mut MultiValuedAgreement {
+        if !self.vbas.contains_key(&round) {
+            let vba = MultiValuedAgreement::new(
+                self.pid.child(format!("vba/{round}")),
+                self.ctx.clone(),
+                self.batch_validator(round),
+                self.order,
+            );
+            self.vbas.insert(round, vba);
+        }
+        self.vbas.get_mut(&round).expect("just inserted")
+    }
+
+    /// Processes a protocol message addressed to this channel or one of
+    /// its agreement children.
+    pub fn handle(&mut self, from: PartyId, msg_pid: &ProtocolId, body: &Body, out: &mut Outgoing) {
+        if self.closed || !self.ctx.is_valid_party(from) {
+            return;
+        }
+        if *msg_pid == self.pid {
+            if let Body::AcEntry { round, entry } = body {
+                self.on_entry(from, *round, entry);
+            }
+        } else if let Some(round) = Self::parse_vba_child(&self.pid, msg_pid) {
+            // Ignore stale rounds entirely.
+            if round >= self.round {
+                let vba = self.vba_instance(round);
+                vba.handle(from, msg_pid, body, out);
+            }
+        }
+        self.try_advance(out);
+    }
+
+    fn parse_vba_child(parent: &ProtocolId, msg_pid: &ProtocolId) -> Option<u64> {
+        let rest = msg_pid.as_str().strip_prefix(parent.as_str())?;
+        let rest = rest.strip_prefix("/vba/")?;
+        match rest.find('/') {
+            Some(idx) => rest[..idx].parse().ok(),
+            None => rest.parse().ok(),
+        }
+    }
+
+    fn on_entry(&mut self, from: PartyId, round: u64, entry: &Entry) {
+        // Entries are broadcast by their signer.
+        if entry.signer != from || round < self.round {
+            return;
+        }
+        let round_entries = self.entries.entry(round).or_default();
+        if round_entries.iter().any(|e| e.signer == from) {
+            return;
+        }
+        if self
+            .delivered
+            .contains(&(entry.payload.origin, entry.payload.seq))
+        {
+            return;
+        }
+        let statement = statement_entry(&self.pid, round, &entry.payload);
+        if !self.ctx.keys().common.sig_publics[from.0].verify(&statement, &entry.sig) {
+            return;
+        }
+        round_entries.push(entry.clone());
+    }
+
+    /// Drives the round state machine.
+    fn try_advance(&mut self, out: &mut Outgoing) {
+        loop {
+            if self.closed {
+                return;
+            }
+            let round = self.round;
+
+            // Step 1: broadcast our signed entry for this round.
+            if !self.sent_entry.contains(&round) {
+                // Drop already-delivered payloads from the head of the queue.
+                while let Some(front) = self.queue.front() {
+                    if self.delivered.contains(&(front.origin, front.seq)) {
+                        self.queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let payload = if let Some(own) = self.queue.front() {
+                    Some(own.clone())
+                } else {
+                    // Adopt ("a party may also adopt a message that was
+                    // first signed by another party and sign that"): relay
+                    // the first-arrived undelivered payload. This keeps
+                    // every honest party contributing an entry each round,
+                    // which the proposal gate below relies on.
+                    self.entries.get(&round).and_then(|entries| {
+                        entries
+                            .iter()
+                            .map(|e| &e.payload)
+                            .find(|p| !self.delivered.contains(&(p.origin, p.seq)))
+                            .cloned()
+                    })
+                };
+                if let Some(payload) = payload {
+                    let statement = statement_entry(&self.pid, round, &payload);
+                    let sig = self.ctx.keys().sig_key.sign(&statement);
+                    let entry = Entry {
+                        payload,
+                        signer: self.ctx.me(),
+                        sig,
+                    };
+                    self.sent_entry.insert(round);
+                    self.entries.entry(round).or_default().push(entry.clone());
+                    out.send_all(&self.pid, Body::AcEntry { round, entry });
+                }
+            }
+
+            // Step 2: propose a batch. We wait for n - t entries rather
+            // than the bare batch size: every honest party contributes an
+            // entry each active round (sending its own payload or
+            // adopting one), so this cannot deadlock, and the extra
+            // entries let the dedup pass below build batches of *distinct*
+            // payloads instead of an adopter's duplicate crowding out a
+            // real payload.
+            let have = self.entries.get(&round).map_or(0, Vec::len);
+            if have >= self.ctx.n_minus_t().max(self.batch_size) && !self.proposed.contains(&round)
+            {
+                self.proposed.insert(round);
+                // Prefer entries carrying distinct payloads (in arrival
+                // order) so a batch delivers as many new payloads as
+                // possible; pad with duplicates only if needed.
+                let all = self.entries.get(&round).expect("entries exist");
+                let mut batch_entries: Vec<Entry> = Vec::with_capacity(self.batch_size);
+                let mut seen_payloads = HashSet::new();
+                for entry in all {
+                    if batch_entries.len() == self.batch_size {
+                        break;
+                    }
+                    if seen_payloads.insert((entry.payload.origin, entry.payload.seq)) {
+                        batch_entries.push(entry.clone());
+                    }
+                }
+                for entry in all {
+                    if batch_entries.len() == self.batch_size {
+                        break;
+                    }
+                    if !batch_entries.iter().any(|e| e.signer == entry.signer) {
+                        batch_entries.push(entry.clone());
+                    }
+                }
+                let batch = Batch(batch_entries);
+                let bytes = batch.to_bytes();
+                let vba = self.vba_instance(round);
+                vba.propose(bytes, out);
+            }
+
+            // Step 3: deliver the agreed batch.
+            let Some(vba) = self.vbas.get_mut(&round) else {
+                return;
+            };
+            let Some(decided) = vba.take_decision() else {
+                return;
+            };
+            let batch = Batch::from_bytes(&decided).expect("validated batches decode");
+            let mut batch_entries = batch.0;
+            // Fixed delivery order within the batch: by signer index.
+            batch_entries.sort_by_key(|e| e.signer);
+            for entry in batch_entries {
+                let key = (entry.payload.origin, entry.payload.seq);
+                if !self.delivered.insert(key) {
+                    continue;
+                }
+                match entry.payload.kind {
+                    PayloadKind::App => self.deliveries.push_back(entry.payload),
+                    PayloadKind::Close => {
+                        self.close_origins.insert(entry.payload.origin);
+                    }
+                }
+            }
+            // Clean up the finished round.
+            self.vbas.remove(&round);
+            self.entries.remove(&round);
+
+            if self.close_origins.len() > self.ctx.t() {
+                self.closed = true;
+                return;
+            }
+            self.round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outgoing::Recipient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::sync::Arc;
+
+    fn group(n: usize, t: usize) -> Vec<GroupContext> {
+        let mut rng = StdRng::seed_from_u64(37);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|k| GroupContext::new(Arc::new(k)))
+            .collect()
+    }
+
+    fn channels(ctxs: &[GroupContext], tag: &str) -> Vec<AtomicChannel> {
+        ctxs.iter()
+            .map(|c| {
+                AtomicChannel::new(
+                    ProtocolId::new(tag),
+                    c.clone(),
+                    AtomicChannelConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    /// Delivers all queued messages FIFO until quiescence.
+    fn pump(channels: &mut [AtomicChannel], outs: Vec<(usize, Outgoing)>) {
+        let n = channels.len();
+        let mut queue: std::collections::VecDeque<(PartyId, usize, ProtocolId, Body)> =
+            std::collections::VecDeque::new();
+        let push = |queue: &mut std::collections::VecDeque<_>, from: usize, mut out: Outgoing| {
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for to in 0..n {
+                            queue.push_back((PartyId(from), to, env.pid.clone(), env.body.clone()));
+                        }
+                    }
+                    Recipient::One(p) => {
+                        queue.push_back((PartyId(from), p.0, env.pid, env.body));
+                    }
+                }
+            }
+        };
+        for (from, out) in outs {
+            push(&mut queue, from, out);
+        }
+        let mut steps = 0usize;
+        while let Some((from, to, pid, body)) = queue.pop_front() {
+            steps += 1;
+            assert!(steps < 5_000_000, "atomic channel did not quiesce");
+            let mut out = Outgoing::new();
+            channels[to].handle(from, &pid, &body, &mut out);
+            push(&mut queue, to, out);
+        }
+    }
+
+    #[test]
+    fn single_sender_total_order() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "ac-single");
+        let mut outs = Vec::new();
+        let mut out = Outgoing::new();
+        for i in 0..5u8 {
+            chans[0].send(vec![i], &mut out);
+        }
+        outs.push((0usize, out));
+        pump(&mut chans, outs);
+        // All parties deliver the same sequence, in send order.
+        for (p, chan) in chans.iter_mut().enumerate() {
+            let mut got = Vec::new();
+            while let Some(payload) = chan.take_delivery() {
+                assert_eq!(payload.origin, PartyId(0));
+                got.push(payload.data[0]);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4], "party {p}");
+        }
+    }
+
+    #[test]
+    fn concurrent_senders_agree_on_order() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "ac-multi");
+        let mut outs = Vec::new();
+        for (i, chan) in chans.iter_mut().enumerate() {
+            let mut out = Outgoing::new();
+            for k in 0..3u8 {
+                chan.send(format!("m{i}-{k}").into_bytes(), &mut out);
+            }
+            outs.push((i, out));
+        }
+        pump(&mut chans, outs);
+        let sequences: Vec<Vec<Vec<u8>>> = chans
+            .iter_mut()
+            .map(|c| {
+                let mut v = Vec::new();
+                while let Some(p) = c.take_delivery() {
+                    v.push(p.data);
+                }
+                v
+            })
+            .collect();
+        assert_eq!(sequences[0].len(), 12, "all 12 payloads delivered");
+        for (p, seq) in sequences.iter().enumerate().skip(1) {
+            assert_eq!(seq, &sequences[0], "party {p} order differs");
+        }
+    }
+
+    #[test]
+    fn duplicate_sends_deliver_once_per_send() {
+        // The paper's weakened integrity: the same bit string sent twice by
+        // the same party is delivered twice (distinct sequence numbers),
+        // but each (origin, seq) exactly once.
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "ac-dup");
+        let mut out = Outgoing::new();
+        chans[1].send(b"dup".to_vec(), &mut out);
+        chans[1].send(b"dup".to_vec(), &mut out);
+        pump(&mut chans, vec![(1, out)]);
+        let mut count = 0;
+        while let Some(p) = chans[2].take_delivery() {
+            assert_eq!(p.data, b"dup");
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn close_terminates_all_parties() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "ac-close");
+        let mut outs = Vec::new();
+        let mut out0 = Outgoing::new();
+        chans[0].send(b"final".to_vec(), &mut out0);
+        chans[0].close(&mut out0);
+        outs.push((0usize, out0));
+        for i in 1..4 {
+            let mut out = Outgoing::new();
+            chans[i].close(&mut out);
+            outs.push((i, out));
+        }
+        pump(&mut chans, outs);
+        for (i, chan) in chans.iter_mut().enumerate() {
+            assert!(chan.is_closed(), "party {i} closed");
+            assert!(chan.take_closed(), "closed event emitted once");
+            assert!(!chan.take_closed());
+        }
+        // The pre-close payload was delivered.
+        assert_eq!(chans[3].take_delivery().unwrap().data, b"final");
+    }
+
+    #[test]
+    fn one_close_does_not_terminate() {
+        // t+1 = 2 requests are needed; a single closer leaves the channel
+        // open for everyone else.
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "ac-halfclose");
+        let mut out = Outgoing::new();
+        chans[0].close(&mut out);
+        // Other parties keep sending so rounds continue.
+        let mut out1 = Outgoing::new();
+        chans[1].send(b"x".to_vec(), &mut out1);
+        pump(&mut chans, vec![(0, out), (1, out1)]);
+        for chan in &chans {
+            assert!(!chan.is_closed());
+        }
+        assert!(!chans[0].can_send(), "closer cannot send anymore");
+        assert!(chans[1].can_send());
+    }
+
+    #[test]
+    fn forged_entry_rejected() {
+        let ctxs = group(4, 1);
+        let mut chan = AtomicChannel::new(
+            ProtocolId::new("ac-forge"),
+            ctxs[0].clone(),
+            AtomicChannelConfig::default(),
+        );
+        let payload = Payload {
+            origin: PartyId(2),
+            seq: 0,
+            kind: PayloadKind::App,
+            data: b"evil".to_vec(),
+        };
+        // Signature by the wrong party.
+        let statement = statement_entry(&ProtocolId::new("ac-forge"), 0, &payload);
+        let sig = ctxs[3].keys().sig_key.sign(&statement);
+        let entry = Entry {
+            payload,
+            signer: PartyId(2),
+            sig,
+        };
+        chan.handle(
+            PartyId(2),
+            &ProtocolId::new("ac-forge"),
+            &Body::AcEntry { round: 0, entry },
+            &mut Outgoing::new(),
+        );
+        assert!(chan.entries.get(&0).is_none_or(|m| m.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "closing or closed")]
+    fn send_after_close_panics() {
+        let ctxs = group(4, 1);
+        let mut chan = AtomicChannel::new(
+            ProtocolId::new("ac-sac"),
+            ctxs[0].clone(),
+            AtomicChannelConfig::default(),
+        );
+        let mut out = Outgoing::new();
+        chan.close(&mut out);
+        chan.send(b"too late".to_vec(), &mut out);
+    }
+
+    #[test]
+    fn batch_size_respects_fairness() {
+        let ctxs = group(7, 2);
+        let chan = AtomicChannel::new(
+            ProtocolId::new("ac-f"),
+            ctxs[0].clone(),
+            AtomicChannelConfig {
+                fairness: Some(3), // t+1
+                order: CandidateOrder::Fixed,
+            },
+        );
+        assert_eq!(chan.batch_size(), 7 - 3 + 1);
+        let default = AtomicChannel::new(
+            ProtocolId::new("ac-fd"),
+            ctxs[0].clone(),
+            AtomicChannelConfig::default(),
+        );
+        assert_eq!(default.batch_size(), 2 + 1, "paper setup: batch = t+1");
+    }
+}

@@ -1,0 +1,467 @@
+//! Secure causal atomic broadcast (paper §2.6).
+//!
+//! Payloads are encrypted under the channel's threshold public key before
+//! entering the atomic channel, so their contents stay confidential until
+//! their position in the total order is fixed — preserving *causality*
+//! against a Byzantine adversary who could otherwise front-run in-flight
+//! requests with derived ones. Once the atomic channel delivers a
+//! ciphertext, every party releases a decryption share; `t + 1` shares
+//! recover the plaintext, which is then delivered in order.
+//!
+//! The threshold cryptosystem (Shoup–Gennaro TDH2) is CCA2-secure, which
+//! is what prevents mauling an observed ciphertext into a related one.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::Rng;
+use sintra_crypto::thenc::{Ciphertext, DecryptionShare};
+
+use crate::channel::atomic::{AtomicChannel, AtomicChannelConfig};
+use crate::config::GroupContext;
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::{Body, Payload, PayloadKind};
+use crate::outgoing::Outgoing;
+use crate::wire::Wire;
+
+/// State of one ordered ciphertext awaiting decryption.
+#[derive(Debug)]
+struct PendingDecryption {
+    payload_meta: (PartyId, u64),
+    ciphertext: Option<Ciphertext>,
+    /// Verified shares by holder index.
+    shares: HashMap<usize, DecryptionShare>,
+    plaintext: Option<Vec<u8>>,
+    /// A ciphertext that failed validation is skipped (a Byzantine sender
+    /// ordered garbage).
+    skipped: bool,
+}
+
+/// A secure causal atomic broadcast channel endpoint.
+#[derive(Debug)]
+pub struct SecureAtomicChannel {
+    pid: ProtocolId,
+    ctx: GroupContext,
+    inner: AtomicChannel,
+    /// Ordered ciphertexts in delivery order.
+    pending: VecDeque<PendingDecryption>,
+    /// Early decryption shares for ciphertexts we have not ordered yet.
+    early_shares: HashMap<(PartyId, u64), Vec<DecryptionShare>>,
+    /// Ciphertext-ordered notifications not yet drained.
+    ordered_events: VecDeque<(PartyId, u64, Vec<u8>)>,
+    deliveries: VecDeque<Payload>,
+    closed_taken: bool,
+}
+
+impl SecureAtomicChannel {
+    /// Opens a channel endpoint. The inner atomic channel runs under the
+    /// child identifier `{pid}/ac`.
+    pub fn new(pid: ProtocolId, ctx: GroupContext, config: AtomicChannelConfig) -> Self {
+        let inner = AtomicChannel::new(pid.child("ac"), ctx.clone(), config);
+        SecureAtomicChannel {
+            pid,
+            ctx,
+            inner,
+            pending: VecDeque::new(),
+            early_shares: HashMap::new(),
+            ordered_events: VecDeque::new(),
+            deliveries: VecDeque::new(),
+            closed_taken: false,
+        }
+    }
+
+    /// The channel identifier.
+    pub fn pid(&self) -> &ProtocolId {
+        &self.pid
+    }
+
+    /// Encrypts a message for a secure channel without being a group
+    /// member — all that is needed is the channel's public key (carried in
+    /// the group's common key material). The result can be handed to any
+    /// `t + 1` servers for [`Self::send_ciphertext`].
+    pub fn encrypt<R: Rng + ?Sized>(
+        ctx: &GroupContext,
+        pid: &ProtocolId,
+        message: &[u8],
+        rng: &mut R,
+    ) -> Vec<u8> {
+        ctx.keys()
+            .common
+            .enc
+            .encrypt(pid.as_bytes(), message, rng)
+            .to_bytes()
+    }
+
+    /// Encrypts and sends a payload on the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `close` has been called.
+    pub fn send<R: Rng + ?Sized>(&mut self, data: Vec<u8>, rng: &mut R, out: &mut Outgoing) {
+        let ct = Self::encrypt(&self.ctx, &self.pid, &data, rng);
+        self.inner.send(ct, out);
+        self.pump(out);
+    }
+
+    /// Broadcasts an externally produced ciphertext (from
+    /// [`Self::encrypt`]) without seeing the cleartext.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `close` has been called.
+    pub fn send_ciphertext(&mut self, ciphertext: Vec<u8>, out: &mut Outgoing) {
+        self.inner.send(ciphertext, out);
+        self.pump(out);
+    }
+
+    /// Requests channel termination.
+    pub fn close(&mut self, out: &mut Outgoing) {
+        self.inner.close(out);
+        self.pump(out);
+    }
+
+    /// Whether `send` is currently allowed.
+    pub fn can_send(&self) -> bool {
+        self.inner.can_send()
+    }
+
+    /// Whether a decrypted delivery is waiting.
+    pub fn can_receive(&self) -> bool {
+        !self.deliveries.is_empty()
+    }
+
+    /// Takes the next decrypted payload, in total order.
+    pub fn take_delivery(&mut self) -> Option<Payload> {
+        self.deliveries.pop_front()
+    }
+
+    /// Whether an ordered-ciphertext notification is waiting (the
+    /// `canReceiveCiphertext` of the Java API).
+    pub fn can_receive_ciphertext(&self) -> bool {
+        !self.ordered_events.is_empty()
+    }
+
+    /// Takes the next ordered-ciphertext notification: the point where a
+    /// payload's position is fixed but its content still encrypted.
+    pub fn take_ordered_ciphertext(&mut self) -> Option<(PartyId, u64, Vec<u8>)> {
+        self.ordered_events.pop_front()
+    }
+
+    /// Whether the channel has terminated (inner channel closed and all
+    /// ordered ciphertexts resolved).
+    pub fn is_closed(&self) -> bool {
+        self.inner.is_closed() && self.pending.is_empty()
+    }
+
+    /// Returns `true` exactly once upon termination.
+    pub fn take_closed(&mut self) -> bool {
+        if self.is_closed() && !self.closed_taken {
+            self.closed_taken = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Processes a message addressed to this channel or its inner atomic
+    /// channel.
+    pub fn handle(&mut self, from: PartyId, msg_pid: &ProtocolId, body: &Body, out: &mut Outgoing) {
+        if !self.ctx.is_valid_party(from) {
+            return;
+        }
+        if *msg_pid == self.pid {
+            if let Body::ScShare { origin, seq, share } = body {
+                self.on_share(*origin, *seq, share);
+            }
+        } else if msg_pid.is_self_or_descendant_of(self.inner.pid()) {
+            self.inner.handle(from, msg_pid, body, out);
+        }
+        self.pump(out);
+    }
+
+    fn on_share(&mut self, origin: PartyId, seq: u64, share: &DecryptionShare) {
+        // Find the pending slot; if the ciphertext is not ordered locally
+        // yet, park the share.
+        let slot = self
+            .pending
+            .iter_mut()
+            .find(|p| p.payload_meta == (origin, seq));
+        match slot {
+            Some(p) if !p.skipped && p.plaintext.is_none() => {
+                if let Some(ct) = &p.ciphertext {
+                    if self.ctx.keys().common.enc.verify_share(ct, share) {
+                        p.shares.insert(share.index, share.clone());
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                let parked = self.early_shares.entry((origin, seq)).or_default();
+                if parked.len() < 2 * self.ctx.n() {
+                    parked.push(share.clone());
+                }
+            }
+        }
+    }
+
+    /// Moves data between the inner channel and the decryption layer.
+    fn pump(&mut self, out: &mut Outgoing) {
+        // 1. Ingest newly ordered ciphertexts.
+        while let Some(payload) = self.inner.take_delivery() {
+            let meta = (payload.origin, payload.seq);
+            self.ordered_events
+                .push_back((payload.origin, payload.seq, payload.data.clone()));
+            let ct = Ciphertext::from_bytes(&payload.data).ok().filter(|ct| {
+                // The label binds ciphertexts to this channel instance.
+                ct.label == self.pid.as_bytes() && self.ctx.keys().common.enc.verify_ciphertext(ct)
+            });
+            let mut pending = PendingDecryption {
+                payload_meta: meta,
+                ciphertext: ct,
+                shares: HashMap::new(),
+                plaintext: None,
+                skipped: false,
+            };
+            match &pending.ciphertext {
+                Some(ct) => {
+                    // Release our own decryption share.
+                    if let Some(share) = self
+                        .ctx
+                        .keys()
+                        .common
+                        .enc
+                        .decryption_share(ct, &self.ctx.keys().enc_secret)
+                    {
+                        pending.shares.insert(share.index, share.clone());
+                        out.send_all(
+                            &self.pid,
+                            Body::ScShare {
+                                origin: meta.0,
+                                seq: meta.1,
+                                share,
+                            },
+                        );
+                    }
+                    // Ingest parked shares.
+                    if let Some(parked) = self.early_shares.remove(&meta) {
+                        for share in parked {
+                            if self.ctx.keys().common.enc.verify_share(ct, &share) {
+                                pending.shares.insert(share.index, share);
+                            }
+                        }
+                    }
+                }
+                None => pending.skipped = true,
+            }
+            self.pending.push_back(pending);
+        }
+
+        // 2. Combine where possible.
+        let k = self.ctx.keys().common.enc.threshold();
+        for p in self.pending.iter_mut() {
+            if p.skipped || p.plaintext.is_some() {
+                continue;
+            }
+            if p.shares.len() >= k {
+                let ct = p.ciphertext.as_ref().expect("not skipped");
+                let shares: Vec<DecryptionShare> = p.shares.values().cloned().collect();
+                if let Ok(plain) = self.ctx.keys().common.enc.combine(ct, &shares) {
+                    p.plaintext = Some(plain);
+                }
+            }
+        }
+
+        // 3. Deliver strictly in order.
+        while let Some(front) = self.pending.front() {
+            if front.skipped {
+                self.pending.pop_front();
+            } else if front.plaintext.is_some() {
+                let p = self.pending.pop_front().expect("front exists");
+                self.deliveries.push_back(Payload {
+                    origin: p.payload_meta.0,
+                    seq: p.payload_meta.1,
+                    kind: PayloadKind::App,
+                    data: p.plaintext.expect("checked"),
+                });
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outgoing::Recipient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::sync::Arc;
+
+    fn group(n: usize, t: usize) -> Vec<GroupContext> {
+        let mut rng = StdRng::seed_from_u64(43);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|k| GroupContext::new(Arc::new(k)))
+            .collect()
+    }
+
+    fn channels(ctxs: &[GroupContext], tag: &str) -> Vec<SecureAtomicChannel> {
+        ctxs.iter()
+            .map(|c| {
+                SecureAtomicChannel::new(
+                    ProtocolId::new(tag),
+                    c.clone(),
+                    AtomicChannelConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    fn pump_all(chans: &mut [SecureAtomicChannel], outs: Vec<(usize, Outgoing)>) {
+        let n = chans.len();
+        let mut queue: std::collections::VecDeque<(PartyId, usize, ProtocolId, Body)> =
+            std::collections::VecDeque::new();
+        let push = |queue: &mut std::collections::VecDeque<_>, from: usize, mut out: Outgoing| {
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for to in 0..n {
+                            queue.push_back((PartyId(from), to, env.pid.clone(), env.body.clone()));
+                        }
+                    }
+                    Recipient::One(p) => queue.push_back((PartyId(from), p.0, env.pid, env.body)),
+                }
+            }
+        };
+        for (from, out) in outs {
+            push(&mut queue, from, out);
+        }
+        while let Some((from, to, pid, body)) = queue.pop_front() {
+            let mut out = Outgoing::new();
+            chans[to].handle(from, &pid, &body, &mut out);
+            push(&mut queue, to, out);
+        }
+    }
+
+    #[test]
+    fn encrypted_payloads_deliver_in_order() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "sc");
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut out = Outgoing::new();
+        chans[0].send(b"first secret".to_vec(), &mut rng, &mut out);
+        chans[0].send(b"second secret".to_vec(), &mut rng, &mut out);
+        pump_all(&mut chans, vec![(0, out)]);
+        for (i, chan) in chans.iter_mut().enumerate() {
+            assert_eq!(
+                chan.take_delivery().unwrap().data,
+                b"first secret",
+                "party {i}"
+            );
+            assert_eq!(chan.take_delivery().unwrap().data, b"second secret");
+            assert!(chan.take_delivery().is_none());
+        }
+    }
+
+    #[test]
+    fn ciphertext_ordered_before_plaintext() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "sc-order");
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut out = Outgoing::new();
+        chans[1].send(b"confidential".to_vec(), &mut rng, &mut out);
+        pump_all(&mut chans, vec![(1, out)]);
+        let (origin, _seq, ct_bytes) = chans[2].take_ordered_ciphertext().unwrap();
+        assert_eq!(origin, PartyId(1));
+        // The ordered ciphertext reveals nothing recognizable.
+        assert!(!ct_bytes
+            .windows(b"confidential".len())
+            .any(|w| w == b"confidential"));
+        assert_eq!(chans[2].take_delivery().unwrap().data, b"confidential");
+    }
+
+    #[test]
+    fn external_client_ciphertext() {
+        // A non-member encrypts with only the public key; a member injects
+        // the ciphertext without ever seeing the cleartext.
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "sc-ext");
+        let mut rng = StdRng::seed_from_u64(101);
+        let ct = SecureAtomicChannel::encrypt(
+            &ctxs[3],
+            &ProtocolId::new("sc-ext"),
+            b"client request",
+            &mut rng,
+        );
+        let mut out = Outgoing::new();
+        chans[2].send_ciphertext(ct, &mut out);
+        pump_all(&mut chans, vec![(2, out)]);
+        assert_eq!(chans[0].take_delivery().unwrap().data, b"client request");
+    }
+
+    #[test]
+    fn garbage_ciphertext_skipped() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "sc-garbage");
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut out = Outgoing::new();
+        // A Byzantine member orders garbage bytes; honest parties skip it
+        // and the channel keeps working.
+        chans[3].send_ciphertext(b"not a ciphertext".to_vec(), &mut out);
+        chans[0].send(b"real".to_vec(), &mut rng, &mut out);
+        pump_all(&mut chans, vec![(3, out)]);
+        let mut datas = Vec::new();
+        while let Some(p) = chans[1].take_delivery() {
+            datas.push(p.data);
+        }
+        assert_eq!(datas, vec![b"real".to_vec()]);
+    }
+
+    #[test]
+    fn replayed_ciphertext_across_channels_rejected() {
+        // The label binds a ciphertext to its channel: a ciphertext for
+        // channel A ordered on channel B is skipped, not decrypted.
+        let ctxs = group(4, 1);
+        let mut rng = StdRng::seed_from_u64(103);
+        let ct_for_a = SecureAtomicChannel::encrypt(
+            &ctxs[0],
+            &ProtocolId::new("channel-A"),
+            b"bound to A",
+            &mut rng,
+        );
+        let mut chans_b = channels(&ctxs, "channel-B");
+        let mut out = Outgoing::new();
+        chans_b[0].send_ciphertext(ct_for_a, &mut out);
+        pump_all(&mut chans_b, vec![(0, out)]);
+        assert!(chans_b[1].take_delivery().is_none());
+        // But the ordering event still happened (position consumed).
+        assert!(chans_b[1].take_ordered_ciphertext().is_some());
+    }
+
+    #[test]
+    fn close_after_decrypting_everything() {
+        let ctxs = group(4, 1);
+        let mut chans = channels(&ctxs, "sc-close");
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut outs = Vec::new();
+        let mut out0 = Outgoing::new();
+        chans[0].send(b"last words".to_vec(), &mut rng, &mut out0);
+        chans[0].close(&mut out0);
+        outs.push((0usize, out0));
+        let mut out1 = Outgoing::new();
+        chans[1].close(&mut out1);
+        outs.push((1, out1));
+        pump_all(&mut chans, outs);
+        for (i, chan) in chans.iter_mut().enumerate() {
+            assert_eq!(
+                chan.take_delivery().unwrap().data,
+                b"last words",
+                "party {i}"
+            );
+            assert!(chan.is_closed(), "party {i} closed");
+            assert!(chan.take_closed());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-party protocol context: group parameters and key material.
+
+use std::sync::Arc;
+
+use sintra_crypto::dealer::PartyKeys;
+
+use crate::ids::PartyId;
+
+/// Everything a protocol instance needs to know about its environment:
+/// the group size, resilience, this party's identity and key material.
+///
+/// Cheaply cloneable (`Arc` inside); every instance hosted by a party
+/// shares one context.
+#[derive(Debug, Clone)]
+pub struct GroupContext {
+    keys: Arc<PartyKeys>,
+}
+
+impl GroupContext {
+    /// Wraps dealt key material.
+    pub fn new(keys: Arc<PartyKeys>) -> Self {
+        GroupContext { keys }
+    }
+
+    /// This party's identity.
+    pub fn me(&self) -> PartyId {
+        PartyId(self.keys.index)
+    }
+
+    /// Group size `n`.
+    pub fn n(&self) -> usize {
+        self.keys.n()
+    }
+
+    /// Corruption bound `t`.
+    pub fn t(&self) -> usize {
+        self.keys.t()
+    }
+
+    /// The Byzantine quorum `⌈(n + t + 1) / 2⌉` used by both broadcast
+    /// primitives (any two quorums intersect in an honest party).
+    pub fn quorum(&self) -> usize {
+        (self.n() + self.t() + 1).div_ceil(2)
+    }
+
+    /// `n - t`: the number of messages a party can wait for without
+    /// risking deadlock.
+    pub fn n_minus_t(&self) -> usize {
+        self.n() - self.t()
+    }
+
+    /// Access to this party's key material.
+    pub fn keys(&self) -> &PartyKeys {
+        &self.keys
+    }
+
+    /// Iterator over all party identities.
+    pub fn parties(&self) -> impl Iterator<Item = PartyId> {
+        (0..self.n()).map(PartyId)
+    }
+
+    /// Whether `id` is a valid party index in this group.
+    pub fn is_valid_party(&self, id: PartyId) -> bool {
+        id.0 < self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+
+    #[test]
+    fn quorum_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parties = deal(&DealerConfig::small(4, 1), &mut rng).unwrap();
+        let ctx = GroupContext::new(Arc::new(parties[2].clone()));
+        assert_eq!(ctx.me(), PartyId(2));
+        assert_eq!(ctx.n(), 4);
+        assert_eq!(ctx.t(), 1);
+        assert_eq!(ctx.quorum(), 3);
+        assert_eq!(ctx.n_minus_t(), 3);
+        assert_eq!(ctx.parties().count(), 4);
+        assert!(ctx.is_valid_party(PartyId(3)));
+        assert!(!ctx.is_valid_party(PartyId(4)));
+    }
+}

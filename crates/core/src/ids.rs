@@ -1,0 +1,129 @@
+//! Party and protocol identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The 0-based index of a server in the static SINTRA group.
+///
+/// ```
+/// use sintra_core::PartyId;
+/// let p = PartyId(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "P2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartyId(pub usize);
+
+impl PartyId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for PartyId {
+    fn from(v: usize) -> Self {
+        PartyId(v)
+    }
+}
+
+/// A hierarchical protocol-instance identifier.
+///
+/// Every protocol instance in SINTRA is named by a `pid`; sub-protocol
+/// instances extend their parent's pid with a path segment, so message
+/// routing is prefix-based and all cryptographic operations of an instance
+/// bind its pid (preventing cross-instance replay).
+///
+/// ```
+/// use sintra_core::ProtocolId;
+/// let root = ProtocolId::new("channel-A");
+/// let child = root.child("vba").child("3");
+/// assert_eq!(child.as_str(), "channel-A/vba/3");
+/// assert!(child.is_descendant_of(&root));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtocolId(Arc<str>);
+
+impl ProtocolId {
+    /// Creates a root identifier.
+    pub fn new(pid: impl AsRef<str>) -> Self {
+        ProtocolId(Arc::from(pid.as_ref()))
+    }
+
+    /// Creates the identifier of a sub-protocol instance.
+    pub fn child(&self, segment: impl fmt::Display) -> Self {
+        ProtocolId(Arc::from(format!("{}/{}", self.0, segment)))
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The identifier as bytes (for binding into cryptographic operations).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Whether `self` is strictly below `ancestor` in the hierarchy.
+    pub fn is_descendant_of(&self, ancestor: &ProtocolId) -> bool {
+        self.0.len() > ancestor.0.len()
+            && self.0.starts_with(&*ancestor.0)
+            && self.0.as_bytes()[ancestor.0.len()] == b'/'
+    }
+
+    /// Whether `self` equals `other` or is a descendant of it.
+    pub fn is_self_or_descendant_of(&self, other: &ProtocolId) -> bool {
+        self == other || self.is_descendant_of(other)
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProtocolId {
+    fn from(s: &str) -> Self {
+        ProtocolId::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_checks() {
+        let a = ProtocolId::new("a");
+        let ab = a.child("b");
+        let abc = ab.child("c");
+        let axe = ProtocolId::new("a/bx");
+        assert!(ab.is_descendant_of(&a));
+        assert!(abc.is_descendant_of(&a));
+        assert!(abc.is_descendant_of(&ab));
+        assert!(!a.is_descendant_of(&ab));
+        assert!(!axe.is_descendant_of(&ab), "segment boundaries respected");
+        assert!(a.is_self_or_descendant_of(&a));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PartyId(7).to_string(), "P7");
+        assert_eq!(ProtocolId::new("x").child(9).to_string(), "x/9");
+    }
+
+    #[test]
+    fn cheap_clone_shares_storage() {
+        let a = ProtocolId::new("shared");
+        let b = a.clone();
+        assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+    }
+}

@@ -1,0 +1,46 @@
+//! SINTRA protocol state machines.
+//!
+//! This crate implements the protocol stack of *Secure Intrusion-tolerant
+//! Replication on the Internet* (Cachin & Poritz, DSN 2002) as **sans-IO
+//! state machines**: each protocol consumes incoming messages and local
+//! requests, and emits outgoing messages plus locally observable outputs.
+//! Runtimes (the deterministic discrete-event simulator and the threaded
+//! runtime in `sintra-net`) drive these machines; the protocols themselves
+//! never touch a socket or a clock, which is what makes them fully
+//! asynchronous — exactly the system model of the paper.
+//!
+//! The stack, bottom to top (paper §2):
+//!
+//! * [`broadcast`]: Bracha reliable broadcast; Reiter-style consistent
+//!   (echo) broadcast with threshold signatures; verifiable consistent
+//!   broadcast with transferable closing messages.
+//! * [`agreement`]: randomized binary Byzantine agreement (Cachin–Kursawe–
+//!   Shoup) with justified votes and the common coin; validated and biased
+//!   variants; multi-valued agreement (Cachin–Kursawe–Petzold–Shoup).
+//! * [`channel`]: the atomic broadcast channel (state-machine replication),
+//!   secure causal atomic broadcast (threshold-encrypted), and the
+//!   aggregated reliable/consistent channels.
+//! * [`node`]: a per-party container that hosts protocol instances and
+//!   routes messages between them.
+//!
+//! All protocols tolerate `t < n/3` Byzantine parties and never rely on
+//! timing: progress requires only that messages between honest parties are
+//! eventually delivered.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod broadcast;
+pub mod channel;
+mod config;
+mod ids;
+pub mod message;
+pub mod node;
+mod outgoing;
+pub mod validator;
+pub mod wire;
+
+pub use config::GroupContext;
+pub use ids::{PartyId, ProtocolId};
+pub use outgoing::{Event, Outgoing, Recipient, TimerRequest};

@@ -1,0 +1,791 @@
+//! Protocol message types and the byte statements that signatures bind.
+//!
+//! Every network message is an [`Envelope`]: the full hierarchical
+//! [`ProtocolId`] of the destination instance plus a [`Body`]. Bodies for
+//! all protocols live in one enum so the wire codec, the MAC layer and the
+//! simulators handle a single type.
+
+use sintra_crypto::coin::CoinShare;
+use sintra_crypto::hash::Sha256;
+use sintra_crypto::rsa::RsaSignature;
+use sintra_crypto::thenc::DecryptionShare;
+use sintra_crypto::thsig::{SigShare, ThresholdSignature};
+
+use crate::ids::{PartyId, ProtocolId};
+use crate::wire::{put_bytes, Reader, Wire, WireError};
+
+/// A main-vote value in binary Byzantine agreement: a bit or "abstain".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MainVote {
+    /// Vote for a concrete bit.
+    Value(bool),
+    /// No unanimous pre-vote was observed.
+    Abstain,
+}
+
+/// Justification attached to a pre-vote (paper §2.3: "all votes have to be
+/// justified by non-interactively verifiable information").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreVoteJust {
+    /// Round-1 pre-vote: justified by external validation data (carried in
+    /// the enclosing message's `proof` field) or vacuously for plain
+    /// agreement.
+    Initial,
+    /// Round `r > 1` pre-vote for `b`, justified by a threshold signature
+    /// on the round-`r-1` pre-vote statement for `b`.
+    Hard(ThresholdSignature),
+    /// Round `r > 1` pre-vote for the round-`r-1` coin value, justified by
+    /// a threshold signature on the abstain main-vote statement plus the
+    /// coin shares that open the coin (self-contained verification).
+    Soft {
+        /// Threshold signature over `main(pid, r-1, abstain)`.
+        sig: ThresholdSignature,
+        /// Enough shares to open the round-`r-1` coin (empty when the
+        /// round is biased and the coin value is fixed).
+        coin_shares: Vec<CoinShare>,
+    },
+}
+
+/// Justification attached to a main-vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MainVoteJust {
+    /// Main-vote for a bit `b`: threshold signature on the round's
+    /// pre-vote statement for `b`.
+    Value(ThresholdSignature),
+    /// Abstain: exhibits justified pre-votes for *both* bits.
+    Abstain {
+        /// Justification for a pre-vote of 0.
+        just0: Box<PreVoteJust>,
+        /// Justification for a pre-vote of 1.
+        just1: Box<PreVoteJust>,
+        /// External validation data for 0 (validated agreement only).
+        proof0: Option<Vec<u8>>,
+        /// External validation data for 1 (validated agreement only).
+        proof1: Option<Vec<u8>>,
+    },
+}
+
+/// The kind of an atomic-channel payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// Application data.
+    App,
+    /// A termination request (the `close` protocol, paper §2.5).
+    Close,
+}
+
+/// An application payload flowing through a channel, identified by its
+/// origin and the origin's sequence number (the paper's practical
+/// relaxation of integrity: dedup is per `(origin, seq)`, not per bit
+/// string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Payload {
+    /// The party that first sent this payload.
+    pub origin: PartyId,
+    /// Origin-assigned sequence number.
+    pub seq: u64,
+    /// Application data or a close marker.
+    pub kind: PayloadKind,
+    /// The payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// An atomic-channel batch entry: a payload signed (possibly by an
+/// adopting relay, not the origin) together with the round number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The payload being proposed for this round.
+    pub payload: Payload,
+    /// The party whose signature covers `(pid, round, payload)`.
+    pub signer: PartyId,
+    /// That party's standard RSA signature.
+    pub sig: RsaSignature,
+}
+
+/// The body of a network message, covering every protocol in the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Body {
+    /// Bracha reliable broadcast: initial payload from the sender.
+    RbSend(Vec<u8>),
+    /// Bracha: echo of the payload.
+    RbEcho(Vec<u8>),
+    /// Bracha: ready for the payload digest.
+    RbReady([u8; 32]),
+    /// Consistent broadcast: payload from the sender.
+    CbSend(Vec<u8>),
+    /// Consistent broadcast: receiver's signature share over the payload,
+    /// echoed back to the sender.
+    CbEcho(SigShare),
+    /// Consistent broadcast: sender's final message with the assembled
+    /// threshold signature.
+    CbFinal {
+        /// The payload.
+        payload: Vec<u8>,
+        /// Threshold signature binding payload to this instance.
+        sig: ThresholdSignature,
+    },
+    /// Binary agreement pre-vote.
+    BaPreVote {
+        /// Round number (1-based).
+        round: u32,
+        /// The pre-voted bit.
+        value: bool,
+        /// Justification.
+        just: PreVoteJust,
+        /// Signature share over `pre(pid, round, value)`.
+        share: SigShare,
+        /// External validation data for `value` (validated agreement).
+        proof: Option<Vec<u8>>,
+    },
+    /// Binary agreement main-vote.
+    BaMainVote {
+        /// Round number.
+        round: u32,
+        /// The main-vote.
+        vote: MainVote,
+        /// Justification.
+        just: MainVoteJust,
+        /// Signature share over `main(pid, round, vote)`.
+        share: SigShare,
+        /// External validation data for a value vote.
+        proof: Option<Vec<u8>>,
+    },
+    /// Binary agreement threshold-coin share for a round.
+    BaCoinShare {
+        /// Round number.
+        round: u32,
+        /// The coin share.
+        share: CoinShare,
+    },
+    /// Binary agreement decision announcement with its justification.
+    BaDecide {
+        /// Round in which the unanimous main-vote quorum formed.
+        round: u32,
+        /// Decided bit.
+        value: bool,
+        /// Threshold signature over `main(pid, round, value)`.
+        sig: ThresholdSignature,
+        /// External validation data for the decided value.
+        proof: Option<Vec<u8>>,
+    },
+    /// Multi-valued agreement candidate vote (paper §2.4 step 2a).
+    VbaVote {
+        /// Loop iteration this vote belongs to.
+        iteration: u32,
+        /// Yes: "I have accepted the candidate's consistent broadcast".
+        yes: bool,
+        /// The candidate's verifiable-broadcast closing message (yes votes).
+        closing: Option<Vec<u8>>,
+    },
+    /// Atomic channel: a signed batch entry for a round.
+    AcEntry {
+        /// Channel round number.
+        round: u64,
+        /// The signed entry.
+        entry: Entry,
+    },
+    /// Secure causal atomic channel: a decryption share for an ordered
+    /// ciphertext.
+    ScShare {
+        /// Origin of the ciphertext payload.
+        origin: PartyId,
+        /// Origin sequence number of the ciphertext payload.
+        seq: u64,
+        /// This party's decryption share.
+        share: DecryptionShare,
+    },
+    /// Optimistic channel: a payload submitted to the epoch leader.
+    OptSubmit {
+        /// The payload to sequence.
+        payload: Payload,
+    },
+    /// Optimistic channel: a signed acknowledgement of a leader-ordered
+    /// payload (phase 1 = prepare, phase 2 = commit).
+    OptAck {
+        /// Acknowledgement phase (1 or 2).
+        phase: u8,
+        /// Epoch number.
+        epoch: u64,
+        /// Leader-assigned sequence number within the epoch.
+        seq: u64,
+        /// Digest of the ordered payload's encoding.
+        digest: [u8; 32],
+        /// Signature over the ack statement.
+        sig: RsaSignature,
+    },
+    /// Optimistic channel: a complaint against the epoch leader (liveness
+    /// suspicion; `t + 1` complaints trigger recovery).
+    OptComplain {
+        /// The epoch being complained about.
+        epoch: u64,
+    },
+    /// Optimistic channel: a signed epoch state for recovery (encoded
+    /// [`EpochState`](crate::channel::EpochState)).
+    OptState {
+        /// The epoch being recovered.
+        epoch: u64,
+        /// Wire-encoded signed state.
+        state: Vec<u8>,
+    },
+}
+
+/// A routed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Full hierarchical id of the destination instance.
+    pub pid: ProtocolId,
+    /// Message contents.
+    pub body: Body,
+}
+
+// --- signed statements -----------------------------------------------------
+//
+// All statements start with a distinct ASCII tag, then the pid, then the
+// per-statement fields, each length-prefixed — so no two statements from
+// different contexts can collide.
+
+fn statement(tag: &str, pid: &ProtocolId, parts: &[&[u8]]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_bytes(&mut buf, tag.as_bytes());
+    put_bytes(&mut buf, pid.as_bytes());
+    for part in parts {
+        put_bytes(&mut buf, part);
+    }
+    buf
+}
+
+/// Digest used to identify payload bytes compactly.
+pub fn payload_digest(payload: &[u8]) -> [u8; 32] {
+    Sha256::digest(payload)
+}
+
+/// Statement signed by consistent-broadcast echo shares: binds the payload
+/// to the broadcast instance.
+pub fn statement_cb(pid: &ProtocolId, payload: &[u8]) -> Vec<u8> {
+    statement("cb", pid, &[&payload_digest(payload)])
+}
+
+/// Statement for a binary-agreement pre-vote `pre(pid, round, value)`.
+pub fn statement_pre_vote(pid: &ProtocolId, round: u32, value: bool) -> Vec<u8> {
+    statement("ba-pre", pid, &[&round.to_be_bytes(), &[value as u8]])
+}
+
+/// Statement for a binary-agreement main-vote `main(pid, round, vote)`.
+pub fn statement_main_vote(pid: &ProtocolId, round: u32, vote: MainVote) -> Vec<u8> {
+    let code: u8 = match vote {
+        MainVote::Value(false) => 0,
+        MainVote::Value(true) => 1,
+        MainVote::Abstain => 2,
+    };
+    statement("ba-main", pid, &[&round.to_be_bytes(), &[code]])
+}
+
+/// The name of the round-`round` threshold coin of an agreement instance.
+pub fn coin_name(pid: &ProtocolId, round: u32) -> Vec<u8> {
+    statement("ba-coin", pid, &[&round.to_be_bytes()])
+}
+
+/// Statement signed over an atomic-channel entry `(pid, round, payload)`.
+pub fn statement_entry(pid: &ProtocolId, round: u64, payload: &Payload) -> Vec<u8> {
+    statement(
+        "ac-entry",
+        pid,
+        &[&round.to_be_bytes(), &payload.to_bytes()],
+    )
+}
+
+/// Statement signed by an optimistic-channel acknowledgement.
+pub fn statement_opt_ack(
+    pid: &ProtocolId,
+    phase: u8,
+    epoch: u64,
+    seq: u64,
+    digest: &[u8; 32],
+) -> Vec<u8> {
+    statement(
+        "opt-ack",
+        pid,
+        &[&[phase], &epoch.to_be_bytes(), &seq.to_be_bytes(), digest],
+    )
+}
+
+/// Statement signed over an optimistic-channel epoch state.
+pub fn statement_opt_state(pid: &ProtocolId, epoch: u64, entries_digest: &[u8; 32]) -> Vec<u8> {
+    statement("opt-state", pid, &[&epoch.to_be_bytes(), entries_digest])
+}
+
+// --- wire impls ------------------------------------------------------------
+
+impl Wire for PartyId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.0 as u32).encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PartyId(r.u32()? as usize))
+    }
+}
+
+impl Wire for MainVote {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let code: u8 = match self {
+            MainVote::Value(false) => 0,
+            MainVote::Value(true) => 1,
+            MainVote::Abstain => 2,
+        };
+        buf.push(code);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(MainVote::Value(false)),
+            1 => Ok(MainVote::Value(true)),
+            2 => Ok(MainVote::Abstain),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for PreVoteJust {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PreVoteJust::Initial => buf.push(0),
+            PreVoteJust::Hard(sig) => {
+                buf.push(1);
+                sig.encode(buf);
+            }
+            PreVoteJust::Soft { sig, coin_shares } => {
+                buf.push(2);
+                sig.encode(buf);
+                coin_shares.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(PreVoteJust::Initial),
+            1 => Ok(PreVoteJust::Hard(ThresholdSignature::decode(r)?)),
+            2 => Ok(PreVoteJust::Soft {
+                sig: ThresholdSignature::decode(r)?,
+                coin_shares: Vec::<CoinShare>::decode(r)?,
+            }),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for MainVoteJust {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            MainVoteJust::Value(sig) => {
+                buf.push(0);
+                sig.encode(buf);
+            }
+            MainVoteJust::Abstain {
+                just0,
+                just1,
+                proof0,
+                proof1,
+            } => {
+                buf.push(1);
+                just0.encode(buf);
+                just1.encode(buf);
+                proof0.encode(buf);
+                proof1.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(MainVoteJust::Value(ThresholdSignature::decode(r)?)),
+            1 => Ok(MainVoteJust::Abstain {
+                just0: Box::<PreVoteJust>::decode(r)?,
+                just1: Box::<PreVoteJust>::decode(r)?,
+                proof0: Option::<Vec<u8>>::decode(r)?,
+                proof1: Option::<Vec<u8>>::decode(r)?,
+            }),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for PayloadKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            PayloadKind::App => 0,
+            PayloadKind::Close => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(PayloadKind::App),
+            1 => Ok(PayloadKind::Close),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for Payload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.origin.encode(buf);
+        self.seq.encode(buf);
+        self.kind.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Payload {
+            origin: PartyId::decode(r)?,
+            seq: r.u64()?,
+            kind: PayloadKind::decode(r)?,
+            data: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.payload.encode(buf);
+        self.signer.encode(buf);
+        self.sig.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Entry {
+            payload: Payload::decode(r)?,
+            signer: PartyId::decode(r)?,
+            sig: RsaSignature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Body {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Body::RbSend(p) => {
+                buf.push(0);
+                p.encode(buf);
+            }
+            Body::RbEcho(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+            Body::RbReady(d) => {
+                buf.push(2);
+                d.encode(buf);
+            }
+            Body::CbSend(p) => {
+                buf.push(3);
+                p.encode(buf);
+            }
+            Body::CbEcho(s) => {
+                buf.push(4);
+                s.encode(buf);
+            }
+            Body::CbFinal { payload, sig } => {
+                buf.push(5);
+                payload.encode(buf);
+                sig.encode(buf);
+            }
+            Body::BaPreVote {
+                round,
+                value,
+                just,
+                share,
+                proof,
+            } => {
+                buf.push(6);
+                round.encode(buf);
+                value.encode(buf);
+                just.encode(buf);
+                share.encode(buf);
+                proof.encode(buf);
+            }
+            Body::BaMainVote {
+                round,
+                vote,
+                just,
+                share,
+                proof,
+            } => {
+                buf.push(7);
+                round.encode(buf);
+                vote.encode(buf);
+                just.encode(buf);
+                share.encode(buf);
+                proof.encode(buf);
+            }
+            Body::BaCoinShare { round, share } => {
+                buf.push(8);
+                round.encode(buf);
+                share.encode(buf);
+            }
+            Body::BaDecide {
+                round,
+                value,
+                sig,
+                proof,
+            } => {
+                buf.push(9);
+                round.encode(buf);
+                value.encode(buf);
+                sig.encode(buf);
+                proof.encode(buf);
+            }
+            Body::VbaVote {
+                iteration,
+                yes,
+                closing,
+            } => {
+                buf.push(10);
+                iteration.encode(buf);
+                yes.encode(buf);
+                closing.encode(buf);
+            }
+            Body::AcEntry { round, entry } => {
+                buf.push(11);
+                round.encode(buf);
+                entry.encode(buf);
+            }
+            Body::ScShare { origin, seq, share } => {
+                buf.push(12);
+                origin.encode(buf);
+                seq.encode(buf);
+                share.encode(buf);
+            }
+            Body::OptSubmit { payload } => {
+                buf.push(13);
+                payload.encode(buf);
+            }
+            Body::OptAck {
+                phase,
+                epoch,
+                seq,
+                digest,
+                sig,
+            } => {
+                buf.push(14);
+                buf.push(*phase);
+                epoch.encode(buf);
+                seq.encode(buf);
+                digest.encode(buf);
+                sig.encode(buf);
+            }
+            Body::OptComplain { epoch } => {
+                buf.push(15);
+                epoch.encode(buf);
+            }
+            Body::OptState { epoch, state } => {
+                buf.push(16);
+                epoch.encode(buf);
+                state.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Body::RbSend(Vec::<u8>::decode(r)?),
+            1 => Body::RbEcho(Vec::<u8>::decode(r)?),
+            2 => Body::RbReady(<[u8; 32]>::decode(r)?),
+            3 => Body::CbSend(Vec::<u8>::decode(r)?),
+            4 => Body::CbEcho(SigShare::decode(r)?),
+            5 => Body::CbFinal {
+                payload: Vec::<u8>::decode(r)?,
+                sig: ThresholdSignature::decode(r)?,
+            },
+            6 => Body::BaPreVote {
+                round: r.u32()?,
+                value: bool::decode(r)?,
+                just: PreVoteJust::decode(r)?,
+                share: SigShare::decode(r)?,
+                proof: Option::<Vec<u8>>::decode(r)?,
+            },
+            7 => Body::BaMainVote {
+                round: r.u32()?,
+                vote: MainVote::decode(r)?,
+                just: MainVoteJust::decode(r)?,
+                share: SigShare::decode(r)?,
+                proof: Option::<Vec<u8>>::decode(r)?,
+            },
+            8 => Body::BaCoinShare {
+                round: r.u32()?,
+                share: CoinShare::decode(r)?,
+            },
+            9 => Body::BaDecide {
+                round: r.u32()?,
+                value: bool::decode(r)?,
+                sig: ThresholdSignature::decode(r)?,
+                proof: Option::<Vec<u8>>::decode(r)?,
+            },
+            10 => Body::VbaVote {
+                iteration: r.u32()?,
+                yes: bool::decode(r)?,
+                closing: Option::<Vec<u8>>::decode(r)?,
+            },
+            11 => Body::AcEntry {
+                round: r.u64()?,
+                entry: Entry::decode(r)?,
+            },
+            12 => Body::ScShare {
+                origin: PartyId::decode(r)?,
+                seq: r.u64()?,
+                share: DecryptionShare::decode(r)?,
+            },
+            13 => Body::OptSubmit {
+                payload: Payload::decode(r)?,
+            },
+            14 => Body::OptAck {
+                phase: r.u8()?,
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                digest: <[u8; 32]>::decode(r)?,
+                sig: RsaSignature::decode(r)?,
+            },
+            15 => Body::OptComplain { epoch: r.u64()? },
+            16 => Body::OptState {
+                epoch: r.u64()?,
+                state: Vec::<u8>::decode(r)?,
+            },
+            d => return Err(WireError::BadDiscriminant(d)),
+        })
+    }
+}
+
+impl Wire for Envelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self.pid.as_bytes());
+        self.body.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let pid_bytes = r.bytes()?.to_vec();
+        let pid_str = String::from_utf8(pid_bytes).map_err(|_| WireError::BadDiscriminant(0xFE))?;
+        Ok(Envelope {
+            pid: ProtocolId::new(pid_str),
+            body: Body::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(body: Body) {
+        let env = Envelope {
+            pid: ProtocolId::new("test/1"),
+            body,
+        };
+        let decoded = Envelope::from_bytes(&env.to_bytes()).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn body_roundtrips() {
+        roundtrip(Body::RbSend(b"payload".to_vec()));
+        roundtrip(Body::RbEcho(vec![]));
+        roundtrip(Body::RbReady([9u8; 32]));
+        roundtrip(Body::CbSend(b"x".to_vec()));
+        roundtrip(Body::BaCoinShare {
+            round: 7,
+            share: sintra_crypto::coin::CoinShare {
+                index: 2,
+                value: sintra_bigint::Ubig::from(99u64),
+                proof: sintra_crypto::dleq::DleqProof {
+                    challenge: sintra_bigint::Ubig::from(1u64),
+                    response: sintra_bigint::Ubig::from(2u64),
+                },
+            },
+        });
+        roundtrip(Body::VbaVote {
+            iteration: 3,
+            yes: true,
+            closing: Some(b"closing".to_vec()),
+        });
+        roundtrip(Body::AcEntry {
+            round: 12,
+            entry: Entry {
+                payload: Payload {
+                    origin: PartyId(1),
+                    seq: 42,
+                    kind: PayloadKind::Close,
+                    data: vec![1, 2, 3],
+                },
+                signer: PartyId(3),
+                sig: RsaSignature(sintra_bigint::Ubig::from(5u64)),
+            },
+        });
+    }
+
+    #[test]
+    fn prevote_just_roundtrips() {
+        let sig =
+            ThresholdSignature::Multi(vec![(1, RsaSignature(sintra_bigint::Ubig::from(3u64)))]);
+        roundtrip(Body::BaPreVote {
+            round: 2,
+            value: true,
+            just: PreVoteJust::Hard(sig.clone()),
+            share: SigShare {
+                index: 0,
+                body: sintra_crypto::thsig::SigShareBody::Multi {
+                    sig: RsaSignature(sintra_bigint::Ubig::from(8u64)),
+                },
+            },
+            proof: None,
+        });
+        roundtrip(Body::BaMainVote {
+            round: 2,
+            vote: MainVote::Abstain,
+            just: MainVoteJust::Abstain {
+                just0: Box::new(PreVoteJust::Initial),
+                just1: Box::new(PreVoteJust::Soft {
+                    sig,
+                    coin_shares: vec![],
+                }),
+                proof0: Some(b"p0".to_vec()),
+                proof1: None,
+            },
+            share: SigShare {
+                index: 1,
+                body: sintra_crypto::thsig::SigShareBody::Multi {
+                    sig: RsaSignature(sintra_bigint::Ubig::from(8u64)),
+                },
+            },
+            proof: None,
+        });
+    }
+
+    #[test]
+    fn statements_are_distinct() {
+        let pid = ProtocolId::new("x");
+        let other = ProtocolId::new("y");
+        let statements = [
+            statement_cb(&pid, b"m"),
+            statement_cb(&other, b"m"),
+            statement_pre_vote(&pid, 1, false),
+            statement_pre_vote(&pid, 1, true),
+            statement_pre_vote(&pid, 2, false),
+            statement_main_vote(&pid, 1, MainVote::Value(false)),
+            statement_main_vote(&pid, 1, MainVote::Abstain),
+            coin_name(&pid, 1),
+        ];
+        for (i, a) in statements.iter().enumerate() {
+            for (j, b) in statements.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "statements {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_statement_binds_round() {
+        let pid = ProtocolId::new("ch");
+        let payload = Payload {
+            origin: PartyId(0),
+            seq: 1,
+            kind: PayloadKind::App,
+            data: b"d".to_vec(),
+        };
+        assert_ne!(
+            statement_entry(&pid, 1, &payload),
+            statement_entry(&pid, 2, &payload)
+        );
+    }
+}

@@ -1,0 +1,535 @@
+//! The per-party protocol host.
+//!
+//! A [`Node`] is the SINTRA server process in miniature: it owns one
+//! party's key material and all of that party's live protocol instances,
+//! routes incoming envelopes to them by protocol id, and translates their
+//! state changes into [`Event`]s for the runtime. It is still sans-IO —
+//! runtimes feed it envelopes and transmit what it emits.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::agreement::{BinaryAgreement, CandidateOrder, MultiValuedAgreement};
+use crate::broadcast::{ReliableBroadcast, VerifiableConsistentBroadcast};
+use crate::channel::{
+    AtomicChannel, AtomicChannelConfig, ConsistentChannel, OptimisticChannel,
+    OptimisticChannelConfig, ReliableChannel, SecureAtomicChannel,
+};
+use crate::config::GroupContext;
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::Envelope;
+use crate::outgoing::{Event, Outgoing};
+use crate::validator::{ArrayValidator, BinaryValidator};
+
+/// Any top-level protocol instance a node can host.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum Instance {
+    ReliableBroadcast(ReliableBroadcast),
+    ConsistentBroadcast(VerifiableConsistentBroadcast),
+    BinaryAgreement(BinaryAgreement),
+    MultiValued(MultiValuedAgreement),
+    Atomic(AtomicChannel),
+    Secure(SecureAtomicChannel),
+    Optimistic(OptimisticChannel),
+    ReliableChannel(ReliableChannel),
+    ConsistentChannel(ConsistentChannel),
+}
+
+/// A party's protocol host.
+#[derive(Debug)]
+pub struct Node {
+    ctx: GroupContext,
+    instances: HashMap<ProtocolId, Instance>,
+    events: Vec<Event>,
+    /// Randomness for payload encryption on secure channels.
+    rng: StdRng,
+}
+
+impl Node {
+    /// Creates a node for a party. `seed` drives only the node's local
+    /// randomness (payload encryption); distinct parties should use
+    /// distinct seeds.
+    pub fn new(ctx: GroupContext, seed: u64) -> Self {
+        Node {
+            ctx,
+            instances: HashMap::new(),
+            events: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// This node's party identity.
+    pub fn me(&self) -> PartyId {
+        self.ctx.me()
+    }
+
+    /// The node's group context.
+    pub fn context(&self) -> &GroupContext {
+        &self.ctx
+    }
+
+    /// Drains events produced since the last call.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn register(&mut self, pid: ProtocolId, instance: Instance) {
+        let prev = self.instances.insert(pid.clone(), instance);
+        assert!(prev.is_none(), "duplicate protocol id {pid}");
+    }
+
+    /// Registers a reliable broadcast instance for `sender`.
+    pub fn create_reliable_broadcast(&mut self, pid: ProtocolId, sender: PartyId) {
+        let inst = ReliableBroadcast::new(pid.clone(), self.ctx.clone(), sender);
+        self.register(pid, Instance::ReliableBroadcast(inst));
+    }
+
+    /// Registers a (verifiable) consistent broadcast instance for `sender`.
+    pub fn create_consistent_broadcast(&mut self, pid: ProtocolId, sender: PartyId) {
+        let inst = VerifiableConsistentBroadcast::new(pid.clone(), self.ctx.clone(), sender);
+        self.register(pid, Instance::ConsistentBroadcast(inst));
+    }
+
+    /// Registers a binary agreement instance. `validator` enables the
+    /// validated variant; `bias` the biased one.
+    pub fn create_binary_agreement(
+        &mut self,
+        pid: ProtocolId,
+        validator: Option<BinaryValidator>,
+        bias: Option<bool>,
+    ) {
+        let mut inst = BinaryAgreement::new(pid.clone(), self.ctx.clone());
+        if let Some(v) = validator {
+            inst = inst.with_validator(v);
+        }
+        if let Some(b) = bias {
+            inst = inst.with_bias(b);
+        }
+        self.register(pid, Instance::BinaryAgreement(inst));
+    }
+
+    /// Registers a multi-valued agreement instance.
+    pub fn create_multi_valued(
+        &mut self,
+        pid: ProtocolId,
+        validator: ArrayValidator,
+        order: CandidateOrder,
+    ) {
+        let inst = MultiValuedAgreement::new(pid.clone(), self.ctx.clone(), validator, order);
+        self.register(pid, Instance::MultiValued(inst));
+    }
+
+    /// Opens an atomic broadcast channel.
+    pub fn create_atomic_channel(&mut self, pid: ProtocolId, config: AtomicChannelConfig) {
+        let inst = AtomicChannel::new(pid.clone(), self.ctx.clone(), config);
+        self.register(pid, Instance::Atomic(inst));
+    }
+
+    /// Opens a secure causal atomic broadcast channel.
+    pub fn create_secure_channel(&mut self, pid: ProtocolId, config: AtomicChannelConfig) {
+        let inst = SecureAtomicChannel::new(pid.clone(), self.ctx.clone(), config);
+        self.register(pid, Instance::Secure(inst));
+    }
+
+    /// Opens an optimistic (leader-sequenced) atomic broadcast channel.
+    pub fn create_optimistic_channel(&mut self, pid: ProtocolId, config: OptimisticChannelConfig) {
+        let inst = OptimisticChannel::new(pid.clone(), self.ctx.clone(), config);
+        self.register(pid, Instance::Optimistic(inst));
+    }
+
+    /// Opens a reliable channel.
+    pub fn create_reliable_channel(&mut self, pid: ProtocolId) {
+        let inst = ReliableChannel::new(pid.clone(), self.ctx.clone());
+        self.register(pid, Instance::ReliableChannel(inst));
+    }
+
+    /// Opens a reliable channel with a bounded number of own broadcasts in
+    /// flight (`1` models SINTRA's sequential sender thread).
+    pub fn create_reliable_channel_windowed(&mut self, pid: ProtocolId, window: usize) {
+        let inst = ReliableChannel::new(pid.clone(), self.ctx.clone()).with_send_window(window);
+        self.register(pid, Instance::ReliableChannel(inst));
+    }
+
+    /// Opens a consistent channel.
+    pub fn create_consistent_channel(&mut self, pid: ProtocolId) {
+        let inst = ConsistentChannel::new(pid.clone(), self.ctx.clone());
+        self.register(pid, Instance::ConsistentChannel(inst));
+    }
+
+    /// Opens a consistent channel with a bounded send window.
+    pub fn create_consistent_channel_windowed(&mut self, pid: ProtocolId, window: usize) {
+        let inst = ConsistentChannel::new(pid.clone(), self.ctx.clone()).with_send_window(window);
+        self.register(pid, Instance::ConsistentChannel(inst));
+    }
+
+    /// Starts a broadcast (this party must be the instance's sender).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a broadcast instance of this node.
+    pub fn broadcast_send(&mut self, pid: &ProtocolId, payload: Vec<u8>, out: &mut Outgoing) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::ReliableBroadcast(b)) => b.send(payload, out),
+            Some(Instance::ConsistentBroadcast(b)) => b.send(payload, out),
+            _ => panic!("no broadcast instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Proposes a value to a binary agreement instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a binary agreement instance.
+    pub fn propose_binary(
+        &mut self,
+        pid: &ProtocolId,
+        value: bool,
+        proof: Vec<u8>,
+        out: &mut Outgoing,
+    ) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::BinaryAgreement(a)) => a.propose(value, proof, out),
+            _ => panic!("no binary agreement instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Proposes a value to a multi-valued agreement instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a multi-valued agreement instance.
+    pub fn propose_multi(&mut self, pid: &ProtocolId, value: Vec<u8>, out: &mut Outgoing) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::MultiValued(a)) => a.propose(value, out),
+            _ => panic!("no multi-valued agreement instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Sends a payload on a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a channel of this node, or the channel is
+    /// closing.
+    pub fn channel_send(&mut self, pid: &ProtocolId, data: Vec<u8>, out: &mut Outgoing) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::Atomic(c)) => c.send(data, out),
+            Some(Instance::Secure(c)) => c.send(data, &mut self.rng, out),
+            Some(Instance::Optimistic(c)) => c.send(data, out),
+            Some(Instance::ReliableChannel(c)) => c.send(data, out),
+            Some(Instance::ConsistentChannel(c)) => c.send(data, out),
+            _ => panic!("no channel instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Whether a channel currently accepts sends.
+    pub fn channel_can_send(&self, pid: &ProtocolId) -> bool {
+        match self.instances.get(pid) {
+            Some(Instance::Atomic(c)) => c.can_send(),
+            Some(Instance::Secure(c)) => c.can_send(),
+            Some(Instance::Optimistic(c)) => c.can_send(),
+            Some(Instance::ReliableChannel(c)) => c.can_send(),
+            Some(Instance::ConsistentChannel(c)) => c.can_send(),
+            _ => false,
+        }
+    }
+
+    /// Requests termination of a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a channel of this node.
+    pub fn channel_close(&mut self, pid: &ProtocolId, out: &mut Outgoing) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::Atomic(c)) => c.close(out),
+            Some(Instance::Secure(c)) => c.close(out),
+            Some(Instance::Optimistic(c)) => c.close(out),
+            Some(Instance::ReliableChannel(c)) => c.close(out),
+            Some(Instance::ConsistentChannel(c)) => c.close(out),
+            _ => panic!("no channel instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Injects an externally produced ciphertext into a secure channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a secure channel of this node.
+    pub fn channel_send_ciphertext(
+        &mut self,
+        pid: &ProtocolId,
+        ciphertext: Vec<u8>,
+        out: &mut Outgoing,
+    ) {
+        match self.instances.get_mut(pid) {
+            Some(Instance::Secure(c)) => c.send_ciphertext(ciphertext, out),
+            _ => panic!("no secure channel instance {pid}"),
+        }
+        self.harvest();
+    }
+
+    /// Routes an incoming envelope to the owning instance. Unroutable
+    /// envelopes are dropped (the sender may be corrupt).
+    pub fn handle_envelope(&mut self, from: PartyId, envelope: &Envelope, out: &mut Outgoing) {
+        // Find the unique root instance whose pid prefixes the envelope's.
+        let target = self
+            .instances
+            .keys()
+            .find(|root| envelope.pid.is_self_or_descendant_of(root))
+            .cloned();
+        let Some(root) = target else { return };
+        match self.instances.get_mut(&root).expect("key exists") {
+            Instance::ReliableBroadcast(b) => b.handle(from, &envelope.body, out),
+            Instance::ConsistentBroadcast(b) => b.handle(from, &envelope.body, out),
+            Instance::BinaryAgreement(a) => a.handle(from, &envelope.body, out),
+            Instance::MultiValued(a) => a.handle(from, &envelope.pid, &envelope.body, out),
+            Instance::Atomic(c) => c.handle(from, &envelope.pid, &envelope.body, out),
+            Instance::Secure(c) => c.handle(from, &envelope.pid, &envelope.body, out),
+            Instance::Optimistic(c) => c.handle(from, &envelope.pid, &envelope.body, out),
+            Instance::ReliableChannel(c) => c.handle(from, &envelope.pid, &envelope.body, out),
+            Instance::ConsistentChannel(c) => c.handle(from, &envelope.pid, &envelope.body, out),
+        }
+        self.harvest();
+    }
+
+    /// Routes a timer expiry to the owning instance (only the optimistic
+    /// channel uses timers; other instances ignore them).
+    pub fn handle_timer(&mut self, pid: &ProtocolId, token: u64, out: &mut Outgoing) {
+        let target = self
+            .instances
+            .keys()
+            .find(|root| pid.is_self_or_descendant_of(root))
+            .cloned();
+        let Some(root) = target else { return };
+        if let Instance::Optimistic(c) = self.instances.get_mut(&root).expect("key exists") {
+            c.handle_timer(token, out);
+        }
+        self.harvest();
+    }
+
+    /// Translates instance state changes into events.
+    fn harvest(&mut self) {
+        for (pid, instance) in self.instances.iter_mut() {
+            match instance {
+                Instance::ReliableBroadcast(b) => {
+                    if let Some(payload) = b.take_delivery() {
+                        self.events.push(Event::BroadcastDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                }
+                Instance::ConsistentBroadcast(b) => {
+                    if let Some(payload) = b.take_delivery() {
+                        self.events.push(Event::BroadcastDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                }
+                Instance::BinaryAgreement(a) => {
+                    if let Some((value, proof)) = a.take_decision() {
+                        self.events.push(Event::BinaryDecided {
+                            pid: pid.clone(),
+                            value,
+                            proof,
+                        });
+                    }
+                }
+                Instance::MultiValued(a) => {
+                    if let Some(value) = a.take_decision() {
+                        self.events.push(Event::MultiDecided {
+                            pid: pid.clone(),
+                            value,
+                        });
+                    }
+                }
+                Instance::Atomic(c) => {
+                    while let Some(payload) = c.take_delivery() {
+                        self.events.push(Event::ChannelDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                    if c.take_closed() {
+                        self.events.push(Event::ChannelClosed { pid: pid.clone() });
+                    }
+                }
+                Instance::Secure(c) => {
+                    while let Some((origin, seq, ciphertext)) = c.take_ordered_ciphertext() {
+                        self.events.push(Event::CiphertextOrdered {
+                            pid: pid.clone(),
+                            origin,
+                            seq,
+                            ciphertext,
+                        });
+                    }
+                    while let Some(payload) = c.take_delivery() {
+                        self.events.push(Event::ChannelDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                    if c.take_closed() {
+                        self.events.push(Event::ChannelClosed { pid: pid.clone() });
+                    }
+                }
+                Instance::Optimistic(c) => {
+                    while let Some(payload) = c.take_delivery() {
+                        self.events.push(Event::ChannelDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                    if c.take_closed() {
+                        self.events.push(Event::ChannelClosed { pid: pid.clone() });
+                    }
+                }
+                Instance::ReliableChannel(c) => {
+                    while let Some(payload) = c.take_delivery() {
+                        self.events.push(Event::ChannelDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                    if c.take_closed() {
+                        self.events.push(Event::ChannelClosed { pid: pid.clone() });
+                    }
+                }
+                Instance::ConsistentChannel(c) => {
+                    while let Some(payload) = c.take_delivery() {
+                        self.events.push(Event::ChannelDelivered {
+                            pid: pid.clone(),
+                            payload,
+                        });
+                    }
+                    if c.take_closed() {
+                        self.events.push(Event::ChannelClosed { pid: pid.clone() });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outgoing::Recipient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    fn nodes(n: usize, t: usize) -> Vec<Node> {
+        let mut rng = StdRng::seed_from_u64(47);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| Node::new(GroupContext::new(Arc::new(k)), i as u64))
+            .collect()
+    }
+
+    fn pump(nodes: &mut [Node], outs: Vec<(usize, Outgoing)>) {
+        let n = nodes.len();
+        let mut queue: VecDeque<(PartyId, usize, Envelope)> = VecDeque::new();
+        let push = |queue: &mut VecDeque<_>, from: usize, mut out: Outgoing| {
+            for (recipient, env) in out.drain() {
+                match recipient {
+                    Recipient::All => {
+                        for to in 0..n {
+                            queue.push_back((PartyId(from), to, env.clone()));
+                        }
+                    }
+                    Recipient::One(p) => queue.push_back((PartyId(from), p.0, env)),
+                }
+            }
+        };
+        for (from, out) in outs {
+            push(&mut queue, from, out);
+        }
+        while let Some((from, to, env)) = queue.pop_front() {
+            let mut out = Outgoing::new();
+            nodes[to].handle_envelope(from, &env, &mut out);
+            push(&mut queue, to, out);
+        }
+    }
+
+    #[test]
+    fn node_hosts_full_stack() {
+        let mut ns = nodes(4, 1);
+        let rb_pid = ProtocolId::new("rb");
+        let ba_pid = ProtocolId::new("ba");
+        let ac_pid = ProtocolId::new("ac");
+        for node in ns.iter_mut() {
+            node.create_reliable_broadcast(rb_pid.clone(), PartyId(0));
+            node.create_binary_agreement(ba_pid.clone(), None, None);
+            node.create_atomic_channel(ac_pid.clone(), AtomicChannelConfig::default());
+        }
+        let mut outs = Vec::new();
+        let mut out0 = Outgoing::new();
+        ns[0].broadcast_send(&rb_pid, b"hi".to_vec(), &mut out0);
+        ns[0].channel_send(&ac_pid, b"ordered".to_vec(), &mut out0);
+        outs.push((0usize, out0));
+        for (i, node) in ns.iter_mut().enumerate() {
+            let mut out = Outgoing::new();
+            node.propose_binary(&ba_pid, i % 2 == 0, Vec::new(), &mut out);
+            outs.push((i, out));
+        }
+        pump(&mut ns, outs);
+        for (i, node) in ns.iter_mut().enumerate() {
+            let events = node.take_events();
+            assert!(
+                events.iter().any(|e| matches!(
+                    e,
+                    Event::BroadcastDelivered { payload, .. } if payload == b"hi"
+                )),
+                "party {i} broadcast"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::BinaryDecided { .. })),
+                "party {i} agreement"
+            );
+            assert!(
+                events.iter().any(|e| matches!(
+                    e,
+                    Event::ChannelDelivered { payload, .. } if payload.data == b"ordered"
+                )),
+                "party {i} channel"
+            );
+        }
+    }
+
+    #[test]
+    fn unroutable_envelope_dropped() {
+        let mut ns = nodes(4, 1);
+        let env = Envelope {
+            pid: ProtocolId::new("nonexistent"),
+            body: crate::message::Body::RbSend(vec![1]),
+        };
+        let mut out = Outgoing::new();
+        ns[0].handle_envelope(PartyId(1), &env, &mut out);
+        assert!(out.is_empty());
+        assert!(ns[0].take_events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate protocol id")]
+    fn duplicate_pid_rejected() {
+        let mut ns = nodes(4, 1);
+        ns[0].create_reliable_broadcast(ProtocolId::new("x"), PartyId(0));
+        ns[0].create_reliable_broadcast(ProtocolId::new("x"), PartyId(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Outgoing-message collection and locally observable protocol events.
+
+use crate::ids::{PartyId, ProtocolId};
+use crate::message::{Body, Envelope, Payload};
+
+/// Destination of an outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipient {
+    /// All parties, including the sender itself (self-delivery is routed
+    /// locally by the runtime, matching the paper's model where a party is
+    /// also a receiver of its own broadcasts).
+    All,
+    /// A single party.
+    One(PartyId),
+}
+
+/// A timer request from a protocol instance.
+///
+/// Timers exist *only* for liveness heuristics (the optimistic channel's
+/// leader-suspicion timeout); no safety property of any protocol depends
+/// on them — the asynchronous model would forbid that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// The instance that wants to be woken.
+    pub pid: ProtocolId,
+    /// Opaque token handed back on expiry.
+    pub token: u64,
+    /// Requested delay in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// Sink for messages a protocol step wants transmitted.
+///
+/// Protocol state machines never perform IO; they push `(recipient,
+/// envelope)` pairs here and the runtime transmits them.
+#[derive(Debug, Default)]
+pub struct Outgoing {
+    messages: Vec<(Recipient, Envelope)>,
+    timers: Vec<TimerRequest>,
+}
+
+impl Outgoing {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a message to a single party.
+    pub fn send_to(&mut self, to: PartyId, pid: &ProtocolId, body: Body) {
+        self.messages.push((
+            Recipient::One(to),
+            Envelope {
+                pid: pid.clone(),
+                body,
+            },
+        ));
+    }
+
+    /// Queues a message to every party (including self).
+    pub fn send_all(&mut self, pid: &ProtocolId, body: Body) {
+        self.messages.push((
+            Recipient::All,
+            Envelope {
+                pid: pid.clone(),
+                body,
+            },
+        ));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Requests a wake-up call for `pid` after roughly `delay_ms`.
+    pub fn set_timer(&mut self, pid: &ProtocolId, token: u64, delay_ms: u64) {
+        self.timers.push(TimerRequest {
+            pid: pid.clone(),
+            token,
+            delay_ms,
+        });
+    }
+
+    /// Drains the queued timer requests.
+    pub fn drain_timers(&mut self) -> Vec<TimerRequest> {
+        std::mem::take(&mut self.timers)
+    }
+
+    /// Drains the queued messages.
+    pub fn drain(&mut self) -> Vec<(Recipient, Envelope)> {
+        std::mem::take(&mut self.messages)
+    }
+
+    /// Iterates over queued messages without draining.
+    pub fn iter(&self) -> impl Iterator<Item = &(Recipient, Envelope)> {
+        self.messages.iter()
+    }
+}
+
+/// A locally observable protocol output, surfaced by [`crate::node::Node`]
+/// to the runtime and application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A broadcast primitive delivered its payload.
+    BroadcastDelivered {
+        /// Instance that delivered.
+        pid: ProtocolId,
+        /// The payload.
+        payload: Vec<u8>,
+    },
+    /// A binary agreement instance decided.
+    BinaryDecided {
+        /// Instance that decided.
+        pid: ProtocolId,
+        /// Decision value.
+        value: bool,
+        /// Validation data for the decided value (validated agreement).
+        proof: Option<Vec<u8>>,
+    },
+    /// A multi-valued agreement instance decided.
+    MultiDecided {
+        /// Instance that decided.
+        pid: ProtocolId,
+        /// The agreed-upon value.
+        value: Vec<u8>,
+    },
+    /// A channel delivered the next payload in its (total or per-sender)
+    /// order.
+    ChannelDelivered {
+        /// The channel instance.
+        pid: ProtocolId,
+        /// The delivered payload with its origin identification.
+        payload: Payload,
+    },
+    /// A secure causal atomic channel fixed the position of a ciphertext
+    /// (the `receiveCiphertext` point of the Java API) before decryption.
+    CiphertextOrdered {
+        /// The channel instance.
+        pid: ProtocolId,
+        /// Origin of the ciphertext payload.
+        origin: PartyId,
+        /// Origin sequence number.
+        seq: u64,
+        /// The ciphertext bytes.
+        ciphertext: Vec<u8>,
+    },
+    /// A channel terminated after `t + 1` close requests.
+    ChannelClosed {
+        /// The channel instance.
+        pid: ProtocolId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_collects_and_drains() {
+        let pid = ProtocolId::new("x");
+        let mut out = Outgoing::new();
+        assert!(out.is_empty());
+        out.send_all(&pid, Body::RbSend(vec![1]));
+        out.send_to(PartyId(2), &pid, Body::RbReady([0; 32]));
+        assert_eq!(out.len(), 2);
+        let drained = out.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(out.is_empty());
+        assert_eq!(drained[0].0, Recipient::All);
+        assert_eq!(drained[1].0, Recipient::One(PartyId(2)));
+    }
+}

@@ -1,0 +1,101 @@
+//! External-validity callbacks for validated agreement (paper §2.3–2.4).
+//!
+//! Validated agreement changes the standard validity condition: an honest
+//! party may only decide a value accompanied by validation data accepted
+//! by an application-supplied predicate. These are SINTRA's
+//! `BinaryValidator` / `ArrayValidator` interfaces.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The boxed predicate behind a [`BinaryValidator`].
+type BinaryPredicate = Arc<dyn Fn(bool, &[u8]) -> bool + Send + Sync>;
+
+/// The boxed predicate behind an [`ArrayValidator`].
+type ArrayPredicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
+
+/// Predicate validating a binary agreement value with its proof.
+///
+/// Cloneable and shareable across protocol instances.
+#[derive(Clone)]
+pub struct BinaryValidator(BinaryPredicate);
+
+impl BinaryValidator {
+    /// Wraps a predicate.
+    pub fn new(f: impl Fn(bool, &[u8]) -> bool + Send + Sync + 'static) -> Self {
+        BinaryValidator(Arc::new(f))
+    }
+
+    /// Accepts every value — the configuration used by plain (non-
+    /// validated) binary agreement.
+    pub fn always() -> Self {
+        BinaryValidator::new(|_, _| true)
+    }
+
+    /// Evaluates the predicate.
+    pub fn is_valid(&self, value: bool, proof: &[u8]) -> bool {
+        (self.0)(value, proof)
+    }
+}
+
+impl fmt::Debug for BinaryValidator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BinaryValidator(..)")
+    }
+}
+
+/// Predicate validating a multi-valued agreement value.
+#[derive(Clone)]
+pub struct ArrayValidator(ArrayPredicate);
+
+impl ArrayValidator {
+    /// Wraps a predicate.
+    pub fn new(f: impl Fn(&[u8]) -> bool + Send + Sync + 'static) -> Self {
+        ArrayValidator(Arc::new(f))
+    }
+
+    /// Accepts every value.
+    pub fn always() -> Self {
+        ArrayValidator::new(|_| true)
+    }
+
+    /// Evaluates the predicate.
+    pub fn is_valid(&self, value: &[u8]) -> bool {
+        (self.0)(value)
+    }
+}
+
+impl fmt::Debug for ArrayValidator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ArrayValidator(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_validator_dispatch() {
+        let v = BinaryValidator::new(|value, proof| value == (proof == b"yes"));
+        assert!(v.is_valid(true, b"yes"));
+        assert!(v.is_valid(false, b"no"));
+        assert!(!v.is_valid(true, b"no"));
+        assert!(BinaryValidator::always().is_valid(false, b""));
+    }
+
+    #[test]
+    fn array_validator_dispatch() {
+        let v = ArrayValidator::new(|value| value.len() > 2);
+        assert!(v.is_valid(b"abc"));
+        assert!(!v.is_valid(b"ab"));
+        assert!(ArrayValidator::always().is_valid(b""));
+    }
+
+    #[test]
+    fn validators_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<BinaryValidator>();
+        check::<ArrayValidator>();
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based tests for the protocol layer: wire-codec round-trips
+//! and fuzzing, statement-collision freedom, and protocol safety under
+//! randomized message schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use sintra_core::agreement::{BinaryAgreement, CandidateOrder, MultiValuedAgreement};
+use sintra_core::message::{
+    payload_digest, statement_cb, statement_entry, statement_pre_vote, Body, Envelope, Payload,
+    PayloadKind,
+};
+use sintra_core::validator::ArrayValidator;
+use sintra_core::wire::Wire;
+use sintra_core::{GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
+use sintra_crypto::dealer::{deal, DealerConfig};
+use sintra_crypto::rsa::RsaSignature;
+
+fn group(n: usize, t: usize, seed: u64) -> Vec<GroupContext> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    deal(&DealerConfig::small(n, t), &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(|k| GroupContext::new(Arc::new(k)))
+        .collect()
+}
+
+/// A strategy over structurally interesting message bodies.
+fn body_strategy() -> impl Strategy<Value = Body> {
+    let bytes = prop::collection::vec(any::<u8>(), 0..64);
+    prop_oneof![
+        bytes.clone().prop_map(Body::RbSend),
+        bytes.clone().prop_map(Body::RbEcho),
+        any::<[u8; 32]>().prop_map(Body::RbReady),
+        bytes.clone().prop_map(Body::CbSend),
+        (any::<u32>(), any::<bool>(), prop::option::of(bytes.clone())).prop_map(
+            |(iteration, yes, closing)| Body::VbaVote {
+                iteration,
+                yes,
+                closing,
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            bytes,
+            any::<bool>()
+        )
+            .prop_map(|(round, origin, seq, data, close)| Body::AcEntry {
+                round,
+                entry: sintra_core::message::Entry {
+                    payload: Payload {
+                        origin: PartyId(origin as usize),
+                        seq,
+                        kind: if close {
+                            PayloadKind::Close
+                        } else {
+                            PayloadKind::App
+                        },
+                        data,
+                    },
+                    signer: PartyId(origin as usize),
+                    sig: RsaSignature(sintra_bigint::Ubig::from(seq)),
+                },
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn envelope_roundtrip(body in body_strategy(), pid in "[a-z]{1,12}(/[a-z0-9]{1,6}){0,3}") {
+        let env = Envelope {
+            pid: ProtocolId::new(pid),
+            body,
+        };
+        prop_assert_eq!(Envelope::from_bytes(&env.to_bytes()).unwrap(), env);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzz(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must decode to a value or a clean error; the
+        // decoder is directly exposed to Byzantine input.
+        let _ = Envelope::from_bytes(&data);
+        let _ = Body::from_bytes(&data);
+        let _ = Payload::from_bytes(&data);
+    }
+
+    #[test]
+    fn decode_of_truncation_errors_cleanly(body in body_strategy()) {
+        let env = Envelope {
+            pid: ProtocolId::new("p"),
+            body,
+        };
+        let bytes = env.to_bytes();
+        for cut in 0..bytes.len().min(48) {
+            match Envelope::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) if cut == bytes.len() => {}
+                Ok(v) => prop_assert!(false, "truncated decode succeeded: {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn statements_never_collide_across_contexts(
+        round_a in 1u32..100,
+        round_b in 1u32..100,
+        value_a in any::<bool>(),
+        value_b in any::<bool>(),
+    ) {
+        let pid = ProtocolId::new("x");
+        if (round_a, value_a) != (round_b, value_b) {
+            prop_assert_ne!(
+                statement_pre_vote(&pid, round_a, value_a),
+                statement_pre_vote(&pid, round_b, value_b)
+            );
+        }
+        // Different statement families never collide even on equal fields.
+        prop_assert_ne!(
+            statement_pre_vote(&pid, round_a, value_a),
+            statement_cb(&pid, &[value_a as u8])
+        );
+    }
+
+    #[test]
+    fn entry_statement_binds_every_field(
+        round in any::<u64>(),
+        seq_a in any::<u64>(),
+        seq_b in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        prop_assume!(seq_a != seq_b);
+        let pid = ProtocolId::new("ch");
+        let mk = |seq| Payload {
+            origin: PartyId(0),
+            seq,
+            kind: PayloadKind::App,
+            data: data.clone(),
+        };
+        prop_assert_ne!(
+            statement_entry(&pid, round, &mk(seq_a)),
+            statement_entry(&pid, round, &mk(seq_b))
+        );
+    }
+
+    #[test]
+    fn payload_digest_is_injective_on_samples(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if a != b {
+            prop_assert_ne!(payload_digest(&a), payload_digest(&b));
+        } else {
+            prop_assert_eq!(payload_digest(&a), payload_digest(&b));
+        }
+    }
+}
+
+/// Runs a full binary-agreement group under a randomly shuffled message
+/// schedule and checks agreement + validity.
+fn run_ba_with_schedule(proposals: &[bool], seed: u64) -> Vec<bool> {
+    let n = proposals.len();
+    let ctxs = group(n, (n - 1) / 3, seed);
+    let pid = ProtocolId::new(format!("ba-sched-{seed}"));
+    let mut instances: Vec<BinaryAgreement> = ctxs
+        .iter()
+        .map(|c| BinaryAgreement::new(pid.clone(), c.clone()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut queue: Vec<(PartyId, usize, Body)> = Vec::new();
+    let push = |queue: &mut Vec<(PartyId, usize, Body)>, from: usize, mut out: Outgoing| {
+        for (recipient, env) in out.drain() {
+            match recipient {
+                Recipient::All => {
+                    for to in 0..n {
+                        queue.push((PartyId(from), to, env.body.clone()));
+                    }
+                }
+                Recipient::One(p) => queue.push((PartyId(from), p.0, env.body)),
+            }
+        }
+    };
+    for (i, inst) in instances.iter_mut().enumerate() {
+        let mut out = Outgoing::new();
+        inst.propose(proposals[i], Vec::new(), &mut out);
+        push(&mut queue, i, out);
+    }
+    let mut steps = 0;
+    while !queue.is_empty() {
+        steps += 1;
+        assert!(steps < 2_000_000, "no termination under shuffle {seed}");
+        // Deliver a random queued message: an adversarial scheduler.
+        let idx = rng.gen_range(0..queue.len());
+        let (from, to, body) = queue.swap_remove(idx);
+        let mut out = Outgoing::new();
+        instances[to].handle(from, &body, &mut out);
+        push(&mut queue, to, out);
+    }
+    instances
+        .iter_mut()
+        .map(|i| i.take_decision().expect("decided").0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn binary_agreement_safe_under_random_schedules(
+        proposals in prop::collection::vec(any::<bool>(), 4..=4),
+        seed in any::<u64>(),
+    ) {
+        let decisions = run_ba_with_schedule(&proposals, seed);
+        // Agreement.
+        prop_assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+        // Validity.
+        prop_assert!(proposals.contains(&decisions[0]));
+    }
+}
+
+#[test]
+fn mvba_safe_under_shuffled_schedule() {
+    // One adversarially shuffled run of multi-valued agreement.
+    let ctxs = group(4, 1, 4242);
+    let pid = ProtocolId::new("vba-shuffle");
+    let mut instances: Vec<MultiValuedAgreement> = ctxs
+        .iter()
+        .map(|c| {
+            MultiValuedAgreement::new(
+                pid.clone(),
+                c.clone(),
+                ArrayValidator::always(),
+                CandidateOrder::LocalRandom,
+            )
+        })
+        .collect();
+    let proposals: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut queue: Vec<(PartyId, usize, ProtocolId, Body)> = Vec::new();
+    for (i, inst) in instances.iter_mut().enumerate() {
+        let mut out = Outgoing::new();
+        inst.propose(proposals[i].clone(), &mut out);
+        for (recipient, env) in out.drain() {
+            match recipient {
+                Recipient::All => {
+                    for to in 0..4 {
+                        queue.push((PartyId(i), to, env.pid.clone(), env.body.clone()));
+                    }
+                }
+                Recipient::One(p) => queue.push((PartyId(i), p.0, env.pid, env.body)),
+            }
+        }
+    }
+    let mut steps = 0;
+    while !queue.is_empty() {
+        steps += 1;
+        assert!(steps < 3_000_000);
+        queue.shuffle(&mut rng);
+        let (from, to, mpid, body) = queue.pop().expect("nonempty");
+        let mut out = Outgoing::new();
+        instances[to].handle(from, &mpid, &body, &mut out);
+        for (recipient, env) in out.drain() {
+            match recipient {
+                Recipient::All => {
+                    for dest in 0..4 {
+                        queue.push((PartyId(to), dest, env.pid.clone(), env.body.clone()));
+                    }
+                }
+                Recipient::One(p) => queue.push((PartyId(to), p.0, env.pid, env.body)),
+            }
+        }
+    }
+    let decisions: Vec<Vec<u8>> = instances
+        .iter_mut()
+        .map(|i| i.take_decision().expect("decided"))
+        .collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    assert!(proposals.contains(&decisions[0]));
+}

@@ -1,0 +1,183 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used for the bulk-encryption half of the hybrid threshold cryptosystem.
+//! The original SINTRA used MARS with 128-bit keys here; any symmetric
+//! cipher is interchangeable, and ChaCha20 is simple and fast in software.
+
+/// A ChaCha20 cipher instance with a fixed key and nonce.
+///
+/// Encryption and decryption are the same XOR operation:
+///
+/// ```
+/// use sintra_crypto::chacha::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut ct = b"attack at dawn".to_vec();
+/// ChaCha20::new(&key, &nonce).apply_keystream(&mut ct);
+/// assert_ne!(&ct, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce).apply_keystream(&mut ct);
+/// assert_eq!(&ct, b"attack at dawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and 96-bit nonce, starting at
+    /// block counter 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        state[12] = 0; // counter
+        for i in 0..3 {
+            state[13 + i] =
+                u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha20 { state }
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut working = self.state;
+        working[12] = counter;
+        let initial = working;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block 0) into `data` in place.
+    pub fn apply_keystream(&self, data: &mut [u8]) {
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(block_idx as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+/// One-shot symmetric encryption keyed from arbitrary bytes.
+///
+/// Derives a (key, nonce) pair from `key_material` with the crate KDF and
+/// XORs the keystream into a copy of `data`. Used by the hybrid threshold
+/// cryptosystem where the key material is a group element.
+pub fn seal(key_material: &[u8], data: &[u8]) -> Vec<u8> {
+    let derived = crate::hash::expand(b"sintra-chacha-kdf", key_material, 44);
+    let mut key = [0u8; 32];
+    let mut nonce = [0u8; 12];
+    key.copy_from_slice(&derived[..32]);
+    nonce.copy_from_slice(&derived[32..44]);
+    let mut out = data.to_vec();
+    ChaCha20::new(&key, &nonce).apply_keystream(&mut out);
+    out
+}
+
+/// Inverse of [`seal`] (the operation is an involution).
+pub fn open(key_material: &[u8], data: &[u8]) -> Vec<u8> {
+    seal(key_material, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 section 2.3.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        assert_eq!(
+            &block[..16],
+            &[
+                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+                0x71, 0xc4
+            ]
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 section 2.4.2 uses initial counter 1; replicate by
+        // prepending one block of padding and discarding it.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut buf = vec![0u8; 64 + plaintext.len()];
+        buf[64..].copy_from_slice(plaintext);
+        ChaCha20::new(&key, &nonce).apply_keystream(&mut buf);
+        assert_eq!(
+            &buf[64..64 + 16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
+            ]
+        );
+    }
+
+    #[test]
+    fn keystream_roundtrip_various_lengths() {
+        let key = [0x42; 32];
+        let nonce = [0x24; 12];
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut data = plain.clone();
+            ChaCha20::new(&key, &nonce).apply_keystream(&mut data);
+            if len > 0 {
+                assert_ne!(data, plain, "len {len}");
+            }
+            ChaCha20::new(&key, &nonce).apply_keystream(&mut data);
+            assert_eq!(data, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let key_material = b"a shared group element";
+        let msg = b"the payload";
+        let ct = seal(key_material, msg);
+        assert_ne!(&ct[..], &msg[..]);
+        assert_eq!(open(key_material, &ct), msg);
+    }
+
+    #[test]
+    fn seal_differs_per_key() {
+        assert_ne!(seal(b"k1", b"same message"), seal(b"k2", b"same message"));
+    }
+}

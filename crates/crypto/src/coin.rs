@@ -1,0 +1,328 @@
+//! The Cachin–Kursawe–Shoup threshold coin-tossing scheme.
+//!
+//! An `(n, k, t)` dual-threshold coin: `n` parties each hold a share of an
+//! unpredictable pseudorandom function `F`; any `k > t` shares evaluate
+//! `F(name)` for an arbitrary bit-string `name`, while `t` corrupted
+//! parties learn nothing. The construction works in a Schnorr group under
+//! the computational Diffie–Hellman assumption in the random-oracle model:
+//!
+//! * dealing: Shamir-share a random `x ∈ Z_q` as `x_i = f(i)`; publish
+//!   verification keys `V_i = g^{x_i}`;
+//! * share for coin `name`: `σ_i = ĝ^{x_i}` where `ĝ = H(name)` is a
+//!   full-domain hash into the group, plus a DLEQ proof that
+//!   `log_g V_i = log_ĝ σ_i`;
+//! * assembly: Lagrange interpolation in the exponent recovers
+//!   `ĝ^x = ĝ^{f(0)}`, which is hashed to the coin value.
+//!
+//! This is the randomness source of SINTRA's binary Byzantine agreement —
+//! the component that circumvents the FLP impossibility result.
+
+use rand::Rng;
+
+use sintra_bigint::Ubig;
+
+use crate::dleq::{self, DleqProof, DleqStatement};
+use crate::group::SchnorrGroup;
+use crate::polynomial::{lagrange_at_zero, Polynomial};
+use crate::{hash, CryptoError, Result};
+
+/// Public parameters of a dealt coin: thresholds and verification keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinPublicKey {
+    /// Total number of parties.
+    pub n: usize,
+    /// Shares needed to assemble a coin (`t < k <= n - t`).
+    pub k: usize,
+    /// `V_i = g^{x_i}` for each party `i` (0-based).
+    pub verification_keys: Vec<Ubig>,
+}
+
+/// One party's secret coin key `x_i = f(i+1)`.
+#[derive(Debug, Clone)]
+pub struct CoinSecretShare {
+    /// The holder's 0-based party index.
+    pub index: usize,
+    key: Ubig,
+}
+
+/// A released coin share: `σ_i = ĝ^{x_i}` plus its validity proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinShare {
+    /// 0-based index of the releasing party.
+    pub index: usize,
+    /// The share value `ĝ^{x_i}`.
+    pub value: Ubig,
+    /// DLEQ proof binding the share to the verification key.
+    pub proof: DleqProof,
+}
+
+/// A threshold coin instance: group + public key, shared by all parties.
+///
+/// See the crate-level docs for a usage example.
+#[derive(Debug, Clone)]
+pub struct CoinScheme {
+    group: SchnorrGroup,
+    public: CoinPublicKey,
+}
+
+const SHARE_DOMAIN: &[u8] = b"sintra-coin-share";
+
+impl CoinScheme {
+    /// Trusted-dealer key generation for `n` parties with reconstruction
+    /// threshold `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= n`.
+    pub fn deal<R: Rng + ?Sized>(
+        group: &SchnorrGroup,
+        n: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> (CoinPublicKey, Vec<CoinSecretShare>) {
+        assert!(k >= 1 && k <= n, "threshold must satisfy 1 <= k <= n");
+        let secret = group.random_exponent(rng);
+        let poly = Polynomial::random_with_constant(secret, k - 1, group.order(), rng);
+        let shares = poly.shares(n);
+        let verification_keys = shares.iter().map(|x| group.pow_g(x)).collect();
+        let secrets = shares
+            .into_iter()
+            .enumerate()
+            .map(|(index, key)| CoinSecretShare { index, key })
+            .collect();
+        (
+            CoinPublicKey {
+                n,
+                k,
+                verification_keys,
+            },
+            secrets,
+        )
+    }
+
+    /// Binds a scheme instance to a group and public key.
+    pub fn new(group: SchnorrGroup, public: CoinPublicKey) -> Self {
+        CoinScheme { group, public }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &CoinPublicKey {
+        &self.public
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Reconstruction threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.public.k
+    }
+
+    fn coin_base(&self, name: &[u8]) -> Ubig {
+        self.group.hash_to_group(b"sintra-coin-base", name)
+    }
+
+    /// Releases this party's share of the coin `name`.
+    pub fn release_share(&self, name: &[u8], secret: &CoinSecretShare) -> CoinShare {
+        let g_hat = self.coin_base(name);
+        let value = self.group.pow(&g_hat, &secret.key);
+        let stmt = DleqStatement {
+            g: self.group.generator(),
+            h: &self.public.verification_keys[secret.index],
+            u: &g_hat,
+            v: &value,
+        };
+        let proof = dleq::prove_deterministic(&self.group, SHARE_DOMAIN, &stmt, &secret.key);
+        CoinShare {
+            index: secret.index,
+            value,
+            proof,
+        }
+    }
+
+    /// Verifies a putative share of coin `name`.
+    pub fn verify_share(&self, name: &[u8], share: &CoinShare) -> bool {
+        if share.index >= self.public.n {
+            return false;
+        }
+        let g_hat = self.coin_base(name);
+        let stmt = DleqStatement {
+            g: self.group.generator(),
+            h: &self.public.verification_keys[share.index],
+            u: &g_hat,
+            v: &share.value,
+        };
+        dleq::verify(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+    }
+
+    /// Assembles `k` verified shares into `len` pseudorandom bytes.
+    ///
+    /// Shares are re-verified here (callers in BFT protocols may have
+    /// collected them from untrusted peers).
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `k` shares are supplied, on duplicate holder
+    /// indices, or when any share fails verification.
+    pub fn assemble(&self, name: &[u8], shares: &[CoinShare], len: usize) -> Result<Vec<u8>> {
+        if shares.len() < self.public.k {
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.public.k,
+                got: shares.len(),
+            });
+        }
+        let used = &shares[..self.public.k];
+        let mut seen = vec![false; self.public.n];
+        for share in used {
+            if share.index >= self.public.n {
+                return Err(CryptoError::InvalidShare { index: share.index });
+            }
+            if seen[share.index] {
+                return Err(CryptoError::DuplicateShare { index: share.index });
+            }
+            seen[share.index] = true;
+            if !self.verify_share(name, share) {
+                return Err(CryptoError::InvalidShare { index: share.index });
+            }
+        }
+        // Lagrange interpolation in the exponent at the 1-based points.
+        let points: Vec<u64> = used.iter().map(|s| s.index as u64 + 1).collect();
+        let lambdas = lagrange_at_zero(&points, self.group.order());
+        let mut acc = Ubig::one();
+        for (share, lambda) in used.iter().zip(lambdas.iter()) {
+            acc = self.group.mul(&acc, &self.group.pow(&share.value, lambda));
+        }
+        // acc = ĝ^{f(0)}; expand to the requested output length.
+        let mut input = acc.to_be_bytes();
+        input.extend_from_slice(name);
+        Ok(hash::expand(b"sintra-coin-out", &input, len))
+    }
+
+    /// Convenience: assembles the coin and returns its first bit, the form
+    /// binary Byzantine agreement consumes.
+    pub fn assemble_bit(&self, name: &[u8], shares: &[CoinShare]) -> Result<bool> {
+        let bytes = self.assemble(name, shares, 1)?;
+        Ok(bytes[0] & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, k: usize) -> (CoinScheme, Vec<CoinSecretShare>) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let group = SchnorrGroup::generate(96, 32, &mut rng);
+        let (public, secrets) = CoinScheme::deal(&group, n, k, &mut rng);
+        (CoinScheme::new(group, public), secrets)
+    }
+
+    #[test]
+    fn all_share_subsets_agree() {
+        let (scheme, secrets) = setup(4, 2);
+        let name = b"round 3";
+        let shares: Vec<CoinShare> = secrets
+            .iter()
+            .map(|s| scheme.release_share(name, s))
+            .collect();
+        let reference = scheme.assemble(name, &shares[0..2], 32).unwrap();
+        for subset in [[0usize, 2], [1, 3], [2, 3], [3, 0]] {
+            let sel = [shares[subset[0]].clone(), shares[subset[1]].clone()];
+            assert_eq!(
+                scheme.assemble(name, &sel, 32).unwrap(),
+                reference,
+                "subset {subset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_names_different_coins() {
+        let (scheme, secrets) = setup(4, 2);
+        let mk = |name: &[u8]| {
+            let shares: Vec<CoinShare> = secrets
+                .iter()
+                .take(2)
+                .map(|s| scheme.release_share(name, s))
+                .collect();
+            scheme.assemble(name, &shares, 16).unwrap()
+        };
+        assert_ne!(mk(b"coin-1"), mk(b"coin-2"));
+    }
+
+    #[test]
+    fn share_verification_catches_forgery() {
+        let (scheme, secrets) = setup(4, 2);
+        let name = b"c";
+        let mut share = scheme.release_share(name, &secrets[0]);
+        assert!(scheme.verify_share(name, &share));
+        // Tamper with the share value.
+        share.value = scheme.group().mul(&share.value, scheme.group().generator());
+        assert!(!scheme.verify_share(name, &share));
+        // Share for a different coin name does not verify.
+        let other = scheme.release_share(b"different", &secrets[0]);
+        assert!(!scheme.verify_share(name, &other));
+    }
+
+    #[test]
+    fn assemble_rejects_bad_inputs() {
+        let (scheme, secrets) = setup(4, 3);
+        let name = b"c";
+        let shares: Vec<CoinShare> = secrets
+            .iter()
+            .map(|s| scheme.release_share(name, s))
+            .collect();
+        assert!(matches!(
+            scheme.assemble(name, &shares[..2], 8),
+            Err(CryptoError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+        let dup = vec![shares[0].clone(), shares[0].clone(), shares[1].clone()];
+        assert!(matches!(
+            scheme.assemble(name, &dup, 8),
+            Err(CryptoError::DuplicateShare { index: 0 })
+        ));
+        let mut bad = shares[..3].to_vec();
+        bad[1].value = Ubig::from(4u64);
+        assert!(matches!(
+            scheme.assemble(name, &bad, 8),
+            Err(CryptoError::InvalidShare { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn coin_bits_are_balanced_ish() {
+        let (scheme, secrets) = setup(4, 2);
+        let mut ones = 0;
+        let total = 60;
+        for i in 0..total {
+            let name = format!("coin-{i}");
+            let shares: Vec<CoinShare> = secrets
+                .iter()
+                .take(2)
+                .map(|s| scheme.release_share(name.as_bytes(), s))
+                .collect();
+            if scheme.assemble_bit(name.as_bytes(), &shares).unwrap() {
+                ones += 1;
+            }
+        }
+        // Loose sanity bound: a constant coin would fail this.
+        assert!(ones > 10 && ones < 50, "got {ones}/{total} ones");
+    }
+
+    #[test]
+    fn output_length_is_respected() {
+        let (scheme, secrets) = setup(4, 2);
+        let shares: Vec<CoinShare> = secrets
+            .iter()
+            .take(2)
+            .map(|s| scheme.release_share(b"c", s))
+            .collect();
+        for len in [0usize, 1, 16, 33, 100] {
+            assert_eq!(scheme.assemble(b"c", &shares, len).unwrap().len(), len);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The trusted dealer.
+//!
+//! SINTRA's group model is static: a trusted process generates every
+//! party's key material once, at initialization (the paper notes efficient
+//! distributed key generation for these schemes was not known). The dealer
+//! here produces, for each of the `n` parties:
+//!
+//! * pairwise HMAC keys authenticating the point-to-point links;
+//! * a standard RSA signing key (atomic broadcast, multi-signatures);
+//! * a share of the `(n, t+1, t)` threshold coin;
+//! * a share of the `(n, t+1, t)` threshold cryptosystem;
+//! * shares of two threshold-signature setups: one with the broadcast
+//!   quorum `k = ⌈(n+t+1)/2⌉` (consistent broadcast) and one with
+//!   `k = n - t` (agreement-protocol justifications).
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::coin::{CoinScheme, CoinSecretShare};
+use crate::group::SchnorrGroup;
+use crate::hmac::HmacKey;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::thenc::{EncScheme, EncSecretShare};
+use crate::thsig::{deal_kits, ShoupModulus, SigFlavor, ThresholdSigKit, ThresholdSigPublic};
+use crate::{fixtures, Result};
+
+/// Where the dealer obtains expensive number-theoretic parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParamSource {
+    /// Use the embedded fixtures (instant; sizes limited to fixture sizes).
+    #[default]
+    Fixtures,
+    /// Generate everything freshly (slow at large sizes).
+    Generate,
+}
+
+/// Dealer configuration.
+#[derive(Debug, Clone)]
+pub struct DealerConfig {
+    /// Number of parties `n`.
+    pub n: usize,
+    /// Corruption bound `t` (requires `n > 3t`).
+    pub t: usize,
+    /// Schnorr-group modulus size in bits (coin + encryption).
+    pub group_bits: u32,
+    /// RSA modulus size in bits (signatures; Shoup modulus if selected).
+    pub rsa_bits: u32,
+    /// Threshold-signature flavor.
+    pub sig_flavor: SigFlavor,
+    /// Parameter source.
+    pub params: ParamSource,
+}
+
+impl DealerConfig {
+    /// A configuration mirroring the paper's defaults: 1024-bit keys,
+    /// multi-signatures, fixture parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n > 3 * t, "SINTRA requires n > 3t");
+        DealerConfig {
+            n,
+            t,
+            group_bits: 1024,
+            rsa_bits: 1024,
+            sig_flavor: SigFlavor::Multi,
+            params: ParamSource::Fixtures,
+        }
+    }
+
+    /// A small-key configuration for fast tests (128-bit moduli).
+    pub fn small(n: usize, t: usize) -> Self {
+        DealerConfig {
+            group_bits: 128,
+            rsa_bits: 128,
+            ..Self::new(n, t)
+        }
+    }
+
+    /// Sets the key sizes (builder style).
+    pub fn key_bits(mut self, group_bits: u32, rsa_bits: u32) -> Self {
+        self.group_bits = group_bits;
+        self.rsa_bits = rsa_bits;
+        self
+    }
+
+    /// Sets the threshold-signature flavor (builder style).
+    pub fn flavor(mut self, flavor: SigFlavor) -> Self {
+        self.sig_flavor = flavor;
+        self
+    }
+
+    /// Broadcast-quorum signature threshold `⌈(n+t+1)/2⌉`.
+    pub fn broadcast_threshold(&self) -> usize {
+        (self.n + self.t + 1).div_ceil(2)
+    }
+
+    /// Agreement-justification signature threshold `n - t`.
+    pub fn agreement_threshold(&self) -> usize {
+        self.n - self.t
+    }
+}
+
+/// Key material shared by (public to) every party in the group.
+#[derive(Debug, Clone)]
+pub struct CommonKeys {
+    /// Number of parties.
+    pub n: usize,
+    /// Corruption bound.
+    pub t: usize,
+    /// The threshold coin (public side).
+    pub coin: CoinScheme,
+    /// The threshold cryptosystem (public side).
+    pub enc: EncScheme,
+    /// Every party's standard RSA verification key.
+    pub sig_publics: Vec<RsaPublicKey>,
+    /// Threshold-signature public key at the broadcast quorum.
+    pub thsig_broadcast: ThresholdSigPublic,
+    /// Threshold-signature public key at the `n - t` quorum.
+    pub thsig_agreement: ThresholdSigPublic,
+}
+
+/// One party's complete key material.
+#[derive(Debug, Clone)]
+pub struct PartyKeys {
+    /// This party's 0-based index.
+    pub index: usize,
+    /// Shared public material.
+    pub common: Arc<CommonKeys>,
+    /// Pairwise link-authentication keys (`mac_keys[j]` authenticates the
+    /// link to party `j`; entry `index` is unused self-talk).
+    pub mac_keys: Vec<HmacKey>,
+    /// This party's standard RSA signing key.
+    pub sig_key: RsaPrivateKey,
+    /// Share of the threshold coin.
+    pub coin_secret: CoinSecretShare,
+    /// Share of the threshold cryptosystem.
+    pub enc_secret: EncSecretShare,
+    /// Threshold-signature kit at the broadcast quorum.
+    pub thsig_broadcast: ThresholdSigKit,
+    /// Threshold-signature kit at the `n - t` quorum.
+    pub thsig_agreement: ThresholdSigKit,
+}
+
+impl PartyKeys {
+    /// Number of parties in the group.
+    pub fn n(&self) -> usize {
+        self.common.n
+    }
+
+    /// Corruption bound `t`.
+    pub fn t(&self) -> usize {
+        self.common.t
+    }
+}
+
+/// Runs the trusted dealer, producing all parties' key material.
+///
+/// # Errors
+///
+/// Fails when [`ParamSource::Fixtures`] is selected and a requested size
+/// has no embedded fixture.
+pub fn deal<R: Rng + ?Sized>(config: &DealerConfig, rng: &mut R) -> Result<Vec<PartyKeys>> {
+    assert!(config.n > 3 * config.t, "SINTRA requires n > 3t");
+    let n = config.n;
+
+    // Discrete-log setting.
+    let group = match config.params {
+        ParamSource::Fixtures => fixtures::schnorr_group(config.group_bits)?,
+        ParamSource::Generate => {
+            let q_bits = 160.min(config.group_bits / 2);
+            SchnorrGroup::generate(config.group_bits, q_bits, rng)
+        }
+    };
+
+    // Standard RSA keys, one per party.
+    let sig_keys: Vec<RsaPrivateKey> = match config.params {
+        ParamSource::Fixtures => fixtures::rsa_keys(config.rsa_bits, n)?,
+        ParamSource::Generate => (0..n)
+            .map(|_| RsaPrivateKey::generate(config.rsa_bits, rng))
+            .collect(),
+    };
+    let sig_publics: Vec<RsaPublicKey> = sig_keys.iter().map(|k| k.public().clone()).collect();
+
+    // Threshold coin and cryptosystem at k = t + 1.
+    let (coin_public, coin_secrets) = CoinScheme::deal(&group, n, config.t + 1, rng);
+    let (enc_public, enc_secrets) = EncScheme::deal(&group, n, config.t + 1, rng);
+
+    // Threshold signatures at the two quorums used by the protocols.
+    let shoup_modulus: Option<ShoupModulus> = match config.sig_flavor {
+        SigFlavor::Multi => None,
+        SigFlavor::ShoupRsa => Some(match config.params {
+            ParamSource::Fixtures => fixtures::shoup_modulus(config.rsa_bits)?,
+            ParamSource::Generate => ShoupModulus::generate(config.rsa_bits, rng),
+        }),
+    };
+    let broadcast_kits = deal_kits(
+        config.sig_flavor,
+        n,
+        config.broadcast_threshold(),
+        &sig_keys,
+        shoup_modulus.as_ref(),
+        rng,
+    );
+    let agreement_kits = deal_kits(
+        config.sig_flavor,
+        n,
+        config.agreement_threshold(),
+        &sig_keys,
+        shoup_modulus.as_ref(),
+        rng,
+    );
+
+    // Pairwise MAC keys from a dealer master secret.
+    let master: Vec<u8> = (0..32).map(|_| rng.gen::<u8>()).collect();
+    let pair_key = |i: usize, j: usize| -> HmacKey {
+        let (lo, hi) = (i.min(j), i.max(j));
+        let mut input = master.clone();
+        input.extend_from_slice(&(lo as u32).to_be_bytes());
+        input.extend_from_slice(&(hi as u32).to_be_bytes());
+        HmacKey::new(crate::hash::expand(b"sintra-mac-key", &input, 16))
+    };
+
+    let common = Arc::new(CommonKeys {
+        n,
+        t: config.t,
+        coin: CoinScheme::new(group.clone(), coin_public),
+        enc: EncScheme::new(group, enc_public),
+        sig_publics,
+        thsig_broadcast: broadcast_kits[0].public.clone(),
+        thsig_agreement: agreement_kits[0].public.clone(),
+    });
+
+    let mut parties = Vec::with_capacity(n);
+    for (index, ((((sig_key, coin_secret), enc_secret), bkit), akit)) in sig_keys
+        .into_iter()
+        .zip(coin_secrets)
+        .zip(enc_secrets)
+        .zip(broadcast_kits)
+        .zip(agreement_kits)
+        .enumerate()
+    {
+        parties.push(PartyKeys {
+            index,
+            common: Arc::clone(&common),
+            mac_keys: (0..n).map(|j| pair_key(index, j)).collect(),
+            sig_key,
+            coin_secret,
+            enc_secret,
+            thsig_broadcast: bkit,
+            thsig_agreement: akit,
+        });
+    }
+    Ok(parties)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deal_small_group_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let config = DealerConfig::small(4, 1);
+        let parties = deal(&config, &mut rng).unwrap();
+        assert_eq!(parties.len(), 4);
+
+        // Coin shares from any t+1 parties agree.
+        let name = b"dealer-test-coin";
+        let shares: Vec<_> = parties
+            .iter()
+            .map(|p| p.common.coin.release_share(name, &p.coin_secret))
+            .collect();
+        let a = parties[0]
+            .common
+            .coin
+            .assemble(name, &shares[0..2], 8)
+            .unwrap();
+        let b = parties[0]
+            .common
+            .coin
+            .assemble(name, &shares[2..4], 8)
+            .unwrap();
+        assert_eq!(a, b);
+
+        // Threshold encryption round-trips.
+        let ct = parties[0].common.enc.encrypt(b"pid", b"msg", &mut rng);
+        let dec: Vec<_> = parties
+            .iter()
+            .take(2)
+            .map(|p| p.common.enc.decryption_share(&ct, &p.enc_secret).unwrap())
+            .collect();
+        assert_eq!(parties[3].common.enc.combine(&ct, &dec).unwrap(), b"msg");
+
+        // Standard signatures verify cross-party.
+        let sig = parties[1].sig_key.sign(b"m");
+        assert!(parties[2].common.sig_publics[1].verify(b"m", &sig));
+
+        // Threshold signature at broadcast quorum: ⌈(4+1+1)/2⌉ = 3 shares.
+        assert_eq!(config.broadcast_threshold(), 3);
+        let sig_shares: Vec<_> = parties
+            .iter()
+            .take(3)
+            .map(|p| p.thsig_broadcast.sign_share(b"m"))
+            .collect();
+        let tsig = parties[3]
+            .common
+            .thsig_broadcast
+            .assemble(b"m", &sig_shares)
+            .unwrap();
+        assert!(parties[0].common.thsig_broadcast.verify(b"m", &tsig));
+
+        // MAC keys are symmetric and pair-specific.
+        assert_eq!(parties[0].mac_keys[1], parties[1].mac_keys[0]);
+        assert_ne!(parties[0].mac_keys[1], parties[0].mac_keys[2]);
+    }
+
+    #[test]
+    fn thresholds_follow_the_paper() {
+        let config = DealerConfig::new(7, 2);
+        assert_eq!(config.broadcast_threshold(), 5); // ⌈10/2⌉
+        assert_eq!(config.agreement_threshold(), 5); // 7 - 2
+        let config41 = DealerConfig::new(4, 1);
+        assert_eq!(config41.broadcast_threshold(), 3);
+        assert_eq!(config41.agreement_threshold(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3t")]
+    fn rejects_bad_resilience() {
+        DealerConfig::new(3, 1);
+    }
+
+    #[test]
+    fn generate_params_small() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let config = DealerConfig {
+            params: ParamSource::Generate,
+            group_bits: 96,
+            rsa_bits: 96,
+            ..DealerConfig::small(4, 1)
+        };
+        let parties = deal(&config, &mut rng).unwrap();
+        let sig = parties[0].sig_key.sign(b"m");
+        assert!(parties[1].common.sig_publics[0].verify(b"m", &sig));
+    }
+}

@@ -1,0 +1,243 @@
+//! Non-interactive Chaum–Pedersen proofs of discrete-log equality.
+//!
+//! A DLEQ proof convinces a verifier that `log_g(h) = log_u(v)` without
+//! revealing the exponent. SINTRA uses these to make threshold-coin shares
+//! and threshold-decryption shares *robust*: a corrupted party cannot
+//! submit a bad share without being detected.
+//!
+//! The proof is the Fiat–Shamir transform of the sigma protocol:
+//! commit `(g^w, u^w)`, challenge `c = H(...)`, response `z = w + c·x`.
+
+use rand::Rng;
+use sintra_bigint::Ubig;
+
+use crate::group::SchnorrGroup;
+
+/// A non-interactive DLEQ proof `(c, z)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DleqProof {
+    /// Fiat–Shamir challenge.
+    pub challenge: Ubig,
+    /// Sigma-protocol response.
+    pub response: Ubig,
+}
+
+/// The statement being proven: `h = g^x` and `v = u^x` for the same `x`.
+#[derive(Debug, Clone)]
+pub struct DleqStatement<'a> {
+    /// First base.
+    pub g: &'a Ubig,
+    /// First image, `g^x`.
+    pub h: &'a Ubig,
+    /// Second base.
+    pub u: &'a Ubig,
+    /// Second image, `u^x`.
+    pub v: &'a Ubig,
+}
+
+fn challenge_input(domain: &[u8], stmt: &DleqStatement<'_>, a1: &Ubig, a2: &Ubig) -> Vec<u8> {
+    let mut data = Vec::new();
+    for part in [stmt.g, stmt.h, stmt.u, stmt.v, a1, a2] {
+        let bytes = part.to_be_bytes();
+        data.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        data.extend_from_slice(&bytes);
+    }
+    data.extend_from_slice(domain);
+    data
+}
+
+/// Produces a proof that `stmt.h = stmt.g^x` and `stmt.v = stmt.u^x`.
+///
+/// `domain` separates proof contexts (e.g. coin shares vs decryption
+/// shares) so proofs cannot be replayed across schemes.
+pub fn prove<R: Rng + ?Sized>(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    stmt: &DleqStatement<'_>,
+    x: &Ubig,
+    rng: &mut R,
+) -> DleqProof {
+    let w = group.random_exponent(rng);
+    let a1 = group.pow(stmt.g, &w);
+    let a2 = group.pow(stmt.u, &w);
+    let c = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
+    // z = w + c*x mod q
+    let z = w.mod_add(&c.mod_mul(x, group.order()), group.order());
+    DleqProof {
+        challenge: c,
+        response: z,
+    }
+}
+
+/// Produces a proof like [`prove`] but derives the commitment nonce
+/// deterministically from the witness and statement (RFC-6979 style).
+///
+/// This keeps share generation deterministic, which the sans-IO protocol
+/// state machines rely on for reproducible simulation. Security is
+/// unaffected: the nonce is a pseudorandom function of secret material.
+pub fn prove_deterministic(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    stmt: &DleqStatement<'_>,
+    x: &Ubig,
+) -> DleqProof {
+    let mut nonce_input = x.to_be_bytes();
+    nonce_input.extend_from_slice(&challenge_input(domain, stmt, &Ubig::zero(), &Ubig::zero()));
+    let w = group.hash_to_exponent(b"sintra-dleq-nonce", &nonce_input);
+    let a1 = group.pow(stmt.g, &w);
+    let a2 = group.pow(stmt.u, &w);
+    let c = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
+    let z = w.mod_add(&c.mod_mul(x, group.order()), group.order());
+    DleqProof {
+        challenge: c,
+        response: z,
+    }
+}
+
+/// Verifies a proof against the statement.
+///
+/// Recomputes the commitments as `a1 = g^z / h^c`, `a2 = u^z / v^c` and
+/// checks the Fiat–Shamir challenge matches.
+pub fn verify(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    stmt: &DleqStatement<'_>,
+    proof: &DleqProof,
+) -> bool {
+    if proof.challenge >= *group.order() || proof.response >= *group.order() {
+        return false;
+    }
+    if !group.is_element(stmt.h) || !group.is_element(stmt.v) {
+        return false;
+    }
+    let a1 = group.div(
+        &group.pow(stmt.g, &proof.response),
+        &group.pow(stmt.h, &proof.challenge),
+    );
+    let a2 = group.div(
+        &group.pow(stmt.u, &proof.response),
+        &group.pow(stmt.v, &proof.challenge),
+    );
+    let expected = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
+    expected == proof.challenge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SchnorrGroup, StdRng) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let group = SchnorrGroup::generate(96, 32, &mut rng);
+        (group, rng)
+    }
+
+    #[test]
+    fn proof_roundtrip() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &x);
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let proof = prove(&group, b"test", &stmt, &x, &mut rng);
+        assert!(verify(&group, b"test", &stmt, &proof));
+    }
+
+    #[test]
+    fn deterministic_proof_roundtrip_and_stable() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &x);
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let p1 = prove_deterministic(&group, b"test", &stmt, &x);
+        let p2 = prove_deterministic(&group, b"test", &stmt, &x);
+        assert_eq!(p1, p2, "deterministic proofs are reproducible");
+        assert!(verify(&group, b"test", &stmt, &p1));
+    }
+
+    #[test]
+    fn wrong_exponent_rejected() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let y = x.mod_add(&Ubig::one(), group.order());
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &y); // inconsistent exponent
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let proof = prove(&group, b"test", &stmt, &x, &mut rng);
+        assert!(!verify(&group, b"test", &stmt, &proof));
+    }
+
+    #[test]
+    fn domain_separation() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &x);
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let proof = prove(&group, b"domain-a", &stmt, &x, &mut rng);
+        assert!(!verify(&group, b"domain-b", &stmt, &proof));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &x);
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let mut proof = prove(&group, b"test", &stmt, &x, &mut rng);
+        proof.response = proof.response.mod_add(&Ubig::one(), group.order());
+        assert!(!verify(&group, b"test", &stmt, &proof));
+    }
+
+    #[test]
+    fn out_of_range_proof_rejected() {
+        let (group, mut rng) = setup();
+        let x = group.random_exponent(&mut rng);
+        let u = group.hash_to_group(b"base", b"u");
+        let h = group.pow_g(&x);
+        let v = group.pow(&u, &x);
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: &h,
+            u: &u,
+            v: &v,
+        };
+        let mut proof = prove(&group, b"test", &stmt, &x, &mut rng);
+        proof.response = &proof.response + group.order();
+        assert!(!verify(&group, b"test", &stmt, &proof));
+    }
+}

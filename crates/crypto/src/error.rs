@@ -1,0 +1,81 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from a cryptographic operation.
+///
+/// All failure modes are explicit variants so callers (in particular the
+/// Byzantine-fault-tolerant protocols, which must treat bad data as an
+/// expected input) can distinguish malformed material from insufficient
+/// shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Fewer valid shares were supplied than the scheme's threshold `k`.
+    NotEnoughShares {
+        /// Shares required.
+        needed: usize,
+        /// Shares supplied.
+        got: usize,
+    },
+    /// A share failed its validity proof or came from an out-of-range index.
+    InvalidShare {
+        /// Index of the offending share holder.
+        index: usize,
+    },
+    /// Two shares with the same holder index were supplied.
+    DuplicateShare {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// A ciphertext failed its integrity / validity check.
+    InvalidCiphertext,
+    /// A signature failed verification.
+    InvalidSignature,
+    /// Serialized key or parameter material could not be interpreted.
+    MalformedInput(&'static str),
+    /// The requested parameter set (e.g. fixture size) does not exist.
+    UnsupportedParameters(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: needed {needed}, got {got}")
+            }
+            CryptoError::InvalidShare { index } => {
+                write!(f, "invalid share from index {index}")
+            }
+            CryptoError::DuplicateShare { index } => {
+                write!(f, "duplicate share from index {index}")
+            }
+            CryptoError::InvalidCiphertext => write!(f, "invalid ciphertext"),
+            CryptoError::InvalidSignature => write!(f, "invalid signature"),
+            CryptoError::MalformedInput(what) => write!(f, "malformed input: {what}"),
+            CryptoError::UnsupportedParameters(what) => {
+                write!(f, "unsupported parameters: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CryptoError::NotEnoughShares { needed: 3, got: 1 };
+        assert_eq!(e.to_string(), "not enough shares: needed 3, got 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

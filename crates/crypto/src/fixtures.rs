@@ -1,0 +1,225 @@
+//! Precomputed cryptographic parameters.
+//!
+//! Generating 1024-bit safe primes and Schnorr groups takes minutes; the
+//! paper's key-size sweep (Fig. 6) needs parameters at 128–1024 bits. This
+//! module embeds parameters generated once by the `gen_fixtures` binary
+//! (`cargo run --release -p sintra-crypto --bin gen_fixtures`) so tests and
+//! benchmarks start instantly. The dealer can still generate everything
+//! fresh at runtime; fixtures are a cache, not a trust assumption — all
+//! structural properties are re-validated on load.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use sintra_bigint::Ubig;
+
+use crate::group::SchnorrGroup;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::thsig::ShoupModulus;
+use crate::{CryptoError, Result};
+
+mod data {
+    include!("fixtures_data.rs");
+}
+
+fn ub(hex: &str) -> Ubig {
+    Ubig::from_hex(hex).expect("fixture hex is valid")
+}
+
+/// Modulus sizes (bits) with an embedded Schnorr group.
+pub fn group_sizes() -> Vec<u32> {
+    data::SCHNORR_GROUPS.iter().map(|g| g.0).collect()
+}
+
+/// Modulus sizes (bits) with an embedded safe-prime pair.
+pub fn shoup_sizes() -> Vec<u32> {
+    data::SAFE_PRIME_PAIRS.iter().map(|g| g.0).collect()
+}
+
+/// Modulus sizes (bits) with an embedded RSA prime pool.
+pub fn rsa_sizes() -> Vec<u32> {
+    data::RSA_PRIME_POOLS.iter().map(|g| g.0).collect()
+}
+
+/// Returns the embedded Schnorr group with a `p_bits`-bit modulus.
+///
+/// Groups are validated and cached on first access.
+///
+/// # Errors
+///
+/// [`CryptoError::UnsupportedParameters`] when no fixture of that size
+/// exists; see [`group_sizes`].
+pub fn schnorr_group(p_bits: u32) -> Result<SchnorrGroup> {
+    static CACHE: OnceLock<HashMap<u32, SchnorrGroup>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        data::SCHNORR_GROUPS
+            .iter()
+            .map(|(bits, p, q, g, g_bar)| {
+                let group = SchnorrGroup::from_parts(ub(p), ub(q), ub(g), ub(g_bar))
+                    .expect("embedded group fixtures are structurally valid");
+                (*bits, group)
+            })
+            .collect()
+    });
+    cache
+        .get(&p_bits)
+        .cloned()
+        .ok_or(CryptoError::UnsupportedParameters(
+            "no Schnorr group fixture at this size",
+        ))
+}
+
+/// Returns the embedded safe-prime pair forming a `bits`-bit Shoup modulus.
+///
+/// # Errors
+///
+/// [`CryptoError::UnsupportedParameters`] when no fixture of that size
+/// exists; see [`shoup_sizes`].
+pub fn shoup_modulus(bits: u32) -> Result<ShoupModulus> {
+    for (b, p, q) in data::SAFE_PRIME_PAIRS {
+        if *b == bits {
+            return Ok(ShoupModulus { p: ub(p), q: ub(q) });
+        }
+    }
+    Err(CryptoError::UnsupportedParameters(
+        "no safe-prime fixture at this size",
+    ))
+}
+
+/// Builds party `index`'s RSA key of `bits`-bit modulus from the embedded
+/// prime pool (deterministic: the same `(bits, index)` always yields the
+/// same key).
+///
+/// # Errors
+///
+/// [`CryptoError::UnsupportedParameters`] when the size has no pool or the
+/// pool has too few primes for the index.
+pub fn rsa_key(bits: u32, index: usize) -> Result<RsaPrivateKey> {
+    for (b, pool) in data::RSA_PRIME_POOLS {
+        if *b == bits {
+            if 2 * index + 1 >= pool.len() {
+                return Err(CryptoError::UnsupportedParameters(
+                    "RSA prime pool exhausted for this party index",
+                ));
+            }
+            let p = ub(pool[2 * index]);
+            let q = ub(pool[2 * index + 1]);
+            let e = Ubig::from(crate::rsa::DEFAULT_PUBLIC_EXPONENT);
+            return RsaPrivateKey::from_primes(p, q, e).ok_or(CryptoError::MalformedInput(
+                "fixture primes incompatible with public exponent",
+            ));
+        }
+    }
+    Err(CryptoError::UnsupportedParameters(
+        "no RSA prime pool at this size",
+    ))
+}
+
+/// All parties' RSA keys at a size (convenience for dealers).
+pub fn rsa_keys(bits: u32, n: usize) -> Result<Vec<RsaPrivateKey>> {
+    (0..n).map(|i| rsa_key(bits, i)).collect()
+}
+
+/// Public halves of [`rsa_keys`].
+pub fn rsa_public_keys(bits: u32, n: usize) -> Result<Vec<RsaPublicKey>> {
+    Ok(rsa_keys(bits, n)?
+        .iter()
+        .map(|k| k.public().clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_bigint::{is_prime, PrimeConfig};
+
+    #[test]
+    fn groups_load_and_validate() {
+        for bits in group_sizes() {
+            let g = schnorr_group(bits).unwrap();
+            assert_eq!(g.modulus_bits(), bits, "size {bits}");
+            assert!(g.is_element(g.generator()));
+        }
+    }
+
+    #[test]
+    fn group_fixture_primes_are_prime() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PrimeConfig::default();
+        // Spot-check the smallest and largest fixtures.
+        let sizes = group_sizes();
+        for &bits in [sizes.first(), sizes.last()].into_iter().flatten() {
+            let g = schnorr_group(bits).unwrap();
+            assert!(is_prime(g.modulus(), &cfg, &mut rng), "p at {bits}");
+            assert!(is_prime(g.order(), &cfg, &mut rng), "q at {bits}");
+        }
+    }
+
+    #[test]
+    fn shoup_moduli_are_safe_primes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PrimeConfig::default();
+        for bits in shoup_sizes() {
+            let m = shoup_modulus(bits).unwrap();
+            // The product of two (bits/2)-bit primes has bits or bits-1 bits.
+            let got = m.n().bit_length();
+            assert!(
+                got == bits || got == bits - 1,
+                "modulus size {bits}, got {got}"
+            );
+            for prime in [&m.p, &m.q] {
+                assert!(is_prime(prime, &cfg, &mut rng));
+                let half = &(prime - &Ubig::one()) >> 1;
+                assert!(is_prime(&half, &cfg, &mut rng), "safe structure at {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn rsa_keys_work_and_are_distinct() {
+        for bits in rsa_sizes() {
+            let k0 = rsa_key(bits, 0).unwrap();
+            let k1 = rsa_key(bits, 1).unwrap();
+            assert_ne!(k0.public().n, k1.public().n);
+            let sig = k0.sign(b"fixture test");
+            assert!(k0.public().verify(b"fixture test", &sig));
+            assert!(!k1.public().verify(b"fixture test", &sig));
+        }
+    }
+
+    #[test]
+    fn rsa_keys_are_deterministic() {
+        let bits = *rsa_sizes().first().expect("at least one size");
+        assert_eq!(
+            rsa_key(bits, 3).unwrap().public(),
+            rsa_key(bits, 3).unwrap().public()
+        );
+    }
+
+    #[test]
+    fn unsupported_sizes_error() {
+        assert!(matches!(
+            schnorr_group(12345),
+            Err(CryptoError::UnsupportedParameters(_))
+        ));
+        assert!(matches!(
+            shoup_modulus(12345),
+            Err(CryptoError::UnsupportedParameters(_))
+        ));
+        assert!(matches!(
+            rsa_key(12345, 0),
+            Err(CryptoError::UnsupportedParameters(_))
+        ));
+    }
+
+    #[test]
+    fn pool_exhaustion_detected() {
+        let bits = *rsa_sizes().first().expect("at least one size");
+        assert!(matches!(
+            rsa_key(bits, 1000),
+            Err(CryptoError::UnsupportedParameters(_))
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Schnorr groups: the discrete-log setting for coin-tossing and threshold
+//! encryption.
+//!
+//! A Schnorr group is the order-`q` subgroup of `Z_p^*` for primes `p, q`
+//! with `q | p - 1`. SINTRA's configuration uses a 1024-bit `p` whose order
+//! has a 160-bit prime factor `q`; both sizes are parameters here.
+
+use rand::Rng;
+use sintra_bigint::{Montgomery, PrimeConfig, Ubig, UbigRandom};
+
+use crate::{cost, hash};
+
+/// A Schnorr group `(p, q, g, ḡ)` with precomputed reduction context.
+///
+/// Two independent generators are carried because the TDH2 threshold
+/// cryptosystem needs a second one; `ḡ` is derived from `g` by hashing so
+/// its discrete log is unknown to everyone ("nothing up my sleeve").
+#[derive(Debug, Clone)]
+pub struct SchnorrGroup {
+    p: Ubig,
+    q: Ubig,
+    g: Ubig,
+    g_bar: Ubig,
+    cofactor: Ubig,
+    mont: Montgomery,
+}
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        self.p == other.p && self.q == other.q && self.g == other.g && self.g_bar == other.g_bar
+    }
+}
+
+impl Eq for SchnorrGroup {}
+
+impl SchnorrGroup {
+    /// Assembles a group from explicit parameters, validating the group
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::MalformedInput`] if `q` does not divide
+    /// `p - 1` or either generator is not an order-`q` element.
+    pub fn from_parts(p: Ubig, q: Ubig, g: Ubig, g_bar: Ubig) -> crate::Result<Self> {
+        if p <= Ubig::two() || q <= Ubig::two() {
+            return Err(crate::CryptoError::MalformedInput("tiny group parameters"));
+        }
+        let p_minus_1 = &p - &Ubig::one();
+        let (cofactor, rem) = p_minus_1.div_rem(&q);
+        if !rem.is_zero() {
+            return Err(crate::CryptoError::MalformedInput("q does not divide p-1"));
+        }
+        let mont = Montgomery::new(&p);
+        let group = SchnorrGroup {
+            p,
+            q,
+            g,
+            g_bar,
+            cofactor,
+            mont,
+        };
+        if !group.is_element(&group.g) || group.g.is_one() {
+            return Err(crate::CryptoError::MalformedInput("g is not a generator"));
+        }
+        if !group.is_element(&group.g_bar) || group.g_bar.is_one() {
+            return Err(crate::CryptoError::MalformedInput(
+                "g_bar is not a generator",
+            ));
+        }
+        Ok(group)
+    }
+
+    /// Generates a fresh group with `p_bits`-bit modulus and `q_bits`-bit
+    /// subgroup order. Expensive; prefer [`crate::fixtures::schnorr_group`]
+    /// for standard sizes.
+    pub fn generate<R: Rng + ?Sized>(p_bits: u32, q_bits: u32, rng: &mut R) -> Self {
+        let config = PrimeConfig::default();
+        let (p, q) = sintra_bigint::prime::gen_schnorr_group(p_bits, q_bits, &config, rng);
+        Self::from_primes(p, q, rng)
+    }
+
+    /// Builds the generators for known-good primes `p, q` with `q | p-1`.
+    pub fn from_primes<R: Rng + ?Sized>(p: Ubig, q: Ubig, rng: &mut R) -> Self {
+        let p_minus_1 = &p - &Ubig::one();
+        let cofactor = &p_minus_1 / &q;
+        let mont = Montgomery::new(&p);
+        let g = loop {
+            let h = rng.gen_ubig_range(&Ubig::two(), &p_minus_1);
+            let candidate = mont.pow(&h, &cofactor);
+            if !candidate.is_one() && !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        let mut seed = p.to_be_bytes();
+        seed.extend_from_slice(&g.to_be_bytes());
+        let g_bar = Self::map_to_subgroup(&mont, &p, &cofactor, b"sintra-gbar", &seed);
+        SchnorrGroup {
+            p,
+            q,
+            g,
+            g_bar,
+            cofactor,
+            mont,
+        }
+    }
+
+    fn map_to_subgroup(
+        mont: &Montgomery,
+        p: &Ubig,
+        cofactor: &Ubig,
+        domain: &[u8],
+        input: &[u8],
+    ) -> Ubig {
+        let mut counter: u32 = 0;
+        loop {
+            let mut data = input.to_vec();
+            data.extend_from_slice(&counter.to_be_bytes());
+            let x = hash::hash_to_ubig(domain, &data, p);
+            if !x.is_zero() {
+                let candidate = mont.pow(&x, cofactor);
+                if !candidate.is_one() {
+                    return candidate;
+                }
+            }
+            counter += 1;
+        }
+    }
+
+    /// The prime modulus `p`.
+    pub fn modulus(&self) -> &Ubig {
+        &self.p
+    }
+
+    /// The prime subgroup order `q`.
+    pub fn order(&self) -> &Ubig {
+        &self.q
+    }
+
+    /// The primary generator `g`.
+    pub fn generator(&self) -> &Ubig {
+        &self.g
+    }
+
+    /// The independent second generator `ḡ`.
+    pub fn generator_bar(&self) -> &Ubig {
+        &self.g_bar
+    }
+
+    /// Modulus size in bits (the "key size" of the paper's sweeps).
+    pub fn modulus_bits(&self) -> u32 {
+        self.p.bit_length()
+    }
+
+    /// Tests subgroup membership: `x != 0 mod p` and `x^q = 1 mod p`.
+    pub fn is_element(&self, x: &Ubig) -> bool {
+        if x.is_zero() || *x >= self.p {
+            return false;
+        }
+        cost::mont_pow(&self.mont, x, &self.q).is_one()
+    }
+
+    /// Metered exponentiation `base^exp mod p`.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        cost::mont_pow(&self.mont, base, exp)
+    }
+
+    /// `g^exp mod p`.
+    pub fn pow_g(&self, exp: &Ubig) -> Ubig {
+        self.pow(&self.g, exp)
+    }
+
+    /// `ḡ^exp mod p`.
+    pub fn pow_g_bar(&self, exp: &Ubig) -> Ubig {
+        self.pow(&self.g_bar, exp)
+    }
+
+    /// Group operation `a * b mod p` (not metered: multiplication cost is
+    /// negligible next to exponentiation).
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        a.mod_mul(b, &self.p)
+    }
+
+    /// Multiplicative inverse in `Z_p^*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero mod `p` (never an element of the group).
+    pub fn inv(&self, a: &Ubig) -> Ubig {
+        a.mod_inverse(&self.p)
+            .expect("group elements are invertible")
+    }
+
+    /// `a / b mod p`.
+    pub fn div(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.mul(a, &self.inv(b))
+    }
+
+    /// Hashes arbitrary bytes onto a subgroup element (a full-domain hash
+    /// into the group, modeled as a random oracle).
+    pub fn hash_to_group(&self, domain: &[u8], input: &[u8]) -> Ubig {
+        // The cofactor exponentiation is a real cost; meter it.
+        cost::charge(cost::exp_work(
+            self.p.bit_length(),
+            self.cofactor.bit_length().max(1),
+        ));
+        Self::map_to_subgroup(&self.mont, &self.p, &self.cofactor, domain, input)
+    }
+
+    /// Uniformly random exponent in `[0, q)`.
+    pub fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> Ubig {
+        rng.gen_ubig_below(&self.q)
+    }
+
+    /// Reduces arbitrary bytes to an exponent in `[0, q)` (random oracle).
+    pub fn hash_to_exponent(&self, domain: &[u8], input: &[u8]) -> Ubig {
+        hash::hash_to_ubig(domain, input, &self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_group() -> SchnorrGroup {
+        // p = 2*q*k + 1 small test group.
+        let mut rng = StdRng::seed_from_u64(11);
+        SchnorrGroup::generate(96, 32, &mut rng)
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let g = small_group();
+        assert!(g.is_element(g.generator()));
+        assert!(g.is_element(g.generator_bar()));
+        assert_ne!(g.generator(), g.generator_bar());
+        assert_eq!(g.pow_g(g.order()), Ubig::one());
+    }
+
+    #[test]
+    fn pow_homomorphism() {
+        let g = small_group();
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = g.random_exponent(&mut rng);
+        let b = g.random_exponent(&mut rng);
+        let lhs = g.mul(&g.pow_g(&a), &g.pow_g(&b));
+        let rhs = g.pow_g(&a.mod_add(&b, g.order()));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let g = small_group();
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = g.pow_g(&g.random_exponent(&mut rng));
+        assert_eq!(g.mul(&x, &g.inv(&x)), Ubig::one());
+        assert_eq!(g.div(&x, &x), Ubig::one());
+    }
+
+    #[test]
+    fn hash_to_group_lands_in_subgroup() {
+        let g = small_group();
+        for input in [&b"a"[..], b"b", b"coin 17"] {
+            let e = g.hash_to_group(b"test", input);
+            assert!(g.is_element(&e), "input {input:?}");
+            assert!(!e.is_one());
+        }
+        assert_eq!(
+            g.hash_to_group(b"test", b"same"),
+            g.hash_to_group(b"test", b"same")
+        );
+        assert_ne!(
+            g.hash_to_group(b"test", b"x"),
+            g.hash_to_group(b"other", b"x")
+        );
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = small_group();
+        let ok = SchnorrGroup::from_parts(
+            g.modulus().clone(),
+            g.order().clone(),
+            g.generator().clone(),
+            g.generator_bar().clone(),
+        );
+        assert!(ok.is_ok());
+        let bad = SchnorrGroup::from_parts(
+            g.modulus().clone(),
+            g.order().clone(),
+            Ubig::one(),
+            g.generator_bar().clone(),
+        );
+        assert!(bad.is_err());
+        let bad_order = SchnorrGroup::from_parts(
+            g.modulus().clone(),
+            &(g.order() + &Ubig::two()) - &Ubig::zero(),
+            g.generator().clone(),
+            g.generator_bar().clone(),
+        );
+        assert!(bad_order.is_err());
+    }
+
+    #[test]
+    fn non_elements_rejected() {
+        let g = small_group();
+        assert!(!g.is_element(&Ubig::zero()));
+        assert!(!g.is_element(g.modulus()));
+        // p-1 has order 2, not q (for odd q).
+        let p_minus_1 = g.modulus() - &Ubig::one();
+        assert!(!g.is_element(&p_minus_1));
+    }
+}

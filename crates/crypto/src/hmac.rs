@@ -1,0 +1,153 @@
+//! HMAC message authentication, used for SINTRA's point-to-point link
+//! authentication (the paper uses HMAC with a 128-bit key per server pair).
+
+use crate::hash::{HashAlgorithm, Sha1, Sha256};
+
+/// An HMAC key bound to a hash algorithm.
+///
+/// ```
+/// use sintra_crypto::hmac::HmacKey;
+///
+/// let key = HmacKey::new(b"shared pairwise key".to_vec());
+/// let tag = key.sign(b"message");
+/// assert!(key.verify(b"message", &tag));
+/// assert!(!key.verify(b"tampered", &tag));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HmacKey {
+    key: Vec<u8>,
+    algorithm: HashAlgorithm,
+}
+
+impl HmacKey {
+    /// Creates a key using the default hash (SHA-256).
+    pub fn new(key: Vec<u8>) -> Self {
+        HmacKey {
+            key,
+            algorithm: HashAlgorithm::Sha256,
+        }
+    }
+
+    /// Creates a key with an explicit hash algorithm.
+    pub fn with_algorithm(key: Vec<u8>, algorithm: HashAlgorithm) -> Self {
+        HmacKey { key, algorithm }
+    }
+
+    /// Tag length in bytes.
+    pub fn tag_len(&self) -> usize {
+        self.algorithm.output_len()
+    }
+
+    /// Computes the HMAC tag of `message`.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        const BLOCK: usize = 64; // block size for both SHA-1 and SHA-256
+        let mut key_block = [0u8; BLOCK];
+        if self.key.len() > BLOCK {
+            let digest = self.algorithm.digest(&self.key);
+            key_block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            key_block[..self.key.len()].copy_from_slice(&self.key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        match self.algorithm {
+            HashAlgorithm::Sha256 => {
+                let mut inner = Sha256::new();
+                inner.update(&ipad);
+                inner.update(message);
+                let mut outer = Sha256::new();
+                outer.update(&opad);
+                outer.update(&inner.finalize());
+                outer.finalize().to_vec()
+            }
+            HashAlgorithm::Sha1 => {
+                let mut inner = Sha1::new();
+                inner.update(&ipad);
+                inner.update(message);
+                let mut outer = Sha1::new();
+                outer.update(&opad);
+                outer.update(&inner.finalize());
+                outer.finalize().to_vec()
+            }
+        }
+    }
+
+    /// Verifies a tag in constant time with respect to tag contents.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        let expected = self.sign(message);
+        if expected.len() != tag.len() {
+            return false;
+        }
+        // Constant-time comparison.
+        expected
+            .iter()
+            .zip(tag.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        // HMAC-SHA-256, key = 0x0b * 20, data = "Hi There".
+        let key = HmacKey::new(vec![0x0b; 20]);
+        assert_eq!(
+            hex(&key.sign(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let key = HmacKey::new(b"Jefe".to_vec());
+        assert_eq!(
+            hex(&key.sign(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Test case 6: key longer than the block size gets hashed first.
+        let key = HmacKey::new(vec![0xaa; 131]);
+        assert_eq!(
+            hex(&key.sign(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_test_case() {
+        // HMAC-SHA-1, key = 0x0b * 20, data = "Hi There".
+        let key = HmacKey::with_algorithm(vec![0x0b; 20], HashAlgorithm::Sha1);
+        assert_eq!(
+            hex(&key.sign(b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_and_bitflips() {
+        let key = HmacKey::new(b"k".to_vec());
+        let mut tag = key.sign(b"msg");
+        assert!(key.verify(b"msg", &tag));
+        tag[0] ^= 1;
+        assert!(!key.verify(b"msg", &tag));
+        assert!(!key.verify(b"msg", &tag[..31]));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let k1 = HmacKey::new(b"key-one".to_vec());
+        let k2 = HmacKey::new(b"key-two".to_vec());
+        assert_ne!(k1.sign(b"m"), k2.sign(b"m"));
+    }
+}

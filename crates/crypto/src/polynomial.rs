@@ -1,0 +1,242 @@
+//! Polynomials over `Z_q` and Lagrange interpolation, the secret-sharing
+//! core of every threshold scheme in this crate.
+
+use rand::Rng;
+use sintra_bigint::{Ibig, Ubig, UbigRandom};
+
+/// A polynomial over `Z_q` represented by its coefficient vector
+/// (index `i` holds the coefficient of `x^i`).
+///
+/// Shamir sharing a secret `s` with threshold `k` means sampling a random
+/// polynomial of degree `k - 1` with constant term `s` and handing party
+/// `i` the evaluation `f(i)` (parties are indexed from 1 in the sharing
+/// domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coefficients: Vec<Ubig>,
+    modulus: Ubig,
+}
+
+impl Polynomial {
+    /// Samples a uniformly random polynomial of degree `degree` with the
+    /// given constant term.
+    pub fn random_with_constant<R: Rng + ?Sized>(
+        constant: Ubig,
+        degree: usize,
+        modulus: &Ubig,
+        rng: &mut R,
+    ) -> Self {
+        let mut coefficients = Vec::with_capacity(degree + 1);
+        coefficients.push(&constant % modulus);
+        for _ in 0..degree {
+            coefficients.push(rng.gen_ubig_below(modulus));
+        }
+        Polynomial {
+            coefficients,
+            modulus: modulus.clone(),
+        }
+    }
+
+    /// The polynomial's degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// The shared secret `f(0)`.
+    pub fn constant_term(&self) -> &Ubig {
+        &self.coefficients[0]
+    }
+
+    /// Evaluates at integer point `x` (Horner's method).
+    pub fn eval(&self, x: u64) -> Ubig {
+        let xb = Ubig::from(x);
+        let mut acc = Ubig::zero();
+        for c in self.coefficients.iter().rev() {
+            acc = acc.mod_mul(&xb, &self.modulus).mod_add(c, &self.modulus);
+        }
+        acc
+    }
+
+    /// Produces the shares `f(1), ..., f(n)` for `n` parties.
+    pub fn shares(&self, n: usize) -> Vec<Ubig> {
+        (1..=n as u64).map(|i| self.eval(i)).collect()
+    }
+}
+
+/// Lagrange coefficients `λ_i` at `x = 0` over `Z_q` for the distinct
+/// evaluation points `points` (1-based party indices): the secret is
+/// `Σ λ_i · f(point_i) mod q`.
+///
+/// # Panics
+///
+/// Panics if points are not distinct or a point is zero.
+pub fn lagrange_at_zero(points: &[u64], q: &Ubig) -> Vec<Ubig> {
+    assert!(!points.is_empty());
+    let mut coeffs = Vec::with_capacity(points.len());
+    for (i, &xi) in points.iter().enumerate() {
+        assert!(xi != 0, "evaluation points must be nonzero");
+        let mut num = Ibig::one();
+        let mut den = Ibig::one();
+        for (j, &xj) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(xi != xj, "evaluation points must be distinct");
+            num = num * Ibig::from(xj as i64);
+            den = den * (Ibig::from(xj as i64) - Ibig::from(xi as i64));
+        }
+        let num_mod = num.mod_floor(q);
+        let den_mod = den.mod_floor(q);
+        let den_inv = den_mod
+            .mod_inverse(q)
+            .expect("points are < q and distinct, so denominator is invertible");
+        coeffs.push(num_mod.mod_mul(&den_inv, q));
+    }
+    coeffs
+}
+
+/// Integer-domain Lagrange numerators for Shoup RSA threshold signatures:
+/// `λ'_i = Δ · Π_{j≠i} j / (j - i)` where `Δ = n!`. These are guaranteed to
+/// be integers; the result is returned as signed values.
+///
+/// # Panics
+///
+/// Panics if points are not distinct, zero, or exceed `n`.
+pub fn integer_lagrange_at_zero(points: &[u64], n: u64) -> Vec<Ibig> {
+    let delta = factorial(n);
+    let mut coeffs = Vec::with_capacity(points.len());
+    for (i, &xi) in points.iter().enumerate() {
+        assert!(xi != 0 && xi <= n, "points must lie in 1..=n");
+        let mut num = Ibig::from(delta.clone());
+        let mut den = Ibig::one();
+        for (j, &xj) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(xi != xj, "points must be distinct");
+            num = num * Ibig::from(xj as i64);
+            den = den * (Ibig::from(xj as i64) - Ibig::from(xi as i64));
+        }
+        // num / den is integral because delta = n! absorbs the denominator.
+        let (q, r) = num.magnitude().div_rem(den.magnitude());
+        assert!(
+            r.is_zero(),
+            "Δ-scaled Lagrange coefficient must be integral"
+        );
+        let sign_negative = num.is_negative() != den.is_negative();
+        let coeff = if sign_negative {
+            -Ibig::from(q)
+        } else {
+            Ibig::from(q)
+        };
+        coeffs.push(coeff);
+    }
+    coeffs
+}
+
+/// `n!` as a [`Ubig`].
+pub fn factorial(n: u64) -> Ubig {
+    let mut acc = Ubig::one();
+    for i in 2..=n {
+        acc = &acc * &Ubig::from(i);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_constant_polynomial() {
+        let q = Ubig::from(101u64);
+        let f = Polynomial {
+            coefficients: vec![Ubig::from(7u64)],
+            modulus: q,
+        };
+        assert_eq!(f.eval(0), Ubig::from(7u64));
+        assert_eq!(f.eval(50), Ubig::from(7u64));
+        assert_eq!(f.degree(), 0);
+    }
+
+    #[test]
+    fn eval_known_polynomial() {
+        // f(x) = 3 + 2x + x^2 mod 101
+        let q = Ubig::from(101u64);
+        let f = Polynomial {
+            coefficients: vec![Ubig::from(3u64), Ubig::from(2u64), Ubig::from(1u64)],
+            modulus: q,
+        };
+        assert_eq!(f.eval(0), Ubig::from(3u64));
+        assert_eq!(f.eval(1), Ubig::from(6u64));
+        assert_eq!(f.eval(2), Ubig::from(11u64));
+        assert_eq!(f.eval(10), Ubig::from((3u64 + 20 + 100) % 101));
+    }
+
+    #[test]
+    fn lagrange_recovers_secret() {
+        let q = Ubig::from(1_000_003u64);
+        let mut rng = StdRng::seed_from_u64(5);
+        let secret = Ubig::from(424242u64);
+        let f = Polynomial::random_with_constant(secret.clone(), 2, &q, &mut rng);
+        let shares = f.shares(5);
+        // Any 3 of 5 shares reconstruct.
+        for points in [[1u64, 2, 3], [1, 3, 5], [2, 4, 5]] {
+            let lambda = lagrange_at_zero(&points, &q);
+            let mut acc = Ubig::zero();
+            for (l, &pt) in lambda.iter().zip(points.iter()) {
+                acc = acc.mod_add(&l.mod_mul(&shares[pt as usize - 1], &q), &q);
+            }
+            assert_eq!(acc, secret, "points {points:?}");
+        }
+    }
+
+    #[test]
+    fn too_few_shares_reveal_nothing_definite() {
+        // With degree 2 and only 2 points, interpolation gives the wrong
+        // constant (probabilistically) — sanity check the threshold matters.
+        let q = Ubig::from(1_000_003u64);
+        let mut rng = StdRng::seed_from_u64(6);
+        let secret = Ubig::from(1u64);
+        let f = Polynomial::random_with_constant(secret.clone(), 2, &q, &mut rng);
+        let shares = f.shares(5);
+        let lambda = lagrange_at_zero(&[1, 2], &q);
+        let mut acc = Ubig::zero();
+        for (l, &pt) in lambda.iter().zip([1u64, 2].iter()) {
+            acc = acc.mod_add(&l.mod_mul(&shares[pt as usize - 1], &q), &q);
+        }
+        assert_ne!(acc, secret);
+    }
+
+    #[test]
+    fn integer_lagrange_interpolates_scaled_constant() {
+        // Over the integers: f(x) = 5 + 3x, n = 4, Δ = 24.
+        // Σ λ'_i f(i) must equal Δ * f(0) = 120.
+        let n = 4u64;
+        let f = |x: i64| 5 + 3 * x;
+        for points in [[1u64, 2], [2, 4], [1, 3]] {
+            let coeffs = integer_lagrange_at_zero(&points, n);
+            let mut acc = Ibig::zero();
+            for (c, &pt) in coeffs.iter().zip(points.iter()) {
+                acc = acc + c.clone() * Ibig::from(f(pt as i64));
+            }
+            assert_eq!(acc, Ibig::from(120i64), "points {points:?}");
+        }
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), Ubig::one());
+        assert_eq!(factorial(1), Ubig::one());
+        assert_eq!(factorial(5), Ubig::from(120u64));
+        assert_eq!(factorial(10), Ubig::from(3_628_800u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_panic() {
+        lagrange_at_zero(&[1, 1], &Ubig::from(101u64));
+    }
+}

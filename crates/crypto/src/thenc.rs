@@ -1,0 +1,432 @@
+//! The Shoup–Gennaro TDH2 threshold cryptosystem.
+//!
+//! Secure causal atomic broadcast needs public-key encryption where
+//! decryption requires a quorum: a client encrypts under the group's key,
+//! the ciphertext is atomically ordered, and only then do `k` servers
+//! cooperatively decrypt. TDH2 (Shoup & Gennaro, EUROCRYPT '98) provides
+//! exactly this with security against adaptive chosen-ciphertext attacks —
+//! necessary so an adversary cannot maul an ordered ciphertext into a
+//! related one, which would break causality.
+//!
+//! The scheme lives in the same Schnorr-group setting as the coin and is
+//! hybridized here with ChaCha20 for arbitrary-length payloads (the paper
+//! used MARS).
+
+use rand::Rng;
+use sintra_bigint::Ubig;
+
+use crate::dleq::{self, DleqProof, DleqStatement};
+use crate::group::SchnorrGroup;
+use crate::polynomial::{lagrange_at_zero, Polynomial};
+use crate::{chacha, hash, CryptoError, Result};
+
+/// Public key of a dealt TDH2 instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncPublicKey {
+    /// Number of parties.
+    pub n: usize,
+    /// Decryption shares required.
+    pub k: usize,
+    /// The encryption key `h = g^x`.
+    pub h: Ubig,
+    /// Per-party verification keys `h_i = g^{x_i}`.
+    pub verification_keys: Vec<Ubig>,
+}
+
+/// One party's secret decryption share `x_i`.
+#[derive(Debug, Clone)]
+pub struct EncSecretShare {
+    /// The holder's 0-based index.
+    pub index: usize,
+    key: Ubig,
+}
+
+/// A TDH2 ciphertext.
+///
+/// `(data, label, u, ū, e, f)`: ChaCha20-sealed payload, a binding label
+/// (SINTRA uses the protocol identifier), the ElGamal point `u = g^r`, and
+/// the validity proof `(ū = ḡ^r, e, f)` that makes the scheme CCA2-secure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    /// Symmetrically sealed payload.
+    pub data: Vec<u8>,
+    /// Context label bound into the validity proof.
+    pub label: Vec<u8>,
+    /// `u = g^r`.
+    pub u: Ubig,
+    /// `ū = ḡ^r`.
+    pub u_bar: Ubig,
+    /// Proof challenge.
+    pub e: Ubig,
+    /// Proof response `f = s + r·e`.
+    pub f: Ubig,
+}
+
+/// A decryption share `u_i = u^{x_i}` with its correctness proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecryptionShare {
+    /// 0-based index of the releasing party.
+    pub index: usize,
+    /// The share value `u^{x_i}`.
+    pub value: Ubig,
+    /// DLEQ proof against the verification key.
+    pub proof: DleqProof,
+}
+
+/// A TDH2 scheme instance bound to a group and public key.
+#[derive(Debug, Clone)]
+pub struct EncScheme {
+    group: SchnorrGroup,
+    public: EncPublicKey,
+}
+
+const SHARE_DOMAIN: &[u8] = b"sintra-tdh2-share";
+
+impl EncScheme {
+    /// Trusted-dealer key generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= n`.
+    pub fn deal<R: Rng + ?Sized>(
+        group: &SchnorrGroup,
+        n: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> (EncPublicKey, Vec<EncSecretShare>) {
+        assert!(k >= 1 && k <= n, "threshold must satisfy 1 <= k <= n");
+        let x = group.random_exponent(rng);
+        let h = group.pow_g(&x);
+        let poly = Polynomial::random_with_constant(x, k - 1, group.order(), rng);
+        let shares = poly.shares(n);
+        let verification_keys = shares.iter().map(|xi| group.pow_g(xi)).collect();
+        let secrets = shares
+            .into_iter()
+            .enumerate()
+            .map(|(index, key)| EncSecretShare { index, key })
+            .collect();
+        (
+            EncPublicKey {
+                n,
+                k,
+                h,
+                verification_keys,
+            },
+            secrets,
+        )
+    }
+
+    /// Binds a scheme instance to its parameters.
+    pub fn new(group: SchnorrGroup, public: EncPublicKey) -> Self {
+        EncScheme { group, public }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &EncPublicKey {
+        &self.public
+    }
+
+    /// The underlying group.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Decryption threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.public.k
+    }
+
+    fn validity_challenge(
+        &self,
+        data: &[u8],
+        label: &[u8],
+        u: &Ubig,
+        w: &Ubig,
+        u_bar: &Ubig,
+        w_bar: &Ubig,
+    ) -> Ubig {
+        let mut input = Vec::new();
+        input.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        input.extend_from_slice(data);
+        input.extend_from_slice(&(label.len() as u32).to_be_bytes());
+        input.extend_from_slice(label);
+        for part in [u, w, u_bar, w_bar] {
+            let bytes = part.to_be_bytes();
+            input.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            input.extend_from_slice(&bytes);
+        }
+        self.group.hash_to_exponent(b"sintra-tdh2-validity", &input)
+    }
+
+    /// Encrypts `message` under the group key, bound to `label`.
+    ///
+    /// Anyone holding only the public key can encrypt — in SINTRA this is
+    /// how external clients submit confidential requests.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        label: &[u8],
+        message: &[u8],
+        rng: &mut R,
+    ) -> Ciphertext {
+        let r = self.group.random_exponent(rng);
+        let s = self.group.random_exponent(rng);
+        let shared = self.group.pow(&self.public.h, &r);
+        let data = chacha::seal(&shared.to_be_bytes(), message);
+        let u = self.group.pow_g(&r);
+        let w = self.group.pow_g(&s);
+        let u_bar = self.group.pow_g_bar(&r);
+        let w_bar = self.group.pow_g_bar(&s);
+        let e = self.validity_challenge(&data, label, &u, &w, &u_bar, &w_bar);
+        let f = s.mod_add(&r.mod_mul(&e, self.group.order()), self.group.order());
+        Ciphertext {
+            data,
+            label: label.to_vec(),
+            u,
+            u_bar,
+            e,
+            f,
+        }
+    }
+
+    /// Checks the ciphertext validity proof (the CCA2 barrier). All
+    /// parties run this before releasing decryption shares.
+    pub fn verify_ciphertext(&self, ct: &Ciphertext) -> bool {
+        if !self.group.is_element(&ct.u) || !self.group.is_element(&ct.u_bar) {
+            return false;
+        }
+        if ct.e >= *self.group.order() || ct.f >= *self.group.order() {
+            return false;
+        }
+        // Recompute w = g^f / u^e and w̄ = ḡ^f / ū^e.
+        let w = self
+            .group
+            .div(&self.group.pow_g(&ct.f), &self.group.pow(&ct.u, &ct.e));
+        let w_bar = self.group.div(
+            &self.group.pow_g_bar(&ct.f),
+            &self.group.pow(&ct.u_bar, &ct.e),
+        );
+        self.validity_challenge(&ct.data, &ct.label, &ct.u, &w, &ct.u_bar, &w_bar) == ct.e
+    }
+
+    /// Produces this party's decryption share for a *valid* ciphertext.
+    ///
+    /// Returns `None` if the ciphertext fails its validity proof — an
+    /// honest party must not release shares for malformed ciphertexts.
+    pub fn decryption_share(
+        &self,
+        ct: &Ciphertext,
+        secret: &EncSecretShare,
+    ) -> Option<DecryptionShare> {
+        if !self.verify_ciphertext(ct) {
+            return None;
+        }
+        let value = self.group.pow(&ct.u, &secret.key);
+        let stmt = DleqStatement {
+            g: self.group.generator(),
+            h: &self.public.verification_keys[secret.index],
+            u: &ct.u,
+            v: &value,
+        };
+        let proof = dleq::prove_deterministic(&self.group, SHARE_DOMAIN, &stmt, &secret.key);
+        Some(DecryptionShare {
+            index: secret.index,
+            value,
+            proof,
+        })
+    }
+
+    /// Verifies a peer's decryption share against a ciphertext.
+    pub fn verify_share(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
+        if share.index >= self.public.n {
+            return false;
+        }
+        let stmt = DleqStatement {
+            g: self.group.generator(),
+            h: &self.public.verification_keys[share.index],
+            u: &ct.u,
+            v: &share.value,
+        };
+        dleq::verify(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+    }
+
+    /// Combines `k` decryption shares and recovers the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid ciphertext, too few shares, duplicate or
+    /// invalid shares.
+    pub fn combine(&self, ct: &Ciphertext, shares: &[DecryptionShare]) -> Result<Vec<u8>> {
+        if !self.verify_ciphertext(ct) {
+            return Err(CryptoError::InvalidCiphertext);
+        }
+        if shares.len() < self.public.k {
+            return Err(CryptoError::NotEnoughShares {
+                needed: self.public.k,
+                got: shares.len(),
+            });
+        }
+        let used = &shares[..self.public.k];
+        let mut seen = vec![false; self.public.n];
+        for share in used {
+            if share.index >= self.public.n {
+                return Err(CryptoError::InvalidShare { index: share.index });
+            }
+            if seen[share.index] {
+                return Err(CryptoError::DuplicateShare { index: share.index });
+            }
+            seen[share.index] = true;
+            if !self.verify_share(ct, share) {
+                return Err(CryptoError::InvalidShare { index: share.index });
+            }
+        }
+        let points: Vec<u64> = used.iter().map(|s| s.index as u64 + 1).collect();
+        let lambdas = lagrange_at_zero(&points, self.group.order());
+        let mut shared = Ubig::one();
+        for (share, lambda) in used.iter().zip(lambdas.iter()) {
+            shared = self
+                .group
+                .mul(&shared, &self.group.pow(&share.value, lambda));
+        }
+        Ok(chacha::open(&shared.to_be_bytes(), &ct.data))
+    }
+}
+
+/// Derives a compact commitment to a ciphertext (used by protocols to name
+/// ciphertexts in votes without shipping the whole body).
+pub fn ciphertext_digest(ct: &Ciphertext) -> [u8; 32] {
+    let mut input = Vec::new();
+    input.extend_from_slice(&(ct.data.len() as u32).to_be_bytes());
+    input.extend_from_slice(&ct.data);
+    input.extend_from_slice(&ct.label);
+    input.extend_from_slice(&ct.u.to_be_bytes());
+    input.extend_from_slice(&ct.u_bar.to_be_bytes());
+    input.extend_from_slice(&ct.e.to_be_bytes());
+    input.extend_from_slice(&ct.f.to_be_bytes());
+    hash::Sha256::digest(&input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, k: usize) -> (EncScheme, Vec<EncSecretShare>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let group = SchnorrGroup::generate(96, 32, &mut rng);
+        let (public, secrets) = EncScheme::deal(&group, n, k, &mut rng);
+        (EncScheme::new(group, public), secrets, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (scheme, secrets, mut rng) = setup(4, 2);
+        let msg = b"a confidential transaction of arbitrary length........";
+        let ct = scheme.encrypt(b"channel-1", msg, &mut rng);
+        assert!(scheme.verify_ciphertext(&ct));
+        let shares: Vec<DecryptionShare> = secrets
+            .iter()
+            .take(2)
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        assert_eq!(scheme.combine(&ct, &shares).unwrap(), msg);
+    }
+
+    #[test]
+    fn any_k_subset_decrypts_identically() {
+        let (scheme, secrets, mut rng) = setup(4, 2);
+        let ct = scheme.encrypt(b"l", b"payload", &mut rng);
+        let all: Vec<DecryptionShare> = secrets
+            .iter()
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        for subset in [[0usize, 1], [1, 2], [2, 3], [3, 0]] {
+            let sel = vec![all[subset[0]].clone(), all[subset[1]].clone()];
+            assert_eq!(scheme.combine(&ct, &sel).unwrap(), b"payload");
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected_everywhere() {
+        let (scheme, secrets, mut rng) = setup(4, 2);
+        let ct = scheme.encrypt(b"l", b"secret", &mut rng);
+        // Flip a payload byte: validity proof must fail.
+        let mut mauled = ct.clone();
+        mauled.data[0] ^= 1;
+        assert!(!scheme.verify_ciphertext(&mauled));
+        assert!(scheme.decryption_share(&mauled, &secrets[0]).is_none());
+        assert!(matches!(
+            scheme.combine(&mauled, &[]),
+            Err(CryptoError::InvalidCiphertext)
+        ));
+        // Changing the label also invalidates (label binding).
+        let mut relabeled = ct.clone();
+        relabeled.label = b"other".to_vec();
+        assert!(!scheme.verify_ciphertext(&relabeled));
+    }
+
+    #[test]
+    fn bad_share_detected() {
+        let (scheme, secrets, mut rng) = setup(4, 3);
+        let ct = scheme.encrypt(b"l", b"m", &mut rng);
+        let mut shares: Vec<DecryptionShare> = secrets
+            .iter()
+            .take(3)
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        shares[1].value = scheme
+            .group()
+            .mul(&shares[1].value, scheme.group().generator());
+        assert!(!scheme.verify_share(&ct, &shares[1]));
+        assert!(matches!(
+            scheme.combine(&ct, &shares),
+            Err(CryptoError::InvalidShare { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn share_for_other_ciphertext_rejected() {
+        let (scheme, secrets, mut rng) = setup(4, 2);
+        let ct1 = scheme.encrypt(b"l", b"m1", &mut rng);
+        let ct2 = scheme.encrypt(b"l", b"m2", &mut rng);
+        let share_for_2 = scheme.decryption_share(&ct2, &secrets[0]).unwrap();
+        assert!(!scheme.verify_share(&ct1, &share_for_2));
+    }
+
+    #[test]
+    fn too_few_shares_fail() {
+        let (scheme, secrets, mut rng) = setup(4, 3);
+        let ct = scheme.encrypt(b"l", b"m", &mut rng);
+        let shares: Vec<DecryptionShare> = secrets
+            .iter()
+            .take(2)
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        assert!(matches!(
+            scheme.combine(&ct, &shares),
+            Err(CryptoError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn digest_is_stable_and_binding() {
+        let (scheme, _, mut rng) = setup(4, 2);
+        let ct = scheme.encrypt(b"l", b"m", &mut rng);
+        assert_eq!(ciphertext_digest(&ct), ciphertext_digest(&ct));
+        let mut other = ct.clone();
+        other.data.push(0);
+        assert_ne!(ciphertext_digest(&ct), ciphertext_digest(&other));
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let (scheme, secrets, mut rng) = setup(4, 2);
+        let ct = scheme.encrypt(b"l", b"", &mut rng);
+        let shares: Vec<DecryptionShare> = secrets
+            .iter()
+            .take(2)
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        assert_eq!(scheme.combine(&ct, &shares).unwrap(), b"");
+    }
+}

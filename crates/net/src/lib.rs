@@ -1,0 +1,22 @@
+//! Runtimes for the SINTRA protocol stack.
+//!
+//! The protocol state machines in `sintra-core` are sans-IO; this crate
+//! supplies the two environments that drive them:
+//!
+//! * [`sim`]: a **deterministic discrete-event simulator** with a virtual
+//!   clock, per-pair latency models (including the paper's measured
+//!   Internet RTT matrix), crypto-cost accounting that converts metered
+//!   modular exponentiations into virtual CPU time per machine profile,
+//!   message-delivery adversaries (reorder, delay, partition) and
+//!   pluggable Byzantine party behaviours. This is the substrate on which
+//!   the paper's evaluation (Figures 4–6, Table 1) is reproduced.
+//! * [`threaded`]: a real multithreaded runtime — one thread per party,
+//!   HMAC-authenticated framed links over crossbeam channels, and a
+//!   blocking `send`/`receive`/`close` channel API mirroring SINTRA's
+//!   Java interface. Used by the runnable examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod threaded;

@@ -1,0 +1,167 @@
+//! Byzantine party behaviours for failure-injection testing.
+//!
+//! A Byzantine actor replaces a party's honest node in the simulation: it
+//! sees every message addressed to the party and emits arbitrary messages
+//! in return. The honest parties' safety must hold against *any* such
+//! actor with at most `t` of them; the actors here implement the classic
+//! attack patterns the test suite exercises.
+
+use sintra_core::message::{Body, Envelope};
+use sintra_core::{PartyId, ProtocolId, Recipient};
+
+use super::runner::VirtualTime;
+
+/// A Byzantine replacement for a party.
+pub trait ByzantineActor {
+    /// Reacts to an incoming message.
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        env: &Envelope,
+        clock: VirtualTime,
+    ) -> Vec<(Recipient, Envelope)>;
+
+    /// Produces the actor's initial traffic when a scheduled action fires
+    /// on it (defaults to nothing).
+    fn on_start(&mut self, _clock: VirtualTime) -> Vec<(Recipient, Envelope)> {
+        Vec::new()
+    }
+}
+
+/// Receives everything, says nothing. Indistinguishable from a crash to
+/// the rest of the group.
+#[derive(Debug, Default)]
+pub struct Silent;
+
+impl ByzantineActor for Silent {
+    fn on_message(
+        &mut self,
+        _from: PartyId,
+        _env: &Envelope,
+        _clock: VirtualTime,
+    ) -> Vec<(Recipient, Envelope)> {
+        Vec::new()
+    }
+}
+
+/// A broadcast sender that equivocates: it sends payload `a` to the
+/// parties in `group_a` and payload `b` to everyone else. Reliable
+/// broadcast must prevent honest parties from delivering different
+/// payloads.
+#[derive(Debug)]
+pub struct EquivocatingSender {
+    /// The broadcast instance to attack.
+    pub pid: ProtocolId,
+    /// Payload shown to `group_a`.
+    pub payload_a: Vec<u8>,
+    /// Payload shown to the rest.
+    pub payload_b: Vec<u8>,
+    /// Parties receiving `payload_a`.
+    pub group_a: Vec<usize>,
+    /// Total group size.
+    pub n: usize,
+}
+
+impl ByzantineActor for EquivocatingSender {
+    fn on_message(
+        &mut self,
+        _from: PartyId,
+        _env: &Envelope,
+        _clock: VirtualTime,
+    ) -> Vec<(Recipient, Envelope)> {
+        Vec::new()
+    }
+
+    fn on_start(&mut self, _clock: VirtualTime) -> Vec<(Recipient, Envelope)> {
+        (0..self.n)
+            .map(|p| {
+                let payload = if self.group_a.contains(&p) {
+                    self.payload_a.clone()
+                } else {
+                    self.payload_b.clone()
+                };
+                (
+                    Recipient::One(PartyId(p)),
+                    Envelope {
+                        pid: self.pid.clone(),
+                        body: Body::RbSend(payload),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Replays every message it receives back to all parties (a crude
+/// amplification / confusion attack; protocols must ignore the garbage
+/// because replayed messages carry the wrong sender identity). Each
+/// distinct message is reflected once — reflecting reflections of its own
+/// reflections would model an infinitely fast adversary, which even the
+/// asynchronous model does not grant.
+#[derive(Debug, Default)]
+pub struct Reflector {
+    seen: std::collections::HashSet<Vec<u8>>,
+}
+
+impl ByzantineActor for Reflector {
+    fn on_message(
+        &mut self,
+        _from: PartyId,
+        env: &Envelope,
+        _clock: VirtualTime,
+    ) -> Vec<(Recipient, Envelope)> {
+        let fingerprint = sintra_core::wire::Wire::to_bytes(env);
+        if self.seen.insert(fingerprint) {
+            vec![(Recipient::All, env.clone())]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_actor_says_nothing() {
+        let mut s = Silent;
+        let env = Envelope {
+            pid: ProtocolId::new("x"),
+            body: Body::RbSend(vec![1]),
+        };
+        assert!(s.on_message(PartyId(0), &env, 0).is_empty());
+        assert!(s.on_start(0).is_empty());
+    }
+
+    #[test]
+    fn equivocator_splits_the_group() {
+        let mut e = EquivocatingSender {
+            pid: ProtocolId::new("rb"),
+            payload_a: b"a".to_vec(),
+            payload_b: b"b".to_vec(),
+            group_a: vec![1],
+            n: 4,
+        };
+        let msgs = e.on_start(0);
+        assert_eq!(msgs.len(), 4);
+        let payload_of = |idx: usize| match &msgs[idx].1.body {
+            Body::RbSend(p) => p.clone(),
+            _ => panic!("wrong body"),
+        };
+        assert_eq!(payload_of(1), b"a");
+        assert_eq!(payload_of(2), b"b");
+    }
+
+    #[test]
+    fn reflector_reflects() {
+        let mut r = Reflector::default();
+        let env = Envelope {
+            pid: ProtocolId::new("x"),
+            body: Body::RbSend(vec![9]),
+        };
+        let out = r.on_message(PartyId(2), &env, 5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, env);
+    }
+}

@@ -1,0 +1,124 @@
+//! Network latency models.
+
+use rand::Rng;
+
+/// One-way message latency as a function of the (sender, receiver) pair.
+///
+/// All times are in milliseconds; the simulator works in microseconds
+/// internally.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Fixed one-way latency for every pair.
+    Constant {
+        /// One-way latency in ms.
+        ms: f64,
+    },
+    /// Uniformly distributed one-way latency.
+    Uniform {
+        /// Minimum one-way latency in ms.
+        min_ms: f64,
+        /// Maximum one-way latency in ms.
+        max_ms: f64,
+    },
+    /// A full round-trip-time matrix (as measured in the paper's Figure 3)
+    /// with multiplicative jitter: the one-way latency for `(i, j)` is
+    /// `rtt[i][j]/2 × (1 ± jitter)`. The diagonal holds loopback/LAN RTTs.
+    Matrix {
+        /// Pairwise RTTs in ms (`rtt[i][j]`, symmetric).
+        rtt_ms: Vec<Vec<f64>>,
+        /// Relative jitter amplitude (the paper reports ~10% variation).
+        jitter: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A LAN model: sub-millisecond switched-Ethernet latency with mild
+    /// jitter, as in the paper's 100 Mbit/s Zürich LAN.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min_ms: 0.15,
+            max_ms: 0.5,
+        }
+    }
+
+    /// Samples the one-way latency in microseconds for a message from
+    /// `from` to `to`. Self-delivery is local and effectively free.
+    pub fn sample_us<R: Rng + ?Sized>(&self, from: usize, to: usize, rng: &mut R) -> u64 {
+        if from == to {
+            return 10; // in-process hand-off
+        }
+        let ms = match self {
+            LatencyModel::Constant { ms } => *ms,
+            LatencyModel::Uniform { min_ms, max_ms } => rng.gen_range(*min_ms..=*max_ms),
+            LatencyModel::Matrix { rtt_ms, jitter } => {
+                let base = rtt_ms
+                    .get(from)
+                    .and_then(|row| row.get(to))
+                    .copied()
+                    .unwrap_or(100.0)
+                    / 2.0;
+                let factor = 1.0 + jitter * rng.gen_range(-1.0..=1.0);
+                base * factor
+            }
+        };
+        (ms.max(0.001) * 1000.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Constant { ms: 5.0 };
+        assert_eq!(m.sample_us(0, 1, &mut rng), 5000);
+        assert_eq!(m.sample_us(2, 3, &mut rng), 5000);
+    }
+
+    #[test]
+    fn self_delivery_is_cheap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Constant { ms: 100.0 };
+        assert!(m.sample_us(1, 1, &mut rng) < 100);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::Uniform {
+            min_ms: 1.0,
+            max_ms: 2.0,
+        };
+        for _ in 0..100 {
+            let us = m.sample_us(0, 1, &mut rng);
+            assert!((1000..=2000).contains(&us), "{us}");
+        }
+    }
+
+    #[test]
+    fn matrix_uses_half_rtt_with_jitter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = LatencyModel::Matrix {
+            rtt_ms: vec![vec![0.3, 200.0], vec![200.0, 0.3]],
+            jitter: 0.1,
+        };
+        for _ in 0..100 {
+            let us = m.sample_us(0, 1, &mut rng);
+            // 100ms ± 10%
+            assert!((90_000..=110_000).contains(&us), "{us}");
+        }
+    }
+
+    #[test]
+    fn lan_model_is_submillisecond() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = LatencyModel::lan();
+        for _ in 0..50 {
+            assert!(m.sample_us(0, 2, &mut rng) < 1000);
+        }
+    }
+}

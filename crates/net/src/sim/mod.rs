@@ -1,0 +1,31 @@
+//! A deterministic discrete-event simulator for SINTRA groups.
+//!
+//! The paper evaluates SINTRA on real machines in Zürich, Tokyo, New York
+//! and California; this simulator substitutes that testbed with a virtual
+//! clock, the paper's own measured latency and CPU figures, and real
+//! cryptography:
+//!
+//! * every protocol message is delivered after a latency sampled from a
+//!   configurable [`LatencyModel`] (constant, uniform, or a site-to-site
+//!   RTT matrix with jitter);
+//! * every protocol step runs the *actual* cryptographic code; the
+//!   modular-exponentiation work it meters (see `sintra_crypto::cost`) is
+//!   converted to virtual CPU time using a per-party [`MachineProfile`]
+//!   calibrated from the paper's `exp` column;
+//! * parties can be crashed, muted or replaced with Byzantine
+//!   [`byzantine`] actors, and links can be filtered to model partitions
+//!   and targeted delays.
+//!
+//! Determinism: all randomness flows from one seeded RNG and events are
+//! ordered by `(time, sequence-number)`, so every run with the same seed
+//! produces identical timings, deliveries and decisions.
+
+mod latency;
+mod machine;
+mod runner;
+
+pub mod byzantine;
+
+pub use latency::LatencyModel;
+pub use machine::MachineProfile;
+pub use runner::{DeliveryRecord, Fault, LinkDecision, SimConfig, Simulation, Stats, VirtualTime};

@@ -1,0 +1,14 @@
+//! A real multithreaded runtime for SINTRA groups.
+//!
+//! Each party runs on its own OS thread; point-to-point links are framed,
+//! HMAC-authenticated byte channels (crossbeam) — the in-process analogue
+//! of SINTRA's authenticated TCP links. The application talks to each
+//! server through a [`ServerHandle`] whose blocking `send`/`receive`/
+//! `close`/`close_wait` API mirrors the Java `Channel` interface of the
+//! paper (§3.4).
+
+mod link;
+mod runtime;
+
+pub use link::AuthenticatedLink;
+pub use runtime::{ServerHandle, ThreadedGroup};

@@ -1,0 +1,678 @@
+//! The per-party server threads and the blocking application API.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sintra_core::agreement::CandidateOrder;
+use sintra_core::channel::{AtomicChannelConfig, OptimisticChannelConfig};
+use sintra_core::message::Payload;
+use sintra_core::node::Node;
+use sintra_core::validator::{ArrayValidator, BinaryValidator};
+use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
+use sintra_crypto::dealer::PartyKeys;
+
+use super::link::AuthenticatedLink;
+
+/// What a server thread can be asked to do.
+enum Command {
+    CreateAtomic(ProtocolId, AtomicChannelConfig),
+    CreateSecure(ProtocolId, AtomicChannelConfig),
+    CreateOptimistic(ProtocolId, OptimisticChannelConfig),
+    CreateReliableChannel(ProtocolId),
+    CreateConsistentChannel(ProtocolId),
+    CreateReliableBroadcast(ProtocolId, PartyId),
+    CreateConsistentBroadcast(ProtocolId, PartyId),
+    CreateBinaryAgreement(ProtocolId, Option<BinaryValidator>, Option<bool>),
+    CreateMultiValued(ProtocolId, ArrayValidator, CandidateOrder),
+    Send(ProtocolId, Vec<u8>),
+    SendCiphertext(ProtocolId, Vec<u8>),
+    BroadcastSend(ProtocolId, Vec<u8>),
+    ProposeBinary(ProtocolId, bool, Vec<u8>),
+    ProposeMulti(ProtocolId, Vec<u8>),
+    Close(ProtocolId),
+    Shutdown,
+}
+
+enum Input {
+    Net { from: PartyId, frame: Vec<u8> },
+    Cmd(Command),
+}
+
+/// A handle to one SINTRA server running on its own thread.
+///
+/// Mirrors the paper's Java `Channel` API: `send` and `close` are
+/// non-blocking requests, `receive` blocks until the next delivery,
+/// `close_wait` blocks until the channel terminates.
+pub struct ServerHandle {
+    me: PartyId,
+    cmd_tx: Sender<Input>,
+    event_rx: Receiver<Event>,
+    /// Deliveries already pulled from the event stream but not yet
+    /// claimed by `receive` (per channel).
+    stash: HashMap<ProtocolId, Vec<Payload>>,
+    closed: std::collections::HashSet<ProtocolId>,
+}
+
+impl ServerHandle {
+    /// This server's party identity.
+    pub fn id(&self) -> PartyId {
+        self.me
+    }
+
+    /// Opens an atomic broadcast channel on this server.
+    pub fn create_atomic_channel(&self, pid: ProtocolId, config: AtomicChannelConfig) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateAtomic(pid, config)));
+    }
+
+    /// Opens a secure causal atomic broadcast channel on this server.
+    pub fn create_secure_channel(&self, pid: ProtocolId, config: AtomicChannelConfig) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateSecure(pid, config)));
+    }
+
+    /// Opens an optimistic (leader-sequenced) atomic broadcast channel.
+    pub fn create_optimistic_channel(&self, pid: ProtocolId, config: OptimisticChannelConfig) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateOptimistic(pid, config)));
+    }
+
+    /// Opens a reliable channel on this server.
+    pub fn create_reliable_channel(&self, pid: ProtocolId) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateReliableChannel(pid)));
+    }
+
+    /// Opens a consistent channel on this server.
+    pub fn create_consistent_channel(&self, pid: ProtocolId) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateConsistentChannel(pid)));
+    }
+
+    /// Sends a payload on a channel (non-blocking).
+    pub fn send(&self, pid: &ProtocolId, data: Vec<u8>) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::Send(pid.clone(), data)));
+    }
+
+    /// Injects an externally encrypted ciphertext into a secure channel.
+    pub fn send_ciphertext(&self, pid: &ProtocolId, ciphertext: Vec<u8>) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::SendCiphertext(pid.clone(), ciphertext)));
+    }
+
+    /// Requests termination of a channel (non-blocking).
+    pub fn close(&self, pid: &ProtocolId) {
+        let _ = self.cmd_tx.send(Input::Cmd(Command::Close(pid.clone())));
+    }
+
+    /// Registers a reliable broadcast instance for `sender`.
+    pub fn create_reliable_broadcast(&self, pid: ProtocolId, sender: PartyId) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateReliableBroadcast(pid, sender)));
+    }
+
+    /// Registers a (verifiable) consistent broadcast instance for `sender`.
+    pub fn create_consistent_broadcast(&self, pid: ProtocolId, sender: PartyId) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::CreateConsistentBroadcast(pid, sender)));
+    }
+
+    /// Registers a binary agreement instance (optionally validated and/or
+    /// biased).
+    pub fn create_binary_agreement(
+        &self,
+        pid: ProtocolId,
+        validator: Option<BinaryValidator>,
+        bias: Option<bool>,
+    ) {
+        let _ = self.cmd_tx.send(Input::Cmd(Command::CreateBinaryAgreement(
+            pid, validator, bias,
+        )));
+    }
+
+    /// Registers a multi-valued agreement instance.
+    pub fn create_multi_valued(
+        &self,
+        pid: ProtocolId,
+        validator: ArrayValidator,
+        order: CandidateOrder,
+    ) {
+        let _ = self.cmd_tx.send(Input::Cmd(Command::CreateMultiValued(
+            pid, validator, order,
+        )));
+    }
+
+    /// Starts a broadcast (this server must be the instance's sender).
+    pub fn broadcast_send(&self, pid: &ProtocolId, payload: Vec<u8>) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::BroadcastSend(pid.clone(), payload)));
+    }
+
+    /// Proposes a value to a binary agreement instance.
+    pub fn propose_binary(&self, pid: &ProtocolId, value: bool, proof: Vec<u8>) {
+        let _ = self.cmd_tx.send(Input::Cmd(Command::ProposeBinary(
+            pid.clone(),
+            value,
+            proof,
+        )));
+    }
+
+    /// Proposes a value to a multi-valued agreement instance.
+    pub fn propose_multi(&self, pid: &ProtocolId, value: Vec<u8>) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::ProposeMulti(pid.clone(), value)));
+    }
+
+    /// Blocks until a broadcast instance delivers; the SINTRA `receive()`
+    /// of the `Broadcast` API. Returns `None` if the server shut down.
+    pub fn receive_broadcast(&mut self, pid: &ProtocolId) -> Option<Vec<u8>> {
+        loop {
+            match self.event_rx.recv().ok()? {
+                Event::BroadcastDelivered { pid: epid, payload } if epid == *pid => {
+                    return Some(payload);
+                }
+                Event::ChannelDelivered { pid: epid, payload } => {
+                    self.stash.entry(epid).or_default().push(payload);
+                }
+                Event::ChannelClosed { pid: epid } => {
+                    self.closed.insert(epid);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Blocks until a binary agreement instance decides; the SINTRA
+    /// `decide()` of the `Agreement` API.
+    pub fn decide_binary(&mut self, pid: &ProtocolId) -> Option<(bool, Option<Vec<u8>>)> {
+        loop {
+            match self.event_rx.recv().ok()? {
+                Event::BinaryDecided {
+                    pid: epid,
+                    value,
+                    proof,
+                } if epid == *pid => return Some((value, proof)),
+                Event::ChannelDelivered { pid: epid, payload } => {
+                    self.stash.entry(epid).or_default().push(payload);
+                }
+                Event::ChannelClosed { pid: epid } => {
+                    self.closed.insert(epid);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Blocks until a multi-valued agreement instance decides.
+    pub fn decide_multi(&mut self, pid: &ProtocolId) -> Option<Vec<u8>> {
+        loop {
+            match self.event_rx.recv().ok()? {
+                Event::MultiDecided { pid: epid, value } if epid == *pid => return Some(value),
+                Event::ChannelDelivered { pid: epid, payload } => {
+                    self.stash.entry(epid).or_default().push(payload);
+                }
+                Event::ChannelClosed { pid: epid } => {
+                    self.closed.insert(epid);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Blocks until the next payload is delivered on `pid`. Returns
+    /// `None` if the channel closed (or the server shut down) first.
+    pub fn receive(&mut self, pid: &ProtocolId) -> Option<Payload> {
+        if let Some(stash) = self.stash.get_mut(pid) {
+            if !stash.is_empty() {
+                return Some(stash.remove(0));
+            }
+        }
+        if self.closed.contains(pid) {
+            return None;
+        }
+        loop {
+            let event = self.event_rx.recv().ok()?;
+            match event {
+                Event::ChannelDelivered { pid: epid, payload } => {
+                    if epid == *pid {
+                        return Some(payload);
+                    }
+                    self.stash.entry(epid).or_default().push(payload);
+                }
+                Event::ChannelClosed { pid: epid } => {
+                    self.closed.insert(epid.clone());
+                    if epid == *pid {
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&mut self, pid: &ProtocolId) -> Option<Payload> {
+        self.drain_events();
+        self.stash.get_mut(pid).and_then(|s| {
+            if s.is_empty() {
+                None
+            } else {
+                Some(s.remove(0))
+            }
+        })
+    }
+
+    /// Whether a `receive` on `pid` would return immediately.
+    pub fn can_receive(&mut self, pid: &ProtocolId) -> bool {
+        self.drain_events();
+        self.stash.get(pid).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Whether the channel has terminated.
+    pub fn is_closed(&mut self, pid: &ProtocolId) -> bool {
+        self.drain_events();
+        self.closed.contains(pid)
+    }
+
+    /// Blocks until the channel terminates, draining deliveries into the
+    /// stash (the Java `closeWait`). Returns the undelivered payloads.
+    pub fn close_wait(&mut self, pid: &ProtocolId) -> Vec<Payload> {
+        self.close(pid);
+        while !self.closed.contains(pid) {
+            match self.event_rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(Event::ChannelDelivered { pid: epid, payload }) => {
+                    self.stash.entry(epid).or_default().push(payload);
+                }
+                Ok(Event::ChannelClosed { pid: epid }) => {
+                    self.closed.insert(epid);
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        self.stash.remove(pid).unwrap_or_default()
+    }
+
+    fn drain_events(&mut self) {
+        while let Ok(event) = self.event_rx.try_recv() {
+            match event {
+                Event::ChannelDelivered { pid, payload } => {
+                    self.stash.entry(pid).or_default().push(payload);
+                }
+                Event::ChannelClosed { pid } => {
+                    self.closed.insert(pid);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A running group of server threads.
+pub struct ThreadedGroup {
+    threads: Vec<JoinHandle<()>>,
+    shutdown_txs: Vec<Sender<Input>>,
+}
+
+impl ThreadedGroup {
+    /// Spawns one server thread per set of party keys and returns the
+    /// application handles.
+    pub fn spawn(party_keys: Vec<Arc<PartyKeys>>) -> (ThreadedGroup, Vec<ServerHandle>) {
+        let n = party_keys.len();
+        // One inbox per party.
+        let inboxes: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
+        let mut handles = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        let mut shutdown_txs = Vec::with_capacity(n);
+
+        for (i, keys) in party_keys.iter().enumerate() {
+            let (event_tx, event_rx) = unbounded();
+            let inbox_rx = inboxes[i].1.clone();
+            let peers: Vec<Sender<Input>> = inboxes.iter().map(|(tx, _)| tx.clone()).collect();
+            // Link endpoints to every peer.
+            let links: Vec<AuthenticatedLink> = (0..n)
+                .map(|j| AuthenticatedLink::new(keys.mac_keys[j].clone(), PartyId(i), PartyId(j)))
+                .collect();
+            let keys = Arc::clone(keys);
+            let thread = std::thread::Builder::new()
+                .name(format!("sintra-p{i}"))
+                .spawn(move || {
+                    server_loop(i, keys, inbox_rx, peers, links, event_tx);
+                })
+                .expect("spawn server thread");
+            threads.push(thread);
+            shutdown_txs.push(inboxes[i].0.clone());
+            handles.push(ServerHandle {
+                me: PartyId(i),
+                cmd_tx: inboxes[i].0.clone(),
+                event_rx,
+                stash: HashMap::new(),
+                closed: std::collections::HashSet::new(),
+            });
+        }
+        (
+            ThreadedGroup {
+                threads,
+                shutdown_txs,
+            },
+            handles,
+        )
+    }
+
+    /// Stops all server threads and waits for them.
+    pub fn shutdown(self) {
+        for tx in &self.shutdown_txs {
+            let _ = tx.send(Input::Cmd(Command::Shutdown));
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn server_loop(
+    me: usize,
+    keys: Arc<PartyKeys>,
+    inbox: Receiver<Input>,
+    peers: Vec<Sender<Input>>,
+    links: Vec<AuthenticatedLink>,
+    event_tx: Sender<Event>,
+) {
+    let ctx = GroupContext::new(keys);
+    let mut node = Node::new(ctx, me as u64 ^ 0x7EAD_ED01);
+    let transmit = |out: &mut Outgoing| {
+        for (recipient, env) in out.drain() {
+            let targets: Vec<usize> = match recipient {
+                Recipient::All => (0..peers.len()).collect(),
+                Recipient::One(p) => vec![p.0],
+            };
+            for to in targets {
+                let frame = links[to].seal(&env);
+                let _ = peers[to].send(Input::Net {
+                    from: PartyId(me),
+                    frame,
+                });
+            }
+        }
+    };
+    // Pending timers: (deadline, pid, token), earliest first.
+    let mut timers: std::collections::BinaryHeap<
+        std::cmp::Reverse<(std::time::Instant, ProtocolId, u64)>,
+    > = std::collections::BinaryHeap::new();
+    loop {
+        // Fire due timers before blocking.
+        let now = std::time::Instant::now();
+        while let Some(std::cmp::Reverse((deadline, _, _))) = timers.peek() {
+            if *deadline > now {
+                break;
+            }
+            let std::cmp::Reverse((_, pid, token)) = timers.pop().expect("peeked");
+            let mut out = Outgoing::new();
+            node.handle_timer(&pid, token, &mut out);
+            for t in out.drain_timers() {
+                timers.push(std::cmp::Reverse((
+                    std::time::Instant::now() + Duration::from_millis(t.delay_ms),
+                    t.pid,
+                    t.token,
+                )));
+            }
+            transmit(&mut out);
+            for event in node.take_events() {
+                let _ = event_tx.send(event);
+            }
+        }
+        let input = match timers.peek() {
+            Some(std::cmp::Reverse((deadline, _, _))) => {
+                let wait = deadline.saturating_duration_since(std::time::Instant::now());
+                match inbox.recv_timeout(wait) {
+                    Ok(input) => input,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match inbox.recv() {
+                Ok(input) => input,
+                Err(_) => return,
+            },
+        };
+        let mut out = Outgoing::new();
+        match input {
+            Input::Net { from, frame } => {
+                // Authenticate with the pairwise key of the claimed sender.
+                if from.0 >= links.len() {
+                    continue;
+                }
+                let Some(env) = links[from.0].open(&frame) else {
+                    continue;
+                };
+                node.handle_envelope(from, &env, &mut out);
+            }
+            Input::Cmd(cmd) => match cmd {
+                Command::CreateAtomic(pid, config) => node.create_atomic_channel(pid, config),
+                Command::CreateSecure(pid, config) => node.create_secure_channel(pid, config),
+                Command::CreateOptimistic(pid, config) => {
+                    node.create_optimistic_channel(pid, config)
+                }
+                Command::CreateReliableChannel(pid) => node.create_reliable_channel(pid),
+                Command::CreateConsistentChannel(pid) => node.create_consistent_channel(pid),
+                Command::CreateReliableBroadcast(pid, sender) => {
+                    node.create_reliable_broadcast(pid, sender)
+                }
+                Command::CreateConsistentBroadcast(pid, sender) => {
+                    node.create_consistent_broadcast(pid, sender)
+                }
+                Command::CreateBinaryAgreement(pid, validator, bias) => {
+                    node.create_binary_agreement(pid, validator, bias)
+                }
+                Command::CreateMultiValued(pid, validator, order) => {
+                    node.create_multi_valued(pid, validator, order)
+                }
+                Command::Send(pid, data) => node.channel_send(&pid, data, &mut out),
+                Command::SendCiphertext(pid, ct) => {
+                    node.channel_send_ciphertext(&pid, ct, &mut out)
+                }
+                Command::BroadcastSend(pid, payload) => {
+                    node.broadcast_send(&pid, payload, &mut out)
+                }
+                Command::ProposeBinary(pid, value, proof) => {
+                    node.propose_binary(&pid, value, proof, &mut out)
+                }
+                Command::ProposeMulti(pid, value) => node.propose_multi(&pid, value, &mut out),
+                Command::Close(pid) => node.channel_close(&pid, &mut out),
+                Command::Shutdown => return,
+            },
+        }
+        for t in out.drain_timers() {
+            timers.push(std::cmp::Reverse((
+                std::time::Instant::now() + Duration::from_millis(t.delay_ms),
+                t.pid,
+                t.token,
+            )));
+        }
+        transmit(&mut out);
+        for event in node.take_events() {
+            let _ = event_tx.send(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+
+    fn keys(n: usize, t: usize) -> Vec<Arc<PartyKeys>> {
+        let mut rng = StdRng::seed_from_u64(59);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
+    #[test]
+    fn atomic_channel_over_threads() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("threaded-ac");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        handles[0].send(&pid, b"over threads".to_vec());
+        for (i, h) in handles.iter_mut().enumerate() {
+            let p = h.receive(&pid).expect("delivery");
+            assert_eq!(p.data, b"over threads", "party {i}");
+            assert_eq!(p.origin, PartyId(0));
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn total_order_across_concurrent_threaded_senders() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("threaded-order");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.send(&pid, format!("from-{i}").into_bytes());
+        }
+        let mut sequences = Vec::new();
+        for h in handles.iter_mut() {
+            let seq: Vec<Vec<u8>> = (0..4).map(|_| h.receive(&pid).unwrap().data).collect();
+            sequences.push(seq);
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "real-thread total order");
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn close_wait_terminates() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("threaded-close");
+        for h in &handles {
+            h.create_reliable_channel(pid.clone());
+        }
+        handles[2].send(&pid, b"goodbye".to_vec());
+        // Everyone requests closure first — a single closer would block
+        // forever, since termination needs t + 1 requests — then waits.
+        for h in &handles {
+            h.close(&pid);
+        }
+        let mut residuals = Vec::new();
+        for h in handles.iter_mut() {
+            residuals.push(h.close_wait(&pid));
+        }
+        assert!(residuals
+            .iter()
+            .all(|r| r.iter().any(|p| p.data == b"goodbye")));
+        group.shutdown();
+    }
+
+    #[test]
+    fn broadcast_and_agreement_over_threads() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        // Reliable broadcast with party 1 as sender.
+        let rb = ProtocolId::new("t-rb");
+        for h in &handles {
+            h.create_reliable_broadcast(rb.clone(), PartyId(1));
+        }
+        handles[1].broadcast_send(&rb, b"threaded broadcast".to_vec());
+        for h in handles.iter_mut() {
+            assert_eq!(
+                h.receive_broadcast(&rb).as_deref(),
+                Some(&b"threaded broadcast"[..])
+            );
+        }
+        // Binary agreement with split proposals.
+        let ba = ProtocolId::new("t-ba");
+        for h in &handles {
+            h.create_binary_agreement(ba.clone(), None, None);
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.propose_binary(&ba, i % 2 == 0, Vec::new());
+        }
+        let decisions: Vec<bool> = handles
+            .iter_mut()
+            .map(|h| h.decide_binary(&ba).expect("decided").0)
+            .collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        group.shutdown();
+    }
+
+    #[test]
+    fn multi_valued_agreement_over_threads() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("t-vba");
+        for h in &handles {
+            h.create_multi_valued(
+                pid.clone(),
+                sintra_core::validator::ArrayValidator::always(),
+                CandidateOrder::LocalRandom,
+            );
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.propose_multi(&pid, format!("tv-{i}").into_bytes());
+        }
+        let decisions: Vec<Vec<u8>> = handles
+            .iter_mut()
+            .map(|h| h.decide_multi(&pid).expect("decided"))
+            .collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        group.shutdown();
+    }
+
+    #[test]
+    fn optimistic_channel_over_threads() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("threaded-opt");
+        for h in &handles {
+            h.create_optimistic_channel(pid.clone(), OptimisticChannelConfig::default());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.send(&pid, format!("opt-{i}").into_bytes());
+        }
+        let mut sequences = Vec::new();
+        for h in handles.iter_mut() {
+            let seq: Vec<Vec<u8>> = (0..4).map(|_| h.receive(&pid).unwrap().data).collect();
+            sequences.push(seq);
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "optimistic total order over threads");
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn secure_channel_over_threads() {
+        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
+        let pid = ProtocolId::new("threaded-sc");
+        for h in &handles {
+            h.create_secure_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        handles[1].send(&pid, b"threaded secret".to_vec());
+        for h in handles.iter_mut() {
+            assert_eq!(h.receive(&pid).unwrap().data, b"threaded secret");
+        }
+        group.shutdown();
+    }
+}

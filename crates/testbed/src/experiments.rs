@@ -1,0 +1,453 @@
+//! The paper's experiments (§4), one runner per figure/table.
+
+use std::fmt;
+
+use sintra_core::channel::AtomicChannelConfig;
+use sintra_core::ProtocolId;
+use sintra_crypto::thsig::SigFlavor;
+use sintra_net::sim::Simulation;
+
+use crate::setups::{build, Setup, Testbed};
+use crate::stats;
+
+/// The four SINTRA channel protocols measured by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Atomic broadcast channel.
+    Atomic,
+    /// Secure causal atomic broadcast channel.
+    Secure,
+    /// Reliable channel.
+    Reliable,
+    /// Consistent channel.
+    Consistent,
+}
+
+impl ChannelKind {
+    /// All four kinds, in the paper's Table 1 column order.
+    pub const ALL: [ChannelKind; 4] = [
+        ChannelKind::Atomic,
+        ChannelKind::Secure,
+        ChannelKind::Reliable,
+        ChannelKind::Consistent,
+    ];
+
+    /// Table 1 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelKind::Atomic => "atomic",
+            ChannelKind::Secure => "secure",
+            ChannelKind::Reliable => "reliable",
+            ChannelKind::Consistent => "consistent",
+        }
+    }
+}
+
+/// One delivery observed at the measuring party.
+#[derive(Debug, Clone)]
+pub struct DeliveryPoint {
+    /// Delivery index (x-axis of Figures 4/5).
+    pub index: usize,
+    /// Absolute virtual time of the delivery (s).
+    pub time_s: f64,
+    /// Time since the previous delivery (s) — the y-axis of Figures 4/5.
+    pub inter_delivery_s: f64,
+    /// The payload's origin party.
+    pub origin: usize,
+}
+
+/// Runs one channel workload on a testbed and returns the deliveries
+/// observed at `measured`.
+///
+/// `senders` lists `(party, message_count)`; every sender enqueues its
+/// messages at time zero ("maximum capacity", as in the paper's load
+/// generator), with short `< 32` byte payloads.
+pub fn run_channel(
+    testbed: Testbed,
+    kind: ChannelKind,
+    senders: &[(usize, usize)],
+    measured: usize,
+) -> Vec<DeliveryPoint> {
+    let pid = ProtocolId::new("chan");
+    let mut sim = Simulation::new(testbed.keys, testbed.config);
+    let n = sim.n();
+    for p in 0..n {
+        let pid = pid.clone();
+        let node = sim.node_mut(p);
+        match kind {
+            ChannelKind::Atomic => node.create_atomic_channel(pid, AtomicChannelConfig::default()),
+            ChannelKind::Secure => node.create_secure_channel(pid, AtomicChannelConfig::default()),
+            // Window 1 models the Java prototype's sequential sender
+            // thread, which is what the paper's Table 1 latencies reflect.
+            ChannelKind::Reliable => node.create_reliable_channel_windowed(pid, 1),
+            ChannelKind::Consistent => node.create_consistent_channel_windowed(pid, 1),
+        }
+    }
+    for &(party, count) in senders {
+        let pid = pid.clone();
+        sim.schedule(0, party, move |node, out| {
+            for k in 0..count {
+                // Short payloads, as in the paper (< 32 bytes).
+                node.channel_send(&pid, format!("m{party}-{k}").into_bytes(), out);
+            }
+        });
+    }
+    sim.run();
+    let mut deliveries = sim.channel_deliveries(measured, &pid);
+    deliveries.sort_by_key(|(t, _)| *t);
+    let mut points = Vec::with_capacity(deliveries.len());
+    let mut prev = 0.0f64;
+    for (index, (t_us, payload)) in deliveries.into_iter().enumerate() {
+        let time_s = t_us as f64 / 1e6;
+        points.push(DeliveryPoint {
+            index,
+            time_s,
+            inter_delivery_s: time_s - prev,
+            origin: payload.origin.0,
+        });
+        prev = time_s;
+    }
+    points
+}
+
+/// Result of the Figure 4 / Figure 5 experiments: the latency scatter of
+/// an atomic channel under three concurrent senders.
+#[derive(Debug, Clone)]
+pub struct ScatterResult {
+    /// The setup the run used.
+    pub setup: Setup,
+    /// The measuring party.
+    pub measured: usize,
+    /// One point per delivery.
+    pub points: Vec<DeliveryPoint>,
+}
+
+impl ScatterResult {
+    /// Inter-delivery times (s), the plotted series.
+    pub fn inter_delivery(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.inter_delivery_s).collect()
+    }
+
+    /// Fraction of points in the "same batch" band (≈ 0 s).
+    pub fn zero_band_fraction(&self) -> f64 {
+        stats::fraction_in(&self.inter_delivery(), 0.0, 0.050)
+    }
+
+    /// Mean inter-delivery time (s).
+    pub fn mean_s(&self) -> f64 {
+        stats::mean(&self.inter_delivery())
+    }
+}
+
+impl fmt::Display for ScatterResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# delivery-index  sec/delivery  sender   ({} setup, measured at P{})",
+            self.setup.label(),
+            self.measured
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:6}  {:8.3}  P{}",
+                p.index, p.inter_delivery_s, p.origin
+            )?;
+        }
+        writeln!(
+            f,
+            "# mean {:.3} s/delivery, {:.0}% in the 0s band",
+            self.mean_s(),
+            self.zero_band_fraction() * 100.0
+        )
+    }
+}
+
+/// Figure 4: `AtomicChannel` on the LAN; three senders (P0 Linux, P2 AIX,
+/// P3 Win2k) send `messages` payloads total, measured at P0.
+pub fn fig4_atomic_lan(messages: usize, key_bits: u32, seed: u64) -> ScatterResult {
+    let per = messages / 3;
+    let testbed = build(Setup::Lan, key_bits, SigFlavor::Multi, seed);
+    let points = run_channel(
+        testbed,
+        ChannelKind::Atomic,
+        &[(0, messages - 2 * per), (2, per), (3, per)],
+        0,
+    );
+    ScatterResult {
+        setup: Setup::Lan,
+        measured: 0,
+        points,
+    }
+}
+
+/// Figure 5: the same experiment on the Internet setup; senders in
+/// Zürich (P0), Tokyo (P1) and New York (P2), measured in Zürich.
+pub fn fig5_atomic_internet(messages: usize, key_bits: u32, seed: u64) -> ScatterResult {
+    let per = messages / 3;
+    let testbed = build(Setup::Internet, key_bits, SigFlavor::Multi, seed);
+    let points = run_channel(
+        testbed,
+        ChannelKind::Atomic,
+        &[(0, messages - 2 * per), (1, per), (2, per)],
+        0,
+    );
+    ScatterResult {
+        setup: Setup::Internet,
+        measured: 0,
+        points,
+    }
+}
+
+/// One Table 1 cell: mean delivery time of a channel on a setup.
+#[derive(Debug, Clone)]
+pub struct Table1Cell {
+    /// The setup (row).
+    pub setup: Setup,
+    /// The channel (column).
+    pub kind: ChannelKind,
+    /// Mean inter-delivery time in seconds.
+    pub mean_s: f64,
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// All cells, row-major in the paper's order.
+    pub cells: Vec<Table1Cell>,
+}
+
+/// The paper's measured Table 1 (s), row-major:
+/// setups × (atomic, secure, reliable, consistent).
+pub const TABLE1_PAPER: [(Setup, [f64; 4]); 3] = [
+    (Setup::Lan, [0.69, 1.07, 0.13, 0.11]),
+    (Setup::Internet, [2.95, 3.61, 0.72, 0.83]),
+    (Setup::Hybrid, [2.74, 3.79, 0.60, 0.64]),
+];
+
+impl Table1Result {
+    /// Looks up a cell.
+    pub fn get(&self, setup: Setup, kind: ChannelKind) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.setup == setup && c.kind == kind)
+            .map(|c| c.mean_s)
+    }
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>9} {:>11}",
+            "Setup", "atomic", "secure", "reliable", "consistent"
+        )?;
+        for setup in [Setup::Lan, Setup::Internet, Setup::Hybrid] {
+            let row: Vec<String> = ChannelKind::ALL
+                .iter()
+                .map(|k| {
+                    self.get(setup, *k)
+                        .map(|v| format!("{v:8.2}"))
+                        .unwrap_or_else(|| "       -".into())
+                })
+                .collect();
+            writeln!(f, "{:<10} {}", setup.label(), row.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Table 1: mean inter-delivery times for all four channels on all three
+/// setups; one sender (P0, Zürich) sends `messages` payloads.
+pub fn table1_channels(
+    messages: usize,
+    key_bits: u32,
+    seed: u64,
+    setups: &[Setup],
+) -> Table1Result {
+    let mut cells = Vec::new();
+    for &setup in setups {
+        for kind in ChannelKind::ALL {
+            let testbed = build(setup, key_bits, SigFlavor::Multi, seed);
+            let points = run_channel(testbed, kind, &[(0, messages)], 0);
+            let mean_s = stats::mean(
+                &points
+                    .iter()
+                    .map(|p| p.inter_delivery_s)
+                    .collect::<Vec<_>>(),
+            );
+            cells.push(Table1Cell {
+                setup,
+                kind,
+                mean_s,
+            });
+        }
+    }
+    Table1Result { cells }
+}
+
+/// One Figure 6 data point: mean delivery time at a key size.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// Public-key size in bits.
+    pub key_bits: u32,
+    /// Setup (LAN or Internet).
+    pub setup: Setup,
+    /// Threshold-signature implementation.
+    pub flavor: SigFlavor,
+    /// Mean inter-delivery time (s).
+    pub mean_s: f64,
+}
+
+/// Result of the Figure 6 key-size sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// All measured points.
+    pub points: Vec<Fig6Point>,
+}
+
+impl Fig6Result {
+    /// The series for one (setup, flavor) curve, ordered by key size.
+    pub fn series(&self, setup: Setup, flavor: SigFlavor) -> Vec<(u32, f64)> {
+        let mut s: Vec<(u32, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.setup == setup && p.flavor == flavor)
+            .map(|p| (p.key_bits, p.mean_s))
+            .collect();
+        s.sort_by_key(|(b, _)| *b);
+        s
+    }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "keysize", "Inet-ts", "LAN-ts", "Inet-multi", "LAN-multi"
+        )?;
+        let mut sizes: Vec<u32> = self.points.iter().map(|p| p.key_bits).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        for bits in sizes {
+            let cell = |setup, flavor| -> String {
+                self.points
+                    .iter()
+                    .find(|p| p.key_bits == bits && p.setup == setup && p.flavor == flavor)
+                    .map(|p| format!("{:12.2}", p.mean_s))
+                    .unwrap_or_else(|| "           -".into())
+            };
+            writeln!(
+                f,
+                "{bits:>8} {} {} {} {}",
+                cell(Setup::Internet, SigFlavor::ShoupRsa),
+                cell(Setup::Lan, SigFlavor::ShoupRsa),
+                cell(Setup::Internet, SigFlavor::Multi),
+                cell(Setup::Lan, SigFlavor::Multi),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 6: atomic-channel delivery time versus public-key size, for
+/// standard threshold signatures and multi-signatures, on the LAN and
+/// Internet setups. One sender sends `messages` payloads per point.
+pub fn fig6_keysize(messages: usize, key_sizes: &[u32], seed: u64) -> Fig6Result {
+    let mut points = Vec::new();
+    for &key_bits in key_sizes {
+        for setup in [Setup::Lan, Setup::Internet] {
+            for flavor in [SigFlavor::Multi, SigFlavor::ShoupRsa] {
+                let testbed = build(setup, key_bits, flavor, seed);
+                let deliveries = run_channel(testbed, ChannelKind::Atomic, &[(0, messages)], 0);
+                let mean_s = stats::mean(
+                    &deliveries
+                        .iter()
+                        .map(|p| p.inter_delivery_s)
+                        .collect::<Vec<_>>(),
+                );
+                points.push(Fig6Point {
+                    key_bits,
+                    setup,
+                    flavor,
+                    mean_s,
+                });
+            }
+        }
+    }
+    Fig6Result { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Scaled-down versions of each experiment; the full-size runs live in
+    // the bench harnesses.
+
+    #[test]
+    fn fig4_shape_scaled_down() {
+        let result = fig4_atomic_lan(18, 128, 3);
+        assert_eq!(result.points.len(), 18, "all messages delivered");
+        // Batching puts a fraction of deliveries in the 0s band
+        // (batch size t+1 = 2 => about half).
+        assert!(
+            result.zero_band_fraction() > 0.25,
+            "zero band: {:.2}",
+            result.zero_band_fraction()
+        );
+        // Several distinct senders appear.
+        let senders: std::collections::HashSet<usize> =
+            result.points.iter().map(|p| p.origin).collect();
+        assert!(senders.len() >= 2);
+    }
+
+    #[test]
+    fn fig5_slower_than_fig4() {
+        let lan = fig4_atomic_lan(12, 128, 4);
+        let inet = fig5_atomic_internet(12, 128, 4);
+        assert!(
+            inet.mean_s() > 2.0 * lan.mean_s(),
+            "internet {:.3}s vs lan {:.3}s",
+            inet.mean_s(),
+            lan.mean_s()
+        );
+    }
+
+    #[test]
+    fn table1_ordering_holds() {
+        let result = table1_channels(8, 128, 5, &[Setup::Lan]);
+        let atomic = result.get(Setup::Lan, ChannelKind::Atomic).unwrap();
+        let secure = result.get(Setup::Lan, ChannelKind::Secure).unwrap();
+        let reliable = result.get(Setup::Lan, ChannelKind::Reliable).unwrap();
+        let consistent = result.get(Setup::Lan, ChannelKind::Consistent).unwrap();
+        // The paper's ordering: reliable/consistent much cheaper than
+        // atomic. (The secure channel's +0.5-1 s surcharge over atomic
+        // only materializes at full 1024-bit keys, where decryption-share
+        // CPU time is significant — verified by the bench harness; at the
+        // 128-bit test scale we only require it not to be faster than the
+        // cheap channels.)
+        assert!(atomic > reliable, "atomic {atomic} vs reliable {reliable}");
+        assert!(atomic > consistent);
+        assert!(secure > reliable, "secure {secure} vs reliable {reliable}");
+        let display = result.to_string();
+        assert!(display.contains("LAN"));
+    }
+
+    #[test]
+    fn fig6_multi_flat_ts_grows() {
+        let result = fig6_keysize(4, &[128, 512], 6);
+        let lan_multi = result.series(Setup::Lan, SigFlavor::Multi);
+        let lan_ts = result.series(Setup::Lan, SigFlavor::ShoupRsa);
+        assert_eq!(lan_multi.len(), 2);
+        // Threshold RSA at 512 bits must cost visibly more than at 128;
+        // multi-signatures grow far less in absolute terms.
+        let ts_growth = lan_ts[1].1 - lan_ts[0].1;
+        let multi_growth = lan_multi[1].1 - lan_multi[0].1;
+        assert!(
+            ts_growth > multi_growth,
+            "ts {ts_growth:.3}s vs multi {multi_growth:.3}s"
+        );
+    }
+}

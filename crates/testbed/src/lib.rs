@@ -1,0 +1,32 @@
+//! Reproduction harness for the SINTRA paper's evaluation (§4).
+//!
+//! The paper measures a Java prototype on a Zürich LAN and on a four-site
+//! intercontinental testbed (Zürich, Tokyo, New York, California). This
+//! crate rebuilds those testbeds inside the deterministic simulator:
+//!
+//! * [`setups`] encodes the paper's machine tables (the per-machine
+//!   1024-bit-exponentiation times) and the Figure 3 RTT matrix;
+//! * [`experiments`] drives the protocol stack through the same workloads
+//!   the paper reports and returns the series/rows behind each figure and
+//!   table:
+//!   - [`experiments::fig4_atomic_lan`] / [`experiments::fig5_atomic_internet`] —
+//!     per-delivery latency scatter with three concurrent senders;
+//!   - [`experiments::table1_channels`] — mean inter-delivery time of all
+//!     four channels across the three setups;
+//!   - [`experiments::fig6_keysize`] — delivery time versus public-key
+//!     size for threshold signatures and multi-signatures.
+//!
+//! Timing methodology: the protocols run their real cryptography; the
+//! modular-exponentiation work they meter is converted to virtual CPU
+//! time with the paper's own per-machine figures, and message latencies
+//! are sampled from the paper's measured RTTs. Absolute numbers are
+//! therefore *modeled*, but the comparative shape — which protocol wins,
+//! by what factor, where the bands lie — is produced by the same
+//! mechanics as on the 2002 testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setups;
+pub mod stats;

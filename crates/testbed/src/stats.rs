@@ -1,0 +1,72 @@
+//! Small statistics helpers for experiment post-processing.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (0..=1) by nearest-rank on a sorted copy.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Successive differences `v[i+1] - v[i]`.
+pub fn deltas(values: &[f64]) -> Vec<f64> {
+    values.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Fraction of values within `[lo, hi)`.
+pub fn fraction_in(values: &[f64], lo: f64, hi: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v >= lo && v < hi).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [3.0, 1.0, 2.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn deltas_and_fractions() {
+        assert_eq!(deltas(&[1.0, 3.0, 6.0]), vec![2.0, 3.0]);
+        assert_eq!(fraction_in(&[0.1, 0.5, 0.9], 0.0, 0.5), 1.0 / 3.0);
+        assert_eq!(fraction_in(&[], 0.0, 1.0), 0.0);
+    }
+}

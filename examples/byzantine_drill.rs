@@ -1,0 +1,134 @@
+//! A Byzantine fire drill in the deterministic simulator.
+//!
+//! Runs the same atomic-broadcast workload three times on a simulated
+//! wide-area group (the paper's Internet testbed: Zürich, Tokyo, New
+//! York, California):
+//!
+//! 1. all four servers honest;
+//! 2. one server crashed from the start;
+//! 3. one server replaced by an equivocating Byzantine sender *and* a
+//!    2-second network partition around another server.
+//!
+//! In every case the surviving honest servers deliver identical
+//! sequences — and because the simulator is deterministic, so will your
+//! run of this example.
+//!
+//! Run with: `cargo run --release --example byzantine_drill`
+
+use sintra::protocols::channel::AtomicChannelConfig;
+use sintra::runtime::sim::{byzantine::EquivocatingSender, Fault, LinkDecision, Simulation};
+use sintra::testbed::setups::{build, Setup};
+use sintra::ProtocolId;
+
+/// Builds a fresh simulated Internet group with an atomic channel on
+/// every honest party.
+fn fresh_sim(seed: u64) -> (Simulation, ProtocolId) {
+    // 128-bit demo keys keep the example fast; the mechanics are
+    // identical at 1024 bits.
+    let testbed = build(
+        Setup::Internet,
+        128,
+        sintra::crypto::thsig::SigFlavor::Multi,
+        seed,
+    );
+    let pid = ProtocolId::new("drill");
+    let mut sim = Simulation::new(testbed.keys, testbed.config);
+    for p in 0..4 {
+        sim.node_mut(p)
+            .create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+    }
+    (sim, pid)
+}
+
+fn workload(sim: &mut Simulation, pid: &ProtocolId, senders: &[usize]) {
+    for &party in senders {
+        let pid = pid.clone();
+        sim.schedule(0, party, move |node, out| {
+            for k in 0..3 {
+                node.channel_send(&pid, format!("P{party}-msg{k}").into_bytes(), out);
+            }
+        });
+    }
+}
+
+fn sequences(sim: &Simulation, pid: &ProtocolId, parties: &[usize]) -> Vec<Vec<String>> {
+    parties
+        .iter()
+        .map(|&p| {
+            sim.channel_deliveries(p, pid)
+                .iter()
+                .map(|(_, payload)| String::from_utf8_lossy(&payload.data).into_owned())
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_identical(seqs: &[Vec<String>], scenario: &str) {
+    for s in &seqs[1..] {
+        assert_eq!(s, &seqs[0], "{scenario}: honest servers diverged!");
+    }
+    println!(
+        "  {} deliveries, identical at every honest server ✓",
+        seqs[0].len()
+    );
+}
+
+fn main() {
+    println!("scenario 1: all honest (Zürich + Tokyo + NY sending)");
+    let (mut sim, pid) = fresh_sim(1);
+    workload(&mut sim, &pid, &[0, 1, 2]);
+    let end = sim.run();
+    let seqs = sequences(&sim, &pid, &[0, 1, 2, 3]);
+    assert_eq!(seqs[0].len(), 9, "all 9 payloads delivered");
+    assert_identical(&seqs, "honest");
+    println!(
+        "  finished at t = {:.2}s virtual, {} messages on the wire\n",
+        end as f64 / 1e6,
+        sim.stats().messages
+    );
+
+    println!("scenario 2: California (P3) crashed from the start");
+    let (mut sim, pid) = fresh_sim(2);
+    sim.set_fault(3, Fault::Crash { at_us: 0 });
+    workload(&mut sim, &pid, &[0, 1, 2]);
+    sim.run();
+    let seqs = sequences(&sim, &pid, &[0, 1, 2]);
+    assert_eq!(seqs[0].len(), 9, "crash of t=1 server is masked");
+    assert_identical(&seqs, "crash");
+    println!();
+
+    println!("scenario 3: Byzantine equivocator at P3 + partition around Tokyo (P1)");
+    let (mut sim, pid) = fresh_sim(3);
+    // P3 equivocates on a reliable-broadcast instance it pretends to run
+    // (its garbage is ignored by the channel's signature checks), and
+    // additionally Tokyo is cut off for the first 2 virtual seconds.
+    sim.set_byzantine(
+        3,
+        Box::new(EquivocatingSender {
+            pid: pid.clone(),
+            payload_a: b"lie-A".to_vec(),
+            payload_b: b"lie-B".to_vec(),
+            group_a: vec![0, 1],
+            n: 4,
+        }),
+    );
+    sim.set_link_filter(|from, to, t| {
+        if (from == 1 || to == 1) && from != to && t < 2_000_000 {
+            LinkDecision::DelayUntil(2_000_000)
+        } else {
+            LinkDecision::Deliver
+        }
+    });
+    workload(&mut sim, &pid, &[0, 2]); // the two reachable honest senders
+    sim.schedule(0, 3, |_, _| {}); // trigger the Byzantine actor's on_start
+    sim.run();
+    let seqs = sequences(&sim, &pid, &[0, 1, 2]);
+    assert_eq!(seqs[0].len(), 6);
+    assert!(
+        seqs[0].iter().all(|m| !m.starts_with("lie")),
+        "equivocator's forgeries never delivered"
+    );
+    assert_identical(&seqs, "byzantine+partition");
+
+    println!("\nall three drills passed — safety held in every scenario.");
+}

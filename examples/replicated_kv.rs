@@ -1,0 +1,106 @@
+//! A replicated key-value store: state-machine replication over SINTRA's
+//! atomic broadcast channel (the paper's motivating application, §2.5).
+//!
+//! Each of the 4 servers maintains a local `HashMap`. Clients submit
+//! commands (`PUT k v`, `DEL k`) to *any* server; the atomic channel
+//! imposes one global order, so all replicas apply the same commands in
+//! the same order and end in identical states — even though commands
+//! arrive at different servers concurrently.
+//!
+//! Run with: `cargo run --release --example replicated_kv`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use sintra::crypto::dealer::{deal, DealerConfig};
+use sintra::protocols::channel::AtomicChannelConfig;
+use sintra::runtime::threaded::{ServerHandle, ThreadedGroup};
+use sintra::ProtocolId;
+
+/// The replicated state machine: a sorted map plus a command log length.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct KvStore {
+    map: BTreeMap<String, String>,
+    applied: usize,
+}
+
+impl KvStore {
+    /// Applies one ordered command.
+    fn apply(&mut self, command: &str) {
+        let mut parts = command.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("PUT"), Some(k), Some(v)) => {
+                self.map.insert(k.to_string(), v.to_string());
+            }
+            (Some("DEL"), Some(k), _) => {
+                self.map.remove(k);
+            }
+            _ => eprintln!("ignoring malformed command: {command}"),
+        }
+        self.applied += 1;
+    }
+}
+
+fn drive_replica(
+    server: &mut ServerHandle,
+    channel: &ProtocolId,
+    expected_commands: usize,
+) -> KvStore {
+    let mut store = KvStore::default();
+    while store.applied < expected_commands {
+        let Some(payload) = server.receive(channel) else {
+            break;
+        };
+        store.apply(&String::from_utf8_lossy(&payload.data));
+    }
+    store
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (4, 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keys = deal(&DealerConfig::small(n, t), &mut rng)?;
+    let (group, mut servers) = ThreadedGroup::spawn(keys.into_iter().map(Arc::new).collect());
+
+    let channel = ProtocolId::new("kv-store");
+    for s in &servers {
+        s.create_atomic_channel(channel.clone(), AtomicChannelConfig::default());
+    }
+
+    // Clients hit different servers concurrently — including two writes
+    // to the same key through different servers, which total order must
+    // resolve identically everywhere.
+    let commands: Vec<(usize, &str)> = vec![
+        (0, "PUT motd welcome"),
+        (1, "PUT balance:alice 100"),
+        (2, "PUT balance:bob 250"),
+        (3, "PUT motd maintenance-window-sunday"),
+        (0, "DEL balance:bob"),
+        (1, "PUT balance:alice 175"),
+    ];
+    for (server, cmd) in &commands {
+        servers[*server].send(&channel, cmd.as_bytes().to_vec());
+    }
+
+    // Drive each replica until it has applied every command.
+    let stores: Vec<KvStore> = servers
+        .iter_mut()
+        .map(|s| drive_replica(s, &channel, commands.len()))
+        .collect();
+
+    println!("replica 0 final state:");
+    for (k, v) in &stores[0].map {
+        println!("  {k} = {v}");
+    }
+    for (i, store) in stores.iter().enumerate().skip(1) {
+        assert_eq!(store, &stores[0], "replica {i} diverged!");
+    }
+    println!("\nall {n} replicas converged to the same state ✓");
+    println!(
+        "(note: the motd and balance:alice keys were written through different\n servers — atomic broadcast decided one winner for every replica)"
+    );
+
+    group.shutdown();
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Shared helpers for the integration tests: dealt groups, simulations
+//! and event extraction.
+
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sintra::crypto::dealer::{deal, DealerConfig, PartyKeys};
+use sintra::protocols::message::Payload;
+use sintra::runtime::sim::{LatencyModel, MachineProfile, SimConfig, Simulation};
+use sintra::{Event, ProtocolId};
+
+/// Deals a small-key group deterministically.
+pub fn group_keys(n: usize, t: usize, seed: u64) -> Vec<Arc<PartyKeys>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    deal(&DealerConfig::small(n, t), &mut rng)
+        .unwrap()
+        .into_iter()
+        .map(Arc::new)
+        .collect()
+}
+
+/// A LAN-like simulation over a fresh group.
+pub fn lan_sim(n: usize, t: usize, seed: u64) -> Simulation {
+    Simulation::new(
+        group_keys(n, t, seed),
+        SimConfig {
+            latency: LatencyModel::lan(),
+            machines: vec![MachineProfile::instant()],
+            seed,
+        },
+    )
+}
+
+/// A high-latency, high-jitter simulation (stress-tests asynchrony).
+pub fn wan_sim(n: usize, t: usize, seed: u64) -> Simulation {
+    Simulation::new(
+        group_keys(n, t, seed),
+        SimConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 10.0,
+                max_ms: 400.0,
+            },
+            machines: vec![MachineProfile::new("sim", 5.0)],
+            seed,
+        },
+    )
+}
+
+/// The payload bytes delivered at `party` on channel `pid`, in order.
+pub fn delivered_data(sim: &Simulation, party: usize, pid: &ProtocolId) -> Vec<Vec<u8>> {
+    sim.channel_deliveries(party, pid)
+        .into_iter()
+        .map(|(_, p)| p.data)
+        .collect()
+}
+
+/// The full payloads delivered at `party` on channel `pid`.
+pub fn delivered_payloads(sim: &Simulation, party: usize, pid: &ProtocolId) -> Vec<Payload> {
+    sim.channel_deliveries(party, pid)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// Extracts binary-agreement decisions per party for an instance.
+pub fn binary_decisions(sim: &Simulation, pid: &ProtocolId, n: usize) -> Vec<Option<bool>> {
+    let mut out = vec![None; n];
+    for r in sim.records() {
+        if let Event::BinaryDecided {
+            pid: epid, value, ..
+        } = &r.event
+        {
+            if epid == pid {
+                out[r.party] = Some(*value);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts multi-valued decisions per party for an instance.
+pub fn multi_decisions(sim: &Simulation, pid: &ProtocolId, n: usize) -> Vec<Option<Vec<u8>>> {
+    let mut out = vec![None; n];
+    for r in sim.records() {
+        if let Event::MultiDecided { pid: epid, value } = &r.event {
+            if epid == pid {
+                out[r.party] = Some(value.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Extracts broadcast deliveries per party for an instance.
+pub fn broadcast_deliveries(sim: &Simulation, pid: &ProtocolId, n: usize) -> Vec<Option<Vec<u8>>> {
+    let mut out = vec![None; n];
+    for r in sim.records() {
+        if let Event::BroadcastDelivered { pid: epid, payload } = &r.event {
+            if epid == pid {
+                out[r.party] = Some(payload.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Which parties saw the channel close.
+pub fn closed_parties(sim: &Simulation, pid: &ProtocolId) -> Vec<usize> {
+    let mut out: Vec<usize> = sim
+        .records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::ChannelClosed { pid: epid } if epid == pid => Some(r.party),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}

@@ -1,0 +1,220 @@
+//! Failure-injection integration tests: crashes, silence, equivocation,
+//! partitions and message tampering — safety must hold in every case,
+//! and liveness whenever at most `t` parties misbehave.
+
+mod common;
+
+use common::{delivered_data, lan_sim, wan_sim};
+use sintra::protocols::channel::AtomicChannelConfig;
+use sintra::runtime::sim::byzantine::{ByzantineActor, Reflector, Silent};
+use sintra::runtime::sim::{Fault, LinkDecision};
+use sintra::{PartyId, ProtocolId, Recipient};
+
+fn open_atomic(sim: &mut sintra::runtime::sim::Simulation, pid: &ProtocolId, skip: &[usize]) {
+    for p in 0..sim.n() {
+        if !skip.contains(&p) {
+            sim.node_mut(p)
+                .create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+    }
+}
+
+#[test]
+fn atomic_channel_with_crash_at_various_times() {
+    for crash_at in [0u64, 200_000, 1_000_000] {
+        let pid = ProtocolId::new("f-crash");
+        let mut sim = lan_sim(4, 1, 2000 + crash_at);
+        open_atomic(&mut sim, &pid, &[]);
+        sim.set_fault(3, Fault::Crash { at_us: crash_at });
+        for p in 0..3 {
+            let spid = pid.clone();
+            sim.schedule(0, p, move |node, out| {
+                node.channel_send(&spid, format!("m{p}").into_bytes(), out);
+            });
+        }
+        sim.run();
+        let reference = delivered_data(&sim, 0, &pid);
+        assert_eq!(
+            reference.len(),
+            3,
+            "crash@{crash_at}: all survivors' payloads"
+        );
+        for p in 1..3 {
+            assert_eq!(
+                delivered_data(&sim, p, &pid),
+                reference,
+                "crash@{crash_at} party {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn atomic_channel_with_mute_party() {
+    let pid = ProtocolId::new("f-mute");
+    let mut sim = lan_sim(4, 1, 2100);
+    open_atomic(&mut sim, &pid, &[]);
+    sim.set_fault(1, Fault::Mute);
+    let spid = pid.clone();
+    sim.schedule(0, 0, move |node, out| {
+        node.channel_send(&spid, b"heard".to_vec(), out);
+    });
+    sim.run();
+    for p in [0usize, 2, 3] {
+        assert_eq!(
+            delivered_data(&sim, p, &pid),
+            vec![b"heard".to_vec()],
+            "party {p}"
+        );
+    }
+}
+
+#[test]
+fn atomic_channel_with_reflector() {
+    // A Byzantine party that replays every message it receives back to
+    // everyone. The MAC layer is bypassed in the sim, but protocol-level
+    // sender checks must drop the reflections (wrong `from`).
+    let pid = ProtocolId::new("f-reflect");
+    let mut sim = lan_sim(4, 1, 2200);
+    open_atomic(&mut sim, &pid, &[3]);
+    sim.set_byzantine(3, Box::new(Reflector::default()));
+    for p in 0..3 {
+        let spid = pid.clone();
+        sim.schedule(0, p, move |node, out| {
+            node.channel_send(&spid, format!("r{p}").into_bytes(), out);
+        });
+    }
+    sim.run();
+    let reference = delivered_data(&sim, 0, &pid);
+    assert_eq!(reference.len(), 3);
+    for p in 1..3 {
+        assert_eq!(delivered_data(&sim, p, &pid), reference, "party {p}");
+    }
+}
+
+/// A Byzantine actor that floods honest parties with structurally valid
+/// but unsigned/forged atomic-channel entries.
+struct EntryForger {
+    pid: ProtocolId,
+    n: usize,
+}
+
+impl ByzantineActor for EntryForger {
+    fn on_message(
+        &mut self,
+        _from: PartyId,
+        _env: &sintra::protocols::message::Envelope,
+        _clock: u64,
+    ) -> Vec<(Recipient, sintra::protocols::message::Envelope)> {
+        Vec::new()
+    }
+
+    fn on_start(&mut self, _clock: u64) -> Vec<(Recipient, sintra::protocols::message::Envelope)> {
+        use sintra::bigint::Ubig;
+        use sintra::protocols::message::{Body, Entry, Envelope, Payload, PayloadKind};
+        (0..self.n)
+            .map(|origin| {
+                // Forged signature bytes: must be rejected by everyone.
+                let entry = Entry {
+                    payload: Payload {
+                        origin: PartyId(origin),
+                        seq: 0,
+                        kind: PayloadKind::App,
+                        data: b"forged".to_vec(),
+                    },
+                    signer: PartyId(origin),
+                    sig: sintra::crypto::rsa::RsaSignature(Ubig::from(12345u64)),
+                };
+                (
+                    Recipient::All,
+                    Envelope {
+                        pid: self.pid.clone(),
+                        body: Body::AcEntry { round: 0, entry },
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn forged_entries_never_delivered() {
+    let pid = ProtocolId::new("f-forge");
+    let mut sim = lan_sim(4, 1, 2300);
+    open_atomic(&mut sim, &pid, &[2]);
+    sim.set_byzantine(
+        2,
+        Box::new(EntryForger {
+            pid: pid.clone(),
+            n: 4,
+        }),
+    );
+    sim.schedule(0, 2, |_, _| {}); // trigger the forger
+    let spid = pid.clone();
+    sim.schedule(10_000, 0, move |node, out| {
+        node.channel_send(&spid, b"legit".to_vec(), out);
+    });
+    sim.run();
+    for p in [0usize, 1, 3] {
+        let data = delivered_data(&sim, p, &pid);
+        assert_eq!(
+            data,
+            vec![b"legit".to_vec()],
+            "party {p}: forgeries blocked"
+        );
+    }
+}
+
+#[test]
+fn partition_heals_and_channel_catches_up() {
+    let pid = ProtocolId::new("f-part");
+    let mut sim = wan_sim(4, 1, 2400);
+    open_atomic(&mut sim, &pid, &[]);
+    // {0,1} vs {2,3} split for the first 3 virtual seconds: no quorum on
+    // either side, so nothing can be delivered until the heal.
+    sim.set_link_filter(|from, to, t| {
+        let side = |p: usize| p < 2;
+        if side(from) != side(to) && t < 3_000_000 {
+            LinkDecision::DelayUntil(3_000_000)
+        } else {
+            LinkDecision::Deliver
+        }
+    });
+    let spid = pid.clone();
+    sim.schedule(0, 0, move |node, out| {
+        node.channel_send(&spid, b"split-brain-proof".to_vec(), out);
+    });
+    sim.run();
+    for p in 0..4 {
+        let deliveries = sim.channel_deliveries(p, &pid);
+        assert_eq!(deliveries.len(), 1, "party {p}");
+        assert!(
+            deliveries[0].0 >= 3_000_000,
+            "party {p}: no delivery during the minority partition"
+        );
+    }
+}
+
+#[test]
+fn safety_with_t_byzantine_and_slow_network() {
+    // The adversarial worst case the model allows: t Byzantine parties
+    // (silent flavor) and extreme jitter. Liveness and agreement must
+    // both survive.
+    let pid = ProtocolId::new("f-max");
+    let mut sim = wan_sim(7, 2, 2500);
+    open_atomic(&mut sim, &pid, &[5, 6]);
+    sim.set_byzantine(5, Box::new(Silent));
+    sim.set_byzantine(6, Box::new(Silent));
+    for p in 0..5 {
+        let spid = pid.clone();
+        sim.schedule(0, p, move |node, out| {
+            node.channel_send(&spid, format!("h{p}").into_bytes(), out);
+        });
+    }
+    sim.run();
+    let reference = delivered_data(&sim, 0, &pid);
+    assert_eq!(reference.len(), 5, "all honest payloads delivered");
+    for p in 1..5 {
+        assert_eq!(delivered_data(&sim, p, &pid), reference, "party {p}");
+    }
+}
