@@ -13,7 +13,7 @@
 //! Run with: `cargo bench -p sintra-bench --bench table1_channels`
 //! Environment: `SINTRA_MESSAGES` overrides the payload count.
 
-use sintra_testbed::experiments::{table1_channels, ChannelKind, TABLE1_PAPER};
+use sintra_testbed::experiments::{table1_channels_with_reports, ChannelKind, TABLE1_PAPER};
 use sintra_testbed::setups::Setup;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         .unwrap_or(500);
     eprintln!("table1: {messages} messages per cell, 1024-bit keys, multi-signatures");
     let wall = std::time::Instant::now();
-    let result = table1_channels(
+    let (result, reports) = table1_channels_with_reports(
         messages,
         1024,
         6,
@@ -68,5 +68,17 @@ fn main() {
             setup.label(),
             secure - atomic,
         );
+    }
+
+    // Per-cell telemetry breakdown: messages, bytes, rounds and crypto
+    // work per protocol instance behind each Table 1 latency. JSON dumps
+    // (one object per line) are enabled with SINTRA_REPORT_JSON=1.
+    let json = std::env::var("SINTRA_REPORT_JSON").is_ok_and(|v| v == "1");
+    println!("\n# per-channel telemetry");
+    for report in &reports {
+        println!("{}", report.to_table());
+        if json {
+            println!("{}", report.to_json());
+        }
     }
 }

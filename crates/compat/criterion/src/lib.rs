@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking API surface the workspace uses —
+//! [`Criterion::bench_function`], benchmark groups with
+//! `bench_with_input`/`sample_size`, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! adaptive timing loop instead of criterion's full statistical
+//! machinery. Each benchmark is warmed up, the iteration count is scaled
+//! until one sample takes ≥ 5 ms, and the median/min/max over the sample
+//! set is printed in a criterion-like format.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Iterations per sample, chosen adaptively before sampling.
+    iters_per_sample: u64,
+    /// Collected per-iteration times (seconds).
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measures the closure. Call once per `bench_function` body.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count where one
+        // sample takes at least ~5 ms (so timer noise stays < 0.1%).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            // Scale toward the target with headroom.
+            iters = (iters * 4).min(1 << 20);
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no measurement)");
+        return;
+    }
+    b.samples.sort_by(|a, x| a.partial_cmp(x).expect("no NaN"));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi),
+    );
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 15 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_count, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_count: self.sample_count,
+            _parent: self,
+        }
+    }
+}
+
+/// Identifier of one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        BenchmarkId { full }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.full),
+            self.sample_count,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.full),
+            self.sample_count,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("x", 42), &2u32, |b, &v| b.iter(|| v * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

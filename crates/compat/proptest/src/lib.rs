@@ -1,0 +1,195 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest that the workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! [`ProptestConfig`], [`any`], range and regex-string strategies,
+//! `prop::collection::vec`, `prop::option::of`, tuple strategies,
+//! `prop_map`, and [`prop_oneof!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no failure
+//! persistence: each test runs `cases` deterministic pseudo-random
+//! samples (seeded from the test name, so runs are reproducible) and
+//! fails with a plain panic showing the offending values where the
+//! assertion message includes them.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+#[doc(hidden)]
+pub use rand as __rand;
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+pub use strategy::{Any, BoxedStrategy, Just, Map, OneOf, Strategy};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Strategy producing any value of `T` (uniform over the type's raw
+/// representation).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any::new()
+}
+
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    // FNV-1a: stable, dependency-free.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Namespaced strategy constructors (mirror of `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, VecStrategy};
+
+        /// Strategy producing `Vec`s of `element` with a length drawn
+        /// from `size`.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::OptionOf;
+
+        /// Strategy producing `None` about a quarter of the time and
+        /// `Some(inner sample)` otherwise.
+        pub fn of<S>(inner: S) -> OptionOf<S> {
+            OptionOf::new(inner)
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::strategy::{Any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+#[doc(hidden)]
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub fn __boxed_sampler<T, S: Strategy<Value = T> + 'static>(s: S) -> Rc<dyn Fn(&mut StdRng) -> T> {
+    Rc::new(move |rng| s.sample(rng))
+}
+
+/// Defines property tests. Supports the subset of real proptest syntax
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::__seed_for(stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption does not hold. Only valid
+/// directly inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Strategy choosing uniformly between the given strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,443 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values (no shrinking in this
+/// stand-in).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(crate::__boxed_sampler(self))
+    }
+}
+
+/// Strategy producing uniformly random values of `T`.
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy always producing a clone of one value.
+#[derive(Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among strategies (built by [`crate::prop_oneof!`]).
+#[derive(Clone)]
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from pre-boxed arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing vectors of another strategy's values.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing `Option`s of another strategy's values.
+#[derive(Clone)]
+pub struct OptionOf<S> {
+    inner: S,
+}
+
+impl<S> OptionOf<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        OptionOf { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionOf<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+// --- Regex-pattern string strategies -----------------------------------
+
+/// Node of the mini regex AST used by the string strategy.
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence.
+    Group(Vec<Vec<(Node, usize, usize)>>),
+}
+
+/// Parses the supported regex subset: literals, escapes, `[...]`
+/// classes with ranges, `(...)` groups with `|` alternation, and the
+/// quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8).
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    in_group: bool,
+) -> Vec<Vec<(Node, usize, usize)>> {
+    let mut alternatives = Vec::new();
+    let mut current: Vec<(Node, usize, usize)> = Vec::new();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' if in_group => break,
+            '|' => {
+                chars.next();
+                alternatives.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        chars.next();
+        let node = match c {
+            '(' => {
+                let alts = parse_seq(chars, true);
+                assert_eq!(chars.next(), Some(')'), "unclosed group in pattern");
+                Node::Group(alts)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unclosed class in pattern");
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unclosed class range");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern");
+                Node::Class(ranges)
+            }
+            '\\' => Node::Literal(chars.next().expect("dangling escape")),
+            other => Node::Literal(other),
+        };
+        let (min, max) = parse_quantifier(chars);
+        current.push((node, min, max));
+    }
+    alternatives.push(current);
+    alternatives
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut digits = String::new();
+            let mut min = None;
+            loop {
+                match chars.next().expect("unclosed quantifier") {
+                    '}' => break,
+                    ',' => min = Some(digits.split_off(0).parse().expect("bad quantifier")),
+                    d => digits.push(d),
+                }
+            }
+            let last: usize = digits.parse().expect("bad quantifier");
+            match min {
+                Some(m) => (m, last),
+                None => (last, last),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).expect("valid range"));
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.gen_range(0..alts.len())];
+            gen_seq(alt, rng, out);
+        }
+    }
+}
+
+fn gen_seq(seq: &[(Node, usize, usize)], rng: &mut StdRng, out: &mut String) {
+    for (node, min, max) in seq {
+        let reps = rng.gen_range(*min..=*max);
+        for _ in 0..reps {
+            gen_node(node, rng, out);
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut chars = self.chars().peekable();
+        let alts = parse_seq(&mut chars, false);
+        assert!(chars.next().is_none(), "trailing tokens in pattern");
+        let mut out = String::new();
+        let alt = &alts[rng.gen_range(0..alts.len())];
+        gen_seq(alt, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn regex_strategy_respects_structure() {
+        let strat = "[a-z]{1,12}(/[a-z0-9]{1,6}){0,3}";
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            let segments: Vec<&str> = s.split('/').collect();
+            assert!(!segments.is_empty() && segments.len() <= 4, "{s:?}");
+            assert!(segments[0].len() <= 12 && !segments[0].is_empty());
+            assert!(segments[0].chars().all(|c| c.is_ascii_lowercase()));
+            for seg in &segments[1..] {
+                assert!(!seg.is_empty() && seg.len() <= 6, "{s:?}");
+                assert!(seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            }
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let strat = crate::prop::collection::vec(crate::any::<u8>(), 2..5);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = OneOf::new(vec![
+            Just(1u32).boxed(),
+            Just(2u32).boxed(),
+            Just(3u32).boxed(),
+        ]);
+        let mut rng = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn option_of_produces_both() {
+        let strat = crate::prop::option::of(0u32..10);
+        let mut rng = rng();
+        let samples: Vec<Option<u32>> = (0..100).map(|_| strat.sample(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_none));
+        assert!(samples.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let strat = (0u32..4, crate::any::<bool>()).prop_map(|(a, b)| (a * 2, b));
+        let mut rng = rng();
+        for _ in 0..50 {
+            let (a, _) = strat.sample(&mut rng);
+            assert!(a % 2 == 0 && a < 8);
+        }
+    }
+}

@@ -195,6 +195,13 @@ impl BinaryAgreement {
     }
 
     fn send_pre_vote(&mut self, out: &mut Outgoing) {
+        if out.tracing() {
+            out.trace(
+                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
+                    .phase("round")
+                    .round(self.round as u64),
+            );
+        }
         let statement = statement_pre_vote(&self.pid, self.round, self.preference);
         let share = self.ctx.keys().thsig_agreement.sign_share(&statement);
         let proof = if self.validated {
@@ -499,6 +506,14 @@ impl BinaryAgreement {
         );
         self.decided = Some((value, proof));
         self.stage = Stage::Done;
+        if out.tracing() {
+            out.trace(
+                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
+                    .phase("decide")
+                    .round(round as u64)
+                    .bytes(value as u64),
+            );
+        }
     }
 
     /// Drives the round state machine after any mutation.
@@ -618,6 +633,17 @@ impl BinaryAgreement {
                             .coin_shares
                             .insert(share.index, share.clone());
                         out.send_all(&self.pid, Body::BaCoinShare { round, share });
+                        if out.tracing() {
+                            out.trace(
+                                sintra_telemetry::TraceEvent::new(
+                                    self.ctx.me().0,
+                                    self.pid.as_str(),
+                                    "abba",
+                                )
+                                .phase("coin")
+                                .round(round as u64),
+                            );
+                        }
                     }
                     if let Some(b) = value_vote {
                         // Adopt the observed value; the accepted main-vote's
@@ -935,9 +961,9 @@ mod tests {
         let mut instances = fresh(&ctxs, "ba-crash");
         let n = 4;
         let mut queue: VecDeque<(PartyId, usize, Body)> = VecDeque::new();
-        for i in 0..3 {
+        for (i, inst) in instances.iter_mut().enumerate().take(3) {
             let mut out = Outgoing::new();
-            instances[i].propose(i % 2 == 0, Vec::new(), &mut out);
+            inst.propose(i % 2 == 0, Vec::new(), &mut out);
             for (recipient, env) in out.drain() {
                 if let Recipient::All = recipient {
                     for to in 0..n - 1 {

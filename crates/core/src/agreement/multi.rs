@@ -446,6 +446,17 @@ impl MultiValuedAgreement {
             // that did not already happen.
             if self.iteration.is_none() {
                 self.iteration = Some(0);
+                if out.tracing() {
+                    out.trace(
+                        sintra_telemetry::TraceEvent::new(
+                            self.ctx.me().0,
+                            self.pid.as_str(),
+                            "vba",
+                        )
+                        .phase("round")
+                        .round(0),
+                    );
+                }
             }
         }
         if self.perm.is_none() {
@@ -512,11 +523,30 @@ impl MultiValuedAgreement {
                 }
                 if let Some(Some(value)) = &self.proposals[candidate] {
                     self.decided = Some(value.clone());
+                    if out.tracing() {
+                        out.trace(
+                            sintra_telemetry::TraceEvent::new(
+                                self.ctx.me().0,
+                                self.pid.as_str(),
+                                "vba",
+                            )
+                            .phase("decide")
+                            .round(iteration as u64)
+                            .bytes(value.len() as u64),
+                        );
+                    }
                 }
                 return;
             }
             // Decided 0: next candidate.
             self.iteration = Some(iteration + 1);
+            if out.tracing() {
+                out.trace(
+                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vba")
+                        .phase("round")
+                        .round((iteration + 1) as u64),
+                );
+            }
         }
     }
 }

@@ -139,6 +139,17 @@ impl ConsistentBroadcast {
                 if self.shares.len() >= public.threshold() {
                     if let Ok(sig) = public.assemble_preverified(&statement, &self.shares) {
                         self.final_sent = true;
+                        if out.tracing() {
+                            out.trace(
+                                sintra_telemetry::TraceEvent::new(
+                                    self.ctx.me().0,
+                                    self.pid.as_str(),
+                                    "vcb",
+                                )
+                                .phase("final")
+                                .bytes(payload.len() as u64),
+                            );
+                        }
                         out.send_all(
                             &self.pid,
                             Body::CbFinal {
@@ -162,6 +173,17 @@ impl ConsistentBroadcast {
                     .verify(&statement, sig)
                 {
                     self.delivered = Some((payload.clone(), sig.clone()));
+                    if out.tracing() {
+                        out.trace(
+                            sintra_telemetry::TraceEvent::new(
+                                self.ctx.me().0,
+                                self.pid.as_str(),
+                                "vcb",
+                            )
+                            .phase("deliver")
+                            .bytes(payload.len() as u64),
+                        );
+                    }
                 }
             }
             _ => {}

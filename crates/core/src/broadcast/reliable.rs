@@ -138,10 +138,23 @@ impl ReliableBroadcast {
         if !self.ready_sent && (echo_count >= self.ctx.quorum() || ready_count > self.ctx.t()) {
             self.ready_sent = true;
             out.send_all(&self.pid, Body::RbReady(digest));
+            if out.tracing() {
+                out.trace(
+                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb")
+                        .phase("ready"),
+                );
+            }
         }
         if ready_count > 2 * self.ctx.t() {
             if let Some(payload) = self.payloads.get(&digest) {
                 self.delivered = Some(payload.clone());
+                if out.tracing() {
+                    out.trace(
+                        sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb")
+                            .phase("deliver")
+                            .bytes(payload.len() as u64),
+                    );
+                }
             }
             // If the payload bytes are unknown the delivery completes when
             // an echo carrying them arrives (quorum of echoes for this

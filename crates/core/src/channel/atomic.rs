@@ -410,6 +410,14 @@ impl AtomicChannel {
             };
             let batch = Batch::from_bytes(&decided).expect("validated batches decode");
             let mut batch_entries = batch.0;
+            if out.tracing() {
+                out.trace(
+                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
+                        .phase("batch")
+                        .round(round)
+                        .bytes(batch_entries.len() as u64),
+                );
+            }
             // Fixed delivery order within the batch: by signer index.
             batch_entries.sort_by_key(|e| e.signer);
             for entry in batch_entries {
@@ -433,6 +441,13 @@ impl AtomicChannel {
                 return;
             }
             self.round += 1;
+            if out.tracing() {
+                out.trace(
+                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
+                        .phase("round")
+                        .round(self.round),
+                );
+            }
         }
     }
 }
@@ -578,9 +593,9 @@ mod tests {
         chans[0].send(b"final".to_vec(), &mut out0);
         chans[0].close(&mut out0);
         outs.push((0usize, out0));
-        for i in 1..4 {
+        for (i, chan) in chans.iter_mut().enumerate().skip(1) {
             let mut out = Outgoing::new();
-            chans[i].close(&mut out);
+            chan.close(&mut out);
             outs.push((i, out));
         }
         pump(&mut chans, outs);

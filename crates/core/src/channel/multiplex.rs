@@ -381,8 +381,8 @@ mod tests {
         chans[1].send(b"other".to_vec(), &mut out1);
         outs.push((1, out1));
         pump(&mut chans, outs);
-        for p in 0..4 {
-            let got = collect(&mut chans[p]);
+        for (p, chan) in chans.iter_mut().enumerate() {
+            let got = collect(chan);
             let from0: Vec<&Vec<u8>> = got
                 .iter()
                 .filter(|(s, _)| *s == 0)
@@ -404,9 +404,9 @@ mod tests {
         chans[2].send(b"hello".to_vec(), &mut out);
         chans[2].send(b"world".to_vec(), &mut out);
         pump(&mut chans, vec![(2, out)]);
-        for p in 0..4 {
+        for (p, chan) in chans.iter_mut().enumerate() {
             assert_eq!(
-                collect(&mut chans[p]),
+                collect(chan),
                 vec![(2, b"hello".to_vec()), (2, b"world".to_vec())],
                 "party {p}"
             );
@@ -421,9 +421,9 @@ mod tests {
             .map(|c| ReliableChannel::new(ProtocolId::new("rc-close"), c.clone()))
             .collect();
         let mut outs = Vec::new();
-        for i in 0..2 {
+        for (i, chan) in chans.iter_mut().enumerate().take(2) {
             let mut out = Outgoing::new();
-            chans[i].close(&mut out);
+            chan.close(&mut out);
             outs.push((i, out));
         }
         pump(&mut chans, outs);

@@ -475,11 +475,9 @@ impl OptimisticChannel {
                     digest,
                     sig,
                 } => self.on_ack(from, *phase, *epoch, *seq, digest, sig, out),
-                Body::OptComplain { epoch } => {
-                    if *epoch == self.epoch {
-                        self.complainers.insert(from);
-                        self.maybe_enter_recovery(out);
-                    }
+                Body::OptComplain { epoch } if *epoch == self.epoch => {
+                    self.complainers.insert(from);
+                    self.maybe_enter_recovery(out);
                 }
                 Body::OptState { epoch, state } => self.on_state(from, *epoch, state, out),
                 _ => {}
@@ -797,6 +795,13 @@ impl OptimisticChannel {
         }
         // Start the next epoch under the next leader.
         self.epoch += 1;
+        if out.tracing() {
+            out.trace(
+                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "opt")
+                    .phase("epoch")
+                    .round(self.epoch),
+            );
+        }
         self.assigned.clear();
         self.next_assign = 0;
         self.rbs.clear();
@@ -892,11 +897,11 @@ mod tests {
         let n = chans.len();
         let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
         let mut seq = 0u64;
-        let mut push_out = |heap: &mut BinaryHeap<Ev>,
-                            seq: &mut u64,
-                            clock: u64,
-                            from: usize,
-                            mut out: Outgoing| {
+        let push_out = |heap: &mut BinaryHeap<Ev>,
+                        seq: &mut u64,
+                        clock: u64,
+                        from: usize,
+                        mut out: Outgoing| {
             if silent.contains(&from) {
                 return;
             }
@@ -983,16 +988,16 @@ mod tests {
         let mut chans = channels(&ctxs, "opt-crash");
         // Epoch 0's leader is P0; it is crashed from the start.
         let mut outs = Vec::new();
-        for i in 1..4 {
+        for (i, chan) in chans.iter_mut().enumerate().skip(1) {
             let mut out = Outgoing::new();
-            chans[i].send(format!("from-{i}").into_bytes(), &mut out);
+            chan.send(format!("from-{i}").into_bytes(), &mut out);
             outs.push((i, out));
         }
         pump(&mut chans, outs, &[0]);
         let reference = collect(&mut chans[1]);
         assert_eq!(reference.len(), 3, "payloads delivered despite dead leader");
-        for i in 2..4 {
-            assert_eq!(collect(&mut chans[i]), reference, "party {i}");
+        for (i, chan) in chans.iter_mut().enumerate().skip(2) {
+            assert_eq!(collect(chan), reference, "party {i}");
         }
         // The survivors moved past epoch 0.
         assert!(chans[1..].iter().all(|c| c.epoch() >= 1), "epoch advanced");
@@ -1019,13 +1024,9 @@ mod tests {
         let mut out = Outgoing::new();
         chans[2].send(b"after-crash".to_vec(), &mut out);
         pump(&mut chans, vec![(2, out)], &[0]);
-        for i in 1..4 {
-            assert_eq!(
-                collect(&mut chans[i]),
-                vec![b"after-crash".to_vec()],
-                "party {i}"
-            );
-            assert!(chans[i].epoch() >= 1);
+        for (i, chan) in chans.iter_mut().enumerate().skip(1) {
+            assert_eq!(collect(chan), vec![b"after-crash".to_vec()], "party {i}");
+            assert!(chan.epoch() >= 1);
         }
     }
 

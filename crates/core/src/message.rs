@@ -230,6 +230,51 @@ pub enum Body {
     },
 }
 
+impl Body {
+    /// Stable telemetry name of this message kind (doubles as the
+    /// per-kind counter name in run reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Body::RbSend(_) => "rb-send",
+            Body::RbEcho(_) => "rb-echo",
+            Body::RbReady(_) => "rb-ready",
+            Body::CbSend(_) => "cb-send",
+            Body::CbEcho(_) => "cb-echo",
+            Body::CbFinal { .. } => "cb-final",
+            Body::BaPreVote { .. } => "ba-pre-vote",
+            Body::BaMainVote { .. } => "ba-main-vote",
+            Body::BaCoinShare { .. } => "ba-coin-share",
+            Body::BaDecide { .. } => "ba-decide",
+            Body::VbaVote { .. } => "vba-vote",
+            Body::AcEntry { .. } => "ac-entry",
+            Body::ScShare { .. } => "sc-share",
+            Body::OptSubmit { .. } => "opt-submit",
+            Body::OptAck { .. } => "opt-ack",
+            Body::OptComplain { .. } => "opt-complain",
+            Body::OptState { .. } => "opt-state",
+        }
+    }
+
+    /// Protocol family this message kind belongs to.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Body::RbSend(_) | Body::RbEcho(_) | Body::RbReady(_) => "rb",
+            Body::CbSend(_) | Body::CbEcho(_) | Body::CbFinal { .. } => "vcb",
+            Body::BaPreVote { .. }
+            | Body::BaMainVote { .. }
+            | Body::BaCoinShare { .. }
+            | Body::BaDecide { .. } => "abba",
+            Body::VbaVote { .. } => "vba",
+            Body::AcEntry { .. } => "atomic",
+            Body::ScShare { .. } => "secure",
+            Body::OptSubmit { .. }
+            | Body::OptAck { .. }
+            | Body::OptComplain { .. }
+            | Body::OptState { .. } => "opt",
+        }
+    }
+}
+
 /// A routed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {

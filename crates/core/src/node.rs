@@ -7,9 +7,13 @@
 //! runtimes feed it envelopes and transmit what it emits.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sintra_crypto::cost::CostScope;
+use sintra_telemetry::{root_scope, NoopRecorder, Recorder, CRYPTO_WORK_MILLI};
 
 use crate::agreement::{BinaryAgreement, CandidateOrder, MultiValuedAgreement};
 use crate::broadcast::{ReliableBroadcast, VerifiableConsistentBroadcast};
@@ -38,6 +42,18 @@ enum Instance {
     ConsistentChannel(ConsistentChannel),
 }
 
+/// Shared telemetry sink (newtype so `Node` can keep deriving `Debug`).
+#[derive(Clone)]
+struct RecorderSlot(Arc<dyn Recorder>);
+
+impl fmt::Debug for RecorderSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
+
 /// A party's protocol host.
 #[derive(Debug)]
 pub struct Node {
@@ -46,6 +62,8 @@ pub struct Node {
     events: Vec<Event>,
     /// Randomness for payload encryption on secure channels.
     rng: StdRng,
+    /// Telemetry sink; a no-op unless [`Node::set_recorder`] installs one.
+    recorder: RecorderSlot,
 }
 
 impl Node {
@@ -58,6 +76,41 @@ impl Node {
             instances: HashMap::new(),
             events: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            recorder: RecorderSlot(Arc::new(NoopRecorder)),
+        }
+    }
+
+    /// Installs a telemetry recorder. Per-message-kind counters, delivery
+    /// counters and per-instance crypto-work attribution flow into it;
+    /// with the default [`NoopRecorder`] all instrumentation reduces to
+    /// one branch per step.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = RecorderSlot(recorder);
+    }
+
+    /// The installed telemetry recorder.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder.0
+    }
+
+    /// Opens a crypto-work scope when telemetry is on.
+    fn crypto_scope(&self) -> Option<CostScope> {
+        if self.recorder.0.enabled() {
+            Some(CostScope::enter())
+        } else {
+            None
+        }
+    }
+
+    /// Charges the work measured by `scope` to `pid`'s root instance.
+    fn attribute_crypto(&self, pid: &ProtocolId, scope: Option<CostScope>) {
+        if let Some(scope) = scope {
+            let milli = (scope.elapsed() * CRYPTO_WORK_MILLI).round() as u64;
+            if milli > 0 {
+                self.recorder
+                    .0
+                    .counter_add(root_scope(pid.as_str()), "crypto_work_milli", milli);
+            }
         }
     }
 
@@ -171,11 +224,13 @@ impl Node {
     ///
     /// Panics if `pid` is not a broadcast instance of this node.
     pub fn broadcast_send(&mut self, pid: &ProtocolId, payload: Vec<u8>, out: &mut Outgoing) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::ReliableBroadcast(b)) => b.send(payload, out),
             Some(Instance::ConsistentBroadcast(b)) => b.send(payload, out),
             _ => panic!("no broadcast instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -191,10 +246,12 @@ impl Node {
         proof: Vec<u8>,
         out: &mut Outgoing,
     ) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::BinaryAgreement(a)) => a.propose(value, proof, out),
             _ => panic!("no binary agreement instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -204,10 +261,12 @@ impl Node {
     ///
     /// Panics if `pid` is not a multi-valued agreement instance.
     pub fn propose_multi(&mut self, pid: &ProtocolId, value: Vec<u8>, out: &mut Outgoing) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::MultiValued(a)) => a.propose(value, out),
             _ => panic!("no multi-valued agreement instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -218,6 +277,7 @@ impl Node {
     /// Panics if `pid` is not a channel of this node, or the channel is
     /// closing.
     pub fn channel_send(&mut self, pid: &ProtocolId, data: Vec<u8>, out: &mut Outgoing) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::Atomic(c)) => c.send(data, out),
             Some(Instance::Secure(c)) => c.send(data, &mut self.rng, out),
@@ -226,6 +286,7 @@ impl Node {
             Some(Instance::ConsistentChannel(c)) => c.send(data, out),
             _ => panic!("no channel instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -247,6 +308,7 @@ impl Node {
     ///
     /// Panics if `pid` is not a channel of this node.
     pub fn channel_close(&mut self, pid: &ProtocolId, out: &mut Outgoing) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::Atomic(c)) => c.close(out),
             Some(Instance::Secure(c)) => c.close(out),
@@ -255,6 +317,7 @@ impl Node {
             Some(Instance::ConsistentChannel(c)) => c.close(out),
             _ => panic!("no channel instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -269,10 +332,12 @@ impl Node {
         ciphertext: Vec<u8>,
         out: &mut Outgoing,
     ) {
+        let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::Secure(c)) => c.send_ciphertext(ciphertext, out),
             _ => panic!("no secure channel instance {pid}"),
         }
+        self.attribute_crypto(pid, scope);
         self.harvest();
     }
 
@@ -286,6 +351,12 @@ impl Node {
             .find(|root| envelope.pid.is_self_or_descendant_of(root))
             .cloned();
         let Some(root) = target else { return };
+        if self.recorder.0.enabled() {
+            self.recorder
+                .0
+                .counter_add(root_scope(root.as_str()), envelope.body.kind(), 1);
+        }
+        let scope = self.crypto_scope();
         match self.instances.get_mut(&root).expect("key exists") {
             Instance::ReliableBroadcast(b) => b.handle(from, &envelope.body, out),
             Instance::ConsistentBroadcast(b) => b.handle(from, &envelope.body, out),
@@ -297,6 +368,7 @@ impl Node {
             Instance::ReliableChannel(c) => c.handle(from, &envelope.pid, &envelope.body, out),
             Instance::ConsistentChannel(c) => c.handle(from, &envelope.pid, &envelope.body, out),
         }
+        self.attribute_crypto(&root, scope);
         self.harvest();
     }
 
@@ -309,14 +381,17 @@ impl Node {
             .find(|root| pid.is_self_or_descendant_of(root))
             .cloned();
         let Some(root) = target else { return };
+        let scope = self.crypto_scope();
         if let Instance::Optimistic(c) = self.instances.get_mut(&root).expect("key exists") {
             c.handle_timer(token, out);
         }
+        self.attribute_crypto(&root, scope);
         self.harvest();
     }
 
     /// Translates instance state changes into events.
     fn harvest(&mut self) {
+        let before = self.events.len();
         for (pid, instance) in self.instances.iter_mut() {
             match instance {
                 Instance::ReliableBroadcast(b) => {
@@ -414,6 +489,20 @@ impl Node {
                     if c.take_closed() {
                         self.events.push(Event::ChannelClosed { pid: pid.clone() });
                     }
+                }
+            }
+        }
+        if self.recorder.0.enabled() {
+            for event in &self.events[before..] {
+                if let Event::BroadcastDelivered { pid, .. }
+                | Event::BinaryDecided { pid, .. }
+                | Event::MultiDecided { pid, .. }
+                | Event::ChannelDelivered { pid, .. }
+                | Event::CiphertextOrdered { pid, .. } = event
+                {
+                    self.recorder
+                        .0
+                        .counter_add(root_scope(pid.as_str()), "deliveries", 1);
                 }
             }
         }

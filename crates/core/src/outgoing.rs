@@ -1,5 +1,7 @@
 //! Outgoing-message collection and locally observable protocol events.
 
+use sintra_telemetry::TraceEvent;
+
 use crate::ids::{PartyId, ProtocolId};
 use crate::message::{Body, Envelope, Payload};
 
@@ -33,10 +35,16 @@ pub struct TimerRequest {
 ///
 /// Protocol state machines never perform IO; they push `(recipient,
 /// envelope)` pairs here and the runtime transmits them.
+/// Protocol steps also emit structured [`TraceEvent`]s here when tracing
+/// is switched on; runtimes drain them, stamp a timestamp and forward
+/// them to their recorder. With tracing off (the default) a trace call
+/// is a single branch.
 #[derive(Debug, Default)]
 pub struct Outgoing {
     messages: Vec<(Recipient, Envelope)>,
     timers: Vec<TimerRequest>,
+    traces: Vec<TraceEvent>,
+    tracing: bool,
 }
 
 impl Outgoing {
@@ -94,6 +102,30 @@ impl Outgoing {
     /// Drains the queued messages.
     pub fn drain(&mut self) -> Vec<(Recipient, Envelope)> {
         std::mem::take(&mut self.messages)
+    }
+
+    /// Switches structured trace emission on or off (off by default).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Whether trace emission is on. Protocol code should check this
+    /// before building a [`TraceEvent`] so disabled tracing costs only
+    /// this branch.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Queues a trace event (dropped unless tracing is on).
+    pub fn trace(&mut self, event: TraceEvent) {
+        if self.tracing {
+            self.traces.push(event);
+        }
+    }
+
+    /// Drains the queued trace events.
+    pub fn drain_traces(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.traces)
     }
 
     /// Iterates over queued messages without draining.

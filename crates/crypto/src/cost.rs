@@ -17,13 +17,26 @@
 //! linear in `e`. This matches the paper's observation that full-size RSA
 //! exponentiation scales cubically while fixed-160-bit-exponent operations
 //! scale quadratically in the key size.
+//!
+//! # Scopes vs. the legacy meter
+//!
+//! The meter is a monotone thread-local total. [`CostScope`] captures the
+//! total at construction and reports the delta, so independent consumers
+//! (the simulator's per-step meter and the telemetry layer's per-instance
+//! attribution) can measure the same work concurrently without clearing
+//! each other's readings. The original [`reset`]/[`take`]/[`peek`] free
+//! functions remain as thin wrappers over a single implicit baseline and
+//! behave exactly as before.
 
 use std::cell::Cell;
 
 use sintra_bigint::Ubig;
 
 thread_local! {
-    static WORK: Cell<f64> = const { Cell::new(0.0) };
+    /// Monotone total of all work ever charged on this thread.
+    static TOTAL: Cell<f64> = const { Cell::new(0.0) };
+    /// Baseline for the legacy `reset`/`take`/`peek` API.
+    static BASE: Cell<f64> = const { Cell::new(0.0) };
 }
 
 /// Work units of one exponentiation (see module docs for the model).
@@ -33,25 +46,63 @@ pub fn exp_work(modulus_bits: u32, exponent_bits: u32) -> f64 {
     m * m * e
 }
 
+/// Measures the crypto work performed on this thread while the scope is
+/// alive, without disturbing the legacy meter or other scopes.
+///
+/// ```
+/// use sintra_crypto::cost::{self, CostScope};
+///
+/// let outer = CostScope::enter();
+/// cost::charge(0.5);
+/// let inner = CostScope::enter();
+/// cost::charge(0.25);
+/// assert!((inner.elapsed() - 0.25).abs() < 1e-12);
+/// assert!((outer.elapsed() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CostScope {
+    start: f64,
+}
+
+impl CostScope {
+    /// Opens a scope at the current meter position.
+    pub fn enter() -> Self {
+        CostScope {
+            start: TOTAL.with(|t| t.get()),
+        }
+    }
+
+    /// Work units charged on this thread since the scope was opened.
+    pub fn elapsed(&self) -> f64 {
+        TOTAL.with(|t| t.get()) - self.start
+    }
+}
+
 /// Resets the thread-local meter to zero.
+///
+/// Thin wrapper over the scope machinery: moves the legacy baseline to
+/// the current total. Scopes opened elsewhere are unaffected.
 pub fn reset() {
-    WORK.with(|w| w.set(0.0));
+    let now = TOTAL.with(|t| t.get());
+    BASE.with(|b| b.set(now));
 }
 
 /// Returns the work accumulated since the last [`reset`] and clears it.
 pub fn take() -> f64 {
-    WORK.with(|w| w.replace(0.0))
+    let now = TOTAL.with(|t| t.get());
+    BASE.with(|b| now - b.replace(now))
 }
 
 /// Returns the accumulated work without clearing it.
 pub fn peek() -> f64 {
-    WORK.with(|w| w.get())
+    let now = TOTAL.with(|t| t.get());
+    now - BASE.with(|b| b.get())
 }
 
 /// Adds raw work units to the meter (for operations other than plain
 /// exponentiation, e.g. CRT halves).
 pub fn charge(units: f64) {
-    WORK.with(|w| w.set(w.get() + units));
+    TOTAL.with(|t| t.set(t.get() + units));
 }
 
 /// Metered modular exponentiation: computes `base^exp mod m` and charges
@@ -101,5 +152,34 @@ mod tests {
         let r = mod_pow(&Ubig::from(2u64), &Ubig::from(10u64), &m);
         assert_eq!(r, Ubig::from(1024u64));
         assert!(peek() > 0.0);
+    }
+
+    #[test]
+    fn scopes_nest_without_clobbering() {
+        let outer = CostScope::enter();
+        charge(0.5);
+        let inner = CostScope::enter();
+        charge(0.25);
+        assert!((inner.elapsed() - 0.25).abs() < 1e-12);
+        assert!((outer.elapsed() - 0.75).abs() < 1e-12);
+        // Reading a scope is non-destructive.
+        assert!((outer.elapsed() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_meter_ignores_scopes_and_vice_versa() {
+        reset();
+        let scope = CostScope::enter();
+        charge(0.5);
+        // take() clears the legacy meter…
+        assert!((take() - 0.5).abs() < 1e-12);
+        assert_eq!(peek(), 0.0);
+        // …but the scope still sees the full delta.
+        assert!((scope.elapsed() - 0.5).abs() < 1e-12);
+        charge(0.25);
+        // reset() likewise leaves scopes alone.
+        reset();
+        assert!((scope.elapsed() - 0.75).abs() < 1e-12);
+        assert_eq!(peek(), 0.0);
     }
 }

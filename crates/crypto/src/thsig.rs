@@ -693,7 +693,7 @@ mod tests {
         let msg = b"m";
         let s0 = kits[0].sign_share(msg);
         assert!(matches!(
-            kits[0].public.assemble(msg, &[s0.clone()]),
+            kits[0].public.assemble(msg, std::slice::from_ref(&s0)),
             Err(CryptoError::NotEnoughShares { needed: 2, got: 1 })
         ));
         assert!(matches!(

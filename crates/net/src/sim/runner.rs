@@ -12,6 +12,7 @@ use sintra_core::node::Node;
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, Recipient};
 use sintra_crypto::cost;
 use sintra_crypto::dealer::PartyKeys;
+use sintra_telemetry::{root_scope, Recorder};
 
 use super::byzantine::ByzantineActor;
 use super::latency::LatencyModel;
@@ -144,6 +145,8 @@ pub struct Simulation {
     stats: Stats,
     /// Decides the fate of each `(from, to)` message at a given time.
     link_filter: Option<LinkFilterFn>,
+    /// Telemetry sink; traces carry virtual timestamps when installed.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 /// What a link filter decides about one message.
@@ -197,6 +200,39 @@ impl Simulation {
             records: Vec::new(),
             stats: Stats::default(),
             link_filter: None,
+            recorder: None,
+        }
+    }
+
+    /// Installs a telemetry recorder: every honest node attributes crypto
+    /// work and message counts to it, protocol trace events are stamped
+    /// with virtual time, and the simulator itself accounts per-channel
+    /// `msgs_sent` / `msgs_delivered` / `msgs_dropped` / `bytes_sent` so
+    /// that `msgs_sent == msgs_delivered + msgs_dropped` holds at
+    /// quiescence.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        for actor in &mut self.actors {
+            if let Actor::Honest(node) = actor {
+                node.set_recorder(recorder.clone());
+            }
+        }
+        self.recorder = Some(recorder);
+    }
+
+    /// Stamps drained trace events with virtual time, derives the metrics
+    /// that depend on protocol phases (round counts, batch sizes), and
+    /// forwards the events to the recorder.
+    fn forward_traces(&self, time_us: VirtualTime, out: &mut Outgoing) {
+        let Some(rec) = &self.recorder else { return };
+        for mut ev in out.drain_traces() {
+            ev.time_us = time_us;
+            let scope = root_scope(&ev.protocol);
+            match ev.phase {
+                "round" | "epoch" => rec.counter_add(scope, "rounds", 1),
+                "batch" => rec.observe(scope, "batch_size", ev.bytes),
+                _ => {}
+            }
+            rec.trace(ev);
         }
     }
 
@@ -315,12 +351,24 @@ impl Simulation {
             let size = sintra_core::wire::Wire::to_bytes(&env).len() as u64;
             for to in targets {
                 let mut not_before = depart;
+                let mut dropped = false;
                 if let Some(rule) = &mut self.link_filter {
                     match rule(from, to, depart) {
                         LinkDecision::Deliver => {}
-                        LinkDecision::Drop => continue,
+                        LinkDecision::Drop => dropped = true,
                         LinkDecision::DelayUntil(t) => not_before = not_before.max(t),
                     }
+                }
+                if let Some(rec) = &self.recorder {
+                    let scope = root_scope(env.pid.as_str());
+                    rec.counter_add(scope, "msgs_sent", 1);
+                    rec.counter_add(scope, "bytes_sent", size);
+                    if dropped {
+                        rec.counter_add(scope, "msgs_dropped", 1);
+                    }
+                }
+                if dropped {
+                    continue;
                 }
                 self.stats.messages += 1;
                 self.stats.bytes += size;
@@ -349,12 +397,20 @@ impl Simulation {
         match item.work {
             Work::Net { from, to, env } => {
                 if self.is_crashed(to, self.clock) {
+                    if let Some(rec) = &self.recorder {
+                        rec.counter_add(root_scope(env.pid.as_str()), "msgs_dropped", 1);
+                    }
                     return true;
                 }
+                if let Some(rec) = &self.recorder {
+                    rec.counter_add(root_scope(env.pid.as_str()), "msgs_delivered", 1);
+                }
+                let tracing = self.recorder.as_ref().is_some_and(|r| r.enabled());
                 match &mut self.actors[to] {
                     Actor::Honest(node) => {
                         cost::reset();
                         let mut out = Outgoing::new();
+                        out.set_tracing(tracing);
                         node.handle_envelope(from, &env, &mut out);
                         let work = cost::take();
                         let start = self.clock.max(self.busy_until[to]);
@@ -369,6 +425,7 @@ impl Simulation {
                                 event,
                             });
                         }
+                        self.forward_traces(done, &mut out);
                         let timers = out.drain_timers();
                         self.schedule_timers(to, done, timers);
                         self.dispatch(to, done, out.drain());
@@ -385,9 +442,11 @@ impl Simulation {
                 if self.is_crashed(party, self.clock) {
                     return true;
                 }
+                let tracing = self.recorder.as_ref().is_some_and(|r| r.enabled());
                 if let Actor::Honest(node) = &mut self.actors[party] {
                     cost::reset();
                     let mut out = Outgoing::new();
+                    out.set_tracing(tracing);
                     node.handle_timer(&pid, token, &mut out);
                     let work = cost::take();
                     let start = self.clock.max(self.busy_until[party]);
@@ -400,6 +459,7 @@ impl Simulation {
                             event,
                         });
                     }
+                    self.forward_traces(done, &mut out);
                     let timers = out.drain_timers();
                     self.schedule_timers(party, done, timers);
                     self.dispatch(party, done, out.drain());
@@ -409,10 +469,12 @@ impl Simulation {
                 if self.is_crashed(party, self.clock) {
                     return true;
                 }
+                let tracing = self.recorder.as_ref().is_some_and(|r| r.enabled());
                 match &mut self.actors[party] {
                     Actor::Honest(node) => {
                         cost::reset();
                         let mut out = Outgoing::new();
+                        out.set_tracing(tracing);
                         run(node, &mut out);
                         let work = cost::take();
                         let start = self.clock.max(self.busy_until[party]);
@@ -425,6 +487,7 @@ impl Simulation {
                                 event,
                             });
                         }
+                        self.forward_traces(done, &mut out);
                         let timers = out.drain_timers();
                         self.schedule_timers(party, done, timers);
                         self.dispatch(party, done, out.drain());

@@ -14,6 +14,7 @@ use sintra_core::node::Node;
 use sintra_core::validator::{ArrayValidator, BinaryValidator};
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
 use sintra_crypto::dealer::PartyKeys;
+use sintra_telemetry::{root_scope, Recorder};
 
 use super::link::AuthenticatedLink;
 
@@ -334,6 +335,18 @@ impl ThreadedGroup {
     /// Spawns one server thread per set of party keys and returns the
     /// application handles.
     pub fn spawn(party_keys: Vec<Arc<PartyKeys>>) -> (ThreadedGroup, Vec<ServerHandle>) {
+        Self::spawn_with_recorder(party_keys, None)
+    }
+
+    /// Like [`ThreadedGroup::spawn`], but every server thread reports to
+    /// `recorder`: nodes attribute crypto work and message counts to it,
+    /// the transport counts `msgs_sent` / `bytes_sent` / `msgs_delivered`
+    /// (plus `msgs_dropped` for frames failing authentication), and
+    /// protocol trace events are stamped with microseconds since spawn.
+    pub fn spawn_with_recorder(
+        party_keys: Vec<Arc<PartyKeys>>,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> (ThreadedGroup, Vec<ServerHandle>) {
         let n = party_keys.len();
         // One inbox per party.
         let inboxes: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
@@ -350,10 +363,11 @@ impl ThreadedGroup {
                 .map(|j| AuthenticatedLink::new(keys.mac_keys[j].clone(), PartyId(i), PartyId(j)))
                 .collect();
             let keys = Arc::clone(keys);
+            let recorder = recorder.clone();
             let thread = std::thread::Builder::new()
                 .name(format!("sintra-p{i}"))
                 .spawn(move || {
-                    server_loop(i, keys, inbox_rx, peers, links, event_tx);
+                    server_loop(i, keys, inbox_rx, peers, links, event_tx, recorder);
                 })
                 .expect("spawn server thread");
             threads.push(thread);
@@ -393,10 +407,30 @@ fn server_loop(
     peers: Vec<Sender<Input>>,
     links: Vec<AuthenticatedLink>,
     event_tx: Sender<Event>,
+    recorder: Option<Arc<dyn Recorder>>,
 ) {
     let ctx = GroupContext::new(keys);
     let mut node = Node::new(ctx, me as u64 ^ 0x7EAD_ED01);
+    if let Some(rec) = &recorder {
+        node.set_recorder(rec.clone());
+    }
+    let tracing = recorder.as_ref().is_some_and(|r| r.enabled());
+    let run_start = std::time::Instant::now();
     let transmit = |out: &mut Outgoing| {
+        // Wall-clock trace stamps: microseconds since the group spawned.
+        if let Some(rec) = &recorder {
+            let now_us = run_start.elapsed().as_micros() as u64;
+            for mut ev in out.drain_traces() {
+                ev.time_us = now_us;
+                let scope = root_scope(&ev.protocol);
+                match ev.phase {
+                    "round" | "epoch" => rec.counter_add(scope, "rounds", 1),
+                    "batch" => rec.observe(scope, "batch_size", ev.bytes),
+                    _ => {}
+                }
+                rec.trace(ev);
+            }
+        }
         for (recipient, env) in out.drain() {
             let targets: Vec<usize> = match recipient {
                 Recipient::All => (0..peers.len()).collect(),
@@ -404,6 +438,11 @@ fn server_loop(
             };
             for to in targets {
                 let frame = links[to].seal(&env);
+                if let Some(rec) = &recorder {
+                    let scope = root_scope(env.pid.as_str());
+                    rec.counter_add(scope, "msgs_sent", 1);
+                    rec.counter_add(scope, "bytes_sent", frame.len() as u64);
+                }
                 let _ = peers[to].send(Input::Net {
                     from: PartyId(me),
                     frame,
@@ -424,6 +463,7 @@ fn server_loop(
             }
             let std::cmp::Reverse((_, pid, token)) = timers.pop().expect("peeked");
             let mut out = Outgoing::new();
+            out.set_tracing(tracing);
             node.handle_timer(&pid, token, &mut out);
             for t in out.drain_timers() {
                 timers.push(std::cmp::Reverse((
@@ -452,6 +492,7 @@ fn server_loop(
             },
         };
         let mut out = Outgoing::new();
+        out.set_tracing(tracing);
         match input {
             Input::Net { from, frame } => {
                 // Authenticate with the pairwise key of the claimed sender.
@@ -459,8 +500,16 @@ fn server_loop(
                     continue;
                 }
                 let Some(env) = links[from.0].open(&frame) else {
+                    // An unauthenticated frame carries no trustworthy
+                    // protocol id; account it against the link itself.
+                    if let Some(rec) = &recorder {
+                        rec.counter_add("link", "msgs_dropped", 1);
+                    }
                     continue;
                 };
+                if let Some(rec) = &recorder {
+                    rec.counter_add(root_scope(env.pid.as_str()), "msgs_delivered", 1);
+                }
                 node.handle_envelope(from, &env, &mut out);
             }
             Input::Cmd(cmd) => match cmd {
@@ -573,6 +622,15 @@ mod tests {
             h.create_reliable_channel(pid.clone());
         }
         handles[2].send(&pid, b"goodbye".to_vec());
+        // Wait for the payload to reach every party before closing: the
+        // channel may otherwise terminate (t + 1 close requests) before
+        // the payload wins a batch, since fairness only bounds delivery
+        // while the channel stays open.
+        for h in handles.iter_mut() {
+            while !h.can_receive(&pid) {
+                std::thread::yield_now();
+            }
+        }
         // Everyone requests closure first — a single closer would block
         // forever, since termination needs t + 1 requests — then waits.
         for h in &handles {

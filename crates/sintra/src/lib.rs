@@ -77,4 +77,10 @@ pub mod testbed {
     pub use sintra_testbed::*;
 }
 
+/// Protocol telemetry: metrics registry, structured trace events and run
+/// reports (re-export of `sintra-telemetry`).
+pub mod telemetry {
+    pub use sintra_telemetry::*;
+}
+
 pub use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};

@@ -1,0 +1,227 @@
+//! Lock-free power-of-two histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i)`. 64 buckets cover the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A histogram over `u64` values with power-of-two buckets.
+///
+/// All updates are relaxed atomic increments, so recording from many
+/// threads never blocks; `count` and `sum` are tracked exactly while the
+/// distribution is approximated by the bucket layout.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 maps to bucket 0, otherwise
+/// `floor(log2(value)) + 1`.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+pub(crate) fn bucket_low(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        // Bucket 63 covers [2^62, u64::MAX]; the index can't exceed it.
+        let idx = bucket_index(value).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's observations into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`BUCKETS`] for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observed values (exact, from `sum`/`count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the lower bound of the
+    /// bucket containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_low(i);
+            }
+        }
+        bucket_low(BUCKETS - 1)
+    }
+
+    /// True when no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_power_of_two_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64 - 1 + 1);
+    }
+
+    #[test]
+    fn bucket_bounds_match_indices() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX / 2] {
+            let i = bucket_index(v).min(BUCKETS - 1);
+            assert!(bucket_low(i) <= v, "low bound of bucket {i} above {v}");
+            if i + 1 < BUCKETS {
+                assert!(v < bucket_low(i + 1), "{v} not below bucket {} low", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn observe_tracks_exact_count_and_sum() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1024] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1035);
+        assert_eq!(s.buckets[0], 1); // the 0
+        assert_eq!(s.buckets[1], 1); // the 1
+        assert_eq!(s.buckets[3], 2); // the two 5s in [4, 8)
+        assert_eq!(s.buckets[11], 1); // 1024 in [1024, 2048)
+        assert!((s.mean() - 207.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u64_max_lands_in_last_bucket() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_adds_buckets_count_and_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(3);
+        a.observe(100);
+        b.observe(3);
+        b.observe(70_000);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 3 + 100 + 3 + 70_000);
+        assert_eq!(s.buckets[bucket_index(3)], 2);
+        assert_eq!(s.buckets[bucket_index(100)], 1);
+        assert_eq!(s.buckets[bucket_index(70_000)], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(8);
+        }
+        for _ in 0..10 {
+            h.observe(4096);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), bucket_low(bucket_index(8)));
+        assert_eq!(s.quantile(0.99), bucket_low(bucket_index(4096)));
+        assert_eq!(s.quantile(0.0), bucket_low(bucket_index(8)));
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_behaved() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structured trace events emitted by protocol state machines.
+
+use std::fmt;
+
+/// One structured record of protocol progress.
+///
+/// State machines are sans-IO and have no clock, so they emit events
+/// with `time_us == 0`; the runtime that drains them stamps the field —
+/// the simulator with [`VirtualTime`] microseconds, the threaded runtime
+/// with wall-clock microseconds since the run started.
+///
+/// [`VirtualTime`]: https://en.wikipedia.org/wiki/Discrete-event_simulation
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microsecond timestamp (virtual or wall, depending on runtime).
+    pub time_us: u64,
+    /// Party on which the event occurred.
+    pub party: usize,
+    /// Full protocol instance id (e.g. `atomic/ba/4`).
+    pub protocol: String,
+    /// Protocol family tag (`rb`, `vcb`, `abba`, `vba`, `atomic`, …).
+    pub family: &'static str,
+    /// Phase within the protocol (`echo`, `ready`, `pre-vote`, …).
+    pub phase: &'static str,
+    /// Round or epoch number, when the protocol has one.
+    pub round: u64,
+    /// Payload bytes associated with the event (0 when not meaningful).
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Builds an unstamped event; the runtime fills in `time_us`.
+    pub fn new(party: usize, protocol: impl Into<String>, family: &'static str) -> Self {
+        TraceEvent {
+            time_us: 0,
+            party,
+            protocol: protocol.into(),
+            family,
+            phase: "",
+            round: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Sets the phase tag.
+    pub fn phase(mut self, phase: &'static str) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the round/epoch number.
+    pub fn round(mut self, round: u64) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Sets the associated payload byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Renders the event as one JSON object (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"time_us\":{},\"party\":{},\"protocol\":{},\"family\":{},\"phase\":{},\"round\":{},\"bytes\":{}}}",
+            self.time_us,
+            self.party,
+            json_string(&self.protocol),
+            json_string(self.family),
+            json_string(self.phase),
+            self.round,
+            self.bytes,
+        )
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10} µs] p{} {} {}:{} round={} bytes={}",
+            self.time_us,
+            self.party,
+            self.protocol,
+            self.family,
+            self.phase,
+            self.round,
+            self.bytes
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fills_fields() {
+        let e = TraceEvent::new(2, "atomic/ba/1", "abba")
+            .phase("pre-vote")
+            .round(3)
+            .bytes(64);
+        assert_eq!(e.party, 2);
+        assert_eq!(e.protocol, "atomic/ba/1");
+        assert_eq!(e.family, "abba");
+        assert_eq!(e.phase, "pre-vote");
+        assert_eq!(e.round, 3);
+        assert_eq!(e.bytes, 64);
+        assert_eq!(e.time_us, 0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let e = TraceEvent::new(0, "a\"b", "rb").phase("echo");
+        let j = e.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"protocol\":\"a\\\"b\""));
+        assert!(j.contains("\"phase\":\"echo\""));
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

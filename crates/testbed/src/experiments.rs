@@ -1,11 +1,13 @@
 //! The paper's experiments (§4), one runner per figure/table.
 
 use std::fmt;
+use std::sync::Arc;
 
 use sintra_core::channel::AtomicChannelConfig;
 use sintra_core::ProtocolId;
 use sintra_crypto::thsig::SigFlavor;
 use sintra_net::sim::Simulation;
+use sintra_telemetry::{MetricsRegistry, RunReport};
 
 use crate::setups::{build, Setup, Testbed};
 use crate::stats;
@@ -68,8 +70,41 @@ pub fn run_channel(
     senders: &[(usize, usize)],
     measured: usize,
 ) -> Vec<DeliveryPoint> {
+    run_channel_inner(testbed, kind, senders, measured, None).0
+}
+
+/// Like [`run_channel`], but additionally instruments the run with a
+/// [`MetricsRegistry`] and returns the resulting [`RunReport`]: message
+/// and byte counts, protocol rounds, crypto work and deliveries, broken
+/// down per protocol instance as in the paper's Table 1 columns.
+///
+/// The plain [`run_channel`] path installs no recorder at all, so the
+/// benchmarks that only need latencies pay nothing for telemetry.
+pub fn run_channel_with_report(
+    testbed: Testbed,
+    kind: ChannelKind,
+    senders: &[(usize, usize)],
+    measured: usize,
+) -> (Vec<DeliveryPoint>, RunReport) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let (points, end_us, n) =
+        run_channel_inner(testbed, kind, senders, measured, Some(registry.clone()));
+    let report = RunReport::from_snapshot(kind.label(), n, end_us, &registry.snapshot());
+    (points, report)
+}
+
+fn run_channel_inner(
+    testbed: Testbed,
+    kind: ChannelKind,
+    senders: &[(usize, usize)],
+    measured: usize,
+    registry: Option<Arc<MetricsRegistry>>,
+) -> (Vec<DeliveryPoint>, u64, usize) {
     let pid = ProtocolId::new("chan");
     let mut sim = Simulation::new(testbed.keys, testbed.config);
+    if let Some(registry) = registry {
+        sim.set_recorder(registry);
+    }
     let n = sim.n();
     for p in 0..n {
         let pid = pid.clone();
@@ -92,7 +127,7 @@ pub fn run_channel(
             }
         });
     }
-    sim.run();
+    let end_us = sim.run();
     let mut deliveries = sim.channel_deliveries(measured, &pid);
     deliveries.sort_by_key(|(t, _)| *t);
     let mut points = Vec::with_capacity(deliveries.len());
@@ -107,7 +142,7 @@ pub fn run_channel(
         });
         prev = time_s;
     }
-    points
+    (points, end_us, n)
 }
 
 /// Result of the Figure 4 / Figure 5 experiments: the latency scatter of
@@ -265,11 +300,25 @@ pub fn table1_channels(
     seed: u64,
     setups: &[Setup],
 ) -> Table1Result {
+    table1_channels_with_reports(messages, key_bits, seed, setups).0
+}
+
+/// Like [`table1_channels`], but also returns one [`RunReport`] per cell
+/// (labelled `"{setup}/{channel}"`), carrying the per-protocol message,
+/// round and crypto-work breakdown behind each mean latency.
+pub fn table1_channels_with_reports(
+    messages: usize,
+    key_bits: u32,
+    seed: u64,
+    setups: &[Setup],
+) -> (Table1Result, Vec<RunReport>) {
     let mut cells = Vec::new();
+    let mut reports = Vec::new();
     for &setup in setups {
         for kind in ChannelKind::ALL {
             let testbed = build(setup, key_bits, SigFlavor::Multi, seed);
-            let points = run_channel(testbed, kind, &[(0, messages)], 0);
+            let (points, mut report) = run_channel_with_report(testbed, kind, &[(0, messages)], 0);
+            report.label = format!("{}/{}", setup.label(), kind.label());
             let mean_s = stats::mean(
                 &points
                     .iter()
@@ -281,9 +330,10 @@ pub fn table1_channels(
                 kind,
                 mean_s,
             });
+            reports.push(report);
         }
     }
-    Table1Result { cells }
+    (Table1Result { cells }, reports)
 }
 
 /// One Figure 6 data point: mean delivery time at a key size.
@@ -433,6 +483,41 @@ mod tests {
         assert!(secure > reliable, "secure {secure} vs reliable {reliable}");
         let display = result.to_string();
         assert!(display.contains("LAN"));
+    }
+
+    #[test]
+    fn run_report_accounts_for_traffic() {
+        let testbed = build(Setup::Lan, 128, SigFlavor::Multi, 9);
+        let (points, report) = run_channel_with_report(testbed, ChannelKind::Atomic, &[(0, 4)], 0);
+        assert_eq!(points.len(), 4);
+        let totals = report.totals();
+        assert!(totals.msgs_sent > 0, "traffic counted");
+        assert_eq!(
+            totals.msgs_sent,
+            totals.msgs_delivered + totals.msgs_dropped,
+            "conservation of messages"
+        );
+        assert!(totals.rounds > 0, "round advances observed");
+        assert!(totals.crypto_work() > 0.0, "crypto work attributed");
+        // The channel instance itself shows up as a scope.
+        assert!(report.row("chan").is_some());
+        let json = report.to_json();
+        assert!(json.contains("\"channels\""));
+        assert!(report.to_table().contains("total"));
+    }
+
+    #[test]
+    fn table1_reports_cover_all_cells() {
+        let (result, reports) = table1_channels_with_reports(4, 128, 5, &[Setup::Lan]);
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(reports.len(), 4);
+        for (cell, report) in result.cells.iter().zip(&reports) {
+            assert_eq!(
+                report.label,
+                format!("{}/{}", cell.setup.label(), cell.kind.label())
+            );
+            assert!(report.totals().msgs_sent > 0, "{}", report.label);
+        }
     }
 
     #[test]

@@ -200,6 +200,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn matrices_are_symmetric() {
         for m in [internet_rtt_ms(), hybrid_rtt_ms()] {
             let n = m.len();

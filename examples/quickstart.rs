@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use sintra::crypto::dealer::{deal, DealerConfig};
 use sintra::protocols::channel::AtomicChannelConfig;
 use sintra::runtime::threaded::ThreadedGroup;
+use sintra::telemetry::{MetricsRegistry, RunReport};
 use sintra::ProtocolId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. Launch the group ----------------------------------------------
     // One OS thread per server; links are HMAC-authenticated channels.
-    let (group, mut servers) = ThreadedGroup::spawn(keys.into_iter().map(Arc::new).collect());
+    // A metrics registry collects per-protocol telemetry as the run goes.
+    let registry = Arc::new(MetricsRegistry::new());
+    let start = std::time::Instant::now();
+    let (group, mut servers) = ThreadedGroup::spawn_with_recorder(
+        keys.into_iter().map(Arc::new).collect(),
+        Some(registry.clone()),
+    );
 
     // --- 3. Open an atomic broadcast channel -------------------------------
     let channel = ProtocolId::new("quickstart");
@@ -67,5 +74,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nall {n} servers delivered the same sequence ✓");
 
     group.shutdown();
+
+    // --- 6. Run report -----------------------------------------------------
+    // What did that cost? Message, byte, round, and crypto-work totals per
+    // protocol, straight from the recorder the servers reported to.
+    let report = RunReport::from_snapshot(
+        "quickstart",
+        n,
+        start.elapsed().as_micros() as u64,
+        &registry.snapshot(),
+    );
+    println!("\n{}", report.to_table());
     Ok(())
 }

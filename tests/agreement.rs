@@ -77,8 +77,8 @@ fn binary_agreement_with_silent_party() {
     sim.run();
     let decisions = binary_decisions(&sim, &pid, 4);
     let first = decisions[0].expect("decided");
-    for p in 0..3 {
-        assert_eq!(decisions[p], Some(first), "party {p}");
+    for (p, d) in decisions.iter().enumerate().take(3) {
+        assert_eq!(*d, Some(first), "party {p}");
     }
     assert_eq!(decisions[3], None);
 }
@@ -131,9 +131,9 @@ fn multi_valued_agreement_under_jitter() {
             let proposals: Vec<Vec<u8>> = (0..4)
                 .map(|p| format!("proposal-{p}").into_bytes())
                 .collect();
-            for p in 0..4 {
+            for (p, proposal) in proposals.iter().enumerate() {
                 let spid = pid.clone();
-                let value = proposals[p].clone();
+                let value = proposal.clone();
                 sim.schedule(0, p, move |node, out| {
                     node.propose_multi(&spid, value, out);
                 });
@@ -196,7 +196,7 @@ fn seven_party_group_agreement() {
     sim.run();
     let decisions = binary_decisions(&sim, &pid, 7);
     let first = decisions[0].expect("decided");
-    for p in 0..5 {
-        assert_eq!(decisions[p], Some(first), "party {p}");
+    for (p, d) in decisions.iter().enumerate().take(5) {
+        assert_eq!(*d, Some(first), "party {p}");
     }
 }
