@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the threshold-cryptography layer: the
 //! primitive operation costs behind every protocol timing in the paper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,6 +55,49 @@ fn bench_coin(c: &mut Criterion) {
             b.iter(|| scheme.assemble(b"bench coin", &shares, 16).expect("valid"))
         });
     }
+    group.finish();
+}
+
+/// Batch DLEQ verification of one round's coin shares (n = 16), against
+/// an emulation of the pre-batching per-share path: a fresh full-domain
+/// hash of the coin name, two subgroup-membership checks, and four plain
+/// exponentiations plus two divisions per share.
+fn bench_dleq_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = fixtures::schnorr_group(1024).expect("fixture");
+    let n = 16usize;
+    let (public, secrets) = CoinScheme::deal(&g, n, 11, &mut rng);
+    let scheme = CoinScheme::new(g.clone(), public.clone());
+    let name = b"bench batch coin";
+    let shares: Vec<_> = secrets
+        .iter()
+        .map(|s| scheme.release_share(name, s))
+        .collect();
+    let mut group = c.benchmark_group("dleq-1024");
+    group.sample_size(10);
+    group.bench_function("verify-16-naive-per-share", |b| {
+        b.iter(|| {
+            let mut all = true;
+            for share in &shares {
+                // Pre-PR coin_base recomputed the hash per verification.
+                let g_hat = g.hash_to_group(b"sintra-coin-base", name);
+                let vk = &public.verification_keys[share.index];
+                all &= g.is_element(vk) && g.is_element(&share.value);
+                let cc = g.hash_to_exponent(b"sintra-dleq", &share.value.to_be_bytes());
+                let z = &share.proof.response;
+                let a1 = g.div(&g.pow(g.generator(), z), &g.pow(vk, &cc));
+                let a2 = g.div(&g.pow(&g_hat, z), &g.pow(&share.value, &cc));
+                all &= !a1.is_zero() && !a2.is_zero();
+            }
+            black_box(all)
+        })
+    });
+    group.bench_function("verify-16-per-share", |b| {
+        b.iter(|| shares.iter().all(|s| scheme.verify_share(name, s)))
+    });
+    group.bench_function("verify-16-batched", |b| {
+        b.iter(|| scheme.verify_shares(name, &shares))
+    });
     group.finish();
 }
 
@@ -149,6 +192,7 @@ criterion_group!(
     bench_hash,
     bench_rsa,
     bench_coin,
+    bench_dleq_batch,
     bench_thsig,
     bench_thenc
 );

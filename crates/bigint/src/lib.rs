@@ -46,7 +46,7 @@ mod rng;
 mod ubig;
 
 pub use ibig::Ibig;
-pub use montgomery::Montgomery;
+pub use montgomery::{FixedBase, Montgomery};
 pub use prime::{is_prime, PrimeConfig};
 pub use rng::UbigRandom;
 pub use ubig::{ParseUbigError, Ubig};

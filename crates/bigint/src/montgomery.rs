@@ -112,6 +112,73 @@ impl Montgomery {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
+    /// `1` in Montgomery form (`R mod n`).
+    pub fn one_mont(&self) -> Ubig {
+        self.to_mont(&Ubig::one())
+    }
+
+    /// Simultaneous multi-exponentiation: `∏ bᵢ^eᵢ mod n` for the given
+    /// `(base, exponent)` pairs (Straus/Shamir interleaving, 4-bit
+    /// windows).
+    ///
+    /// All squarings are shared across the product, so `k` exponentiations
+    /// of `e`-bit exponents cost roughly `e` squarings plus `k·e/4`
+    /// multiplications instead of `k·(e + e/4)` — the asymptotic win the
+    /// threshold-crypto verification path is built on. Pairs with a zero
+    /// exponent contribute `1` and are skipped.
+    pub fn multi_pow(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        self.from_mont(&self.multi_pow_mont(pairs))
+    }
+
+    /// Like [`Montgomery::multi_pow`] but returns the result in Montgomery
+    /// form, so callers can fold further Montgomery-form factors (e.g.
+    /// fixed-base table outputs) into the product before converting out.
+    pub fn multi_pow_mont(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        // Per-base tables of b^1..b^15 in Montgomery form.
+        let mut active: Vec<(&Ubig, Vec<Ubig>)> = Vec::with_capacity(pairs.len());
+        let mut max_bits = 0u32;
+        for (base, exp) in pairs {
+            if exp.is_zero() {
+                continue;
+            }
+            let base_m = self.to_mont(base);
+            let mut table = Vec::with_capacity(15);
+            table.push(base_m.clone());
+            for i in 1..15 {
+                let prev: &Ubig = &table[i - 1];
+                table.push(self.mont_mul(prev, &base_m));
+            }
+            max_bits = max_bits.max(exp.bit_length());
+            active.push((exp, table));
+        }
+        let mut acc = self.one_mont();
+        if active.is_empty() {
+            return acc;
+        }
+        let windows = max_bits.div_ceil(4);
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            for (exp, table) in &active {
+                let mut nibble = 0usize;
+                for b in 0..4 {
+                    if exp.bit(w * 4 + b) {
+                        nibble |= 1 << b;
+                    }
+                }
+                if nibble != 0 {
+                    acc = self.mont_mul(&acc, &table[nibble - 1]);
+                    started = true;
+                }
+            }
+        }
+        acc
+    }
+
     /// Modular exponentiation `base^exp mod n` with a 4-bit fixed window.
     pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         if exp.is_zero() {
@@ -145,6 +212,98 @@ impl Montgomery {
             }
         }
         self.from_mont(&acc)
+    }
+}
+
+/// A fixed-base exponentiation table: per-window precomputed powers of one
+/// base for exponents up to a declared bit length.
+///
+/// For window width 4, entry `table[j][v-1]` holds `base^(v · 16^j)` in
+/// Montgomery form (`v ∈ 1..=15`). An exponentiation then needs **no
+/// squarings** — only one multiplication per non-zero nibble of the
+/// exponent — which cuts a `e`-bit exponentiation from ~`1.25·e`
+/// multiplications to at most `e/4`. The table costs `15 · ⌈e/4⌉`
+/// multiplications to build and `⌈e/4⌉ · 15` stored elements, so it pays
+/// off once a base is reused a handful of times (generators, public keys,
+/// per-coin bases).
+#[derive(Debug, Clone)]
+pub struct FixedBase {
+    /// `table[j][v-1] = base^(v · 16^j)` in Montgomery form.
+    table: Vec<Vec<Ubig>>,
+    /// Largest exponent bit length the table covers.
+    max_bits: u32,
+}
+
+impl FixedBase {
+    /// Precomputes the table for `base` covering exponents of up to
+    /// `max_exp_bits` bits.
+    pub fn new(ctx: &Montgomery, base: &Ubig, max_exp_bits: u32) -> Self {
+        let windows = max_exp_bits.div_ceil(4).max(1);
+        let mut table = Vec::with_capacity(windows as usize);
+        // `cur` walks through base^(16^j).
+        let mut cur = ctx.to_mont(base);
+        for _ in 0..windows {
+            let mut row = Vec::with_capacity(15);
+            row.push(cur.clone());
+            for i in 1..15 {
+                let prev: &Ubig = &row[i - 1];
+                row.push(ctx.mont_mul(prev, &cur));
+            }
+            cur = ctx.mont_mul(&row[14], &cur);
+            table.push(row);
+        }
+        FixedBase {
+            table,
+            max_bits: windows * 4,
+        }
+    }
+
+    /// Largest exponent bit length this table covers.
+    pub fn max_exp_bits(&self) -> u32 {
+        self.max_bits
+    }
+
+    /// Whether `exp` is small enough for this table.
+    pub fn covers(&self, exp: &Ubig) -> bool {
+        exp.bit_length() <= self.max_bits
+    }
+
+    /// Number of precomputed table entries (memory-accounting hook).
+    pub fn entries(&self) -> usize {
+        self.table.len() * 15
+    }
+
+    /// `base^exp mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp` exceeds the table's covered bit length.
+    pub fn pow(&self, ctx: &Montgomery, exp: &Ubig) -> Ubig {
+        ctx.from_mont(&self.pow_mont(ctx, exp))
+    }
+
+    /// Like [`FixedBase::pow`] but returns the Montgomery form, for folding
+    /// into larger products.
+    pub fn pow_mont(&self, ctx: &Montgomery, exp: &Ubig) -> Ubig {
+        assert!(
+            self.covers(exp),
+            "exponent of {} bits exceeds fixed-base table ({} bits)",
+            exp.bit_length(),
+            self.max_bits
+        );
+        let mut acc = ctx.one_mont();
+        for (j, row) in self.table.iter().enumerate() {
+            let mut nibble = 0usize;
+            for b in 0..4 {
+                if exp.bit(j as u32 * 4 + b) {
+                    nibble |= 1 << b;
+                }
+            }
+            if nibble != 0 {
+                acc = ctx.mont_mul(&acc, &row[nibble - 1]);
+            }
+        }
+        acc
     }
 }
 
@@ -201,5 +360,71 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_modulus_rejected() {
         Montgomery::new(&Ubig::from(100u64));
+    }
+
+    #[test]
+    fn multi_pow_matches_separate_pows() {
+        let n = Ubig::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let ctx = Montgomery::new(&n);
+        let b1 = Ubig::from_hex("123456789abcdef").unwrap();
+        let b2 = Ubig::from_hex("fedcba987654321").unwrap();
+        let b3 = Ubig::from(2u64);
+        let e1 = Ubig::from_hex("deadbeefcafebabe1122334455").unwrap();
+        let e2 = Ubig::from(3u64);
+        let e3 = Ubig::from_hex("ffffffffffffffff").unwrap();
+        let expect = ctx
+            .pow(&b1, &e1)
+            .mod_mul(&ctx.pow(&b2, &e2), &n)
+            .mod_mul(&ctx.pow(&b3, &e3), &n);
+        assert_eq!(ctx.multi_pow(&[(&b1, &e1), (&b2, &e2), (&b3, &e3)]), expect);
+    }
+
+    #[test]
+    fn multi_pow_edge_cases() {
+        let n = Ubig::from_hex("ffffffffffffffc5").unwrap();
+        let ctx = Montgomery::new(&n);
+        // Empty product and all-zero exponents are 1.
+        assert_eq!(ctx.multi_pow(&[]), Ubig::one());
+        let b = Ubig::from(7u64);
+        assert_eq!(ctx.multi_pow(&[(&b, &Ubig::zero())]), Ubig::one());
+        // Single pair equals plain pow.
+        let e = Ubig::from_hex("123456789").unwrap();
+        assert_eq!(ctx.multi_pow(&[(&b, &e)]), ctx.pow(&b, &e));
+        // base ≡ n - 1 (order 2) with even and odd exponents.
+        let n_minus_1 = &n - &Ubig::one();
+        assert_eq!(ctx.multi_pow(&[(&n_minus_1, &Ubig::two())]), Ubig::one());
+        assert_eq!(ctx.multi_pow(&[(&n_minus_1, &Ubig::from(3u64))]), n_minus_1);
+    }
+
+    #[test]
+    fn fixed_base_matches_pow() {
+        let n = Ubig::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let ctx = Montgomery::new(&n);
+        let base = Ubig::from_hex("123456789abcdef0f").unwrap();
+        let fb = FixedBase::new(&ctx, &base, 70);
+        for hex in [
+            "0",
+            "1",
+            "2",
+            "f00f",
+            "deadbeefcafebabe",
+            "3fffffffffffffffff",
+        ] {
+            let e = Ubig::from_hex(hex).unwrap();
+            assert!(fb.covers(&e), "exponent {hex}");
+            assert_eq!(fb.pow(&ctx, &e), ctx.pow(&base, &e), "exponent {hex}");
+        }
+        // 72 bits of coverage (rounded up to whole windows).
+        assert_eq!(fb.max_exp_bits(), 72);
+        assert!(!fb.covers(&(&Ubig::one() << 72)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fixed-base table")]
+    fn fixed_base_rejects_oversized_exponent() {
+        let n = Ubig::from_hex("ffffffffffffffc5").unwrap();
+        let ctx = Montgomery::new(&n);
+        let fb = FixedBase::new(&ctx, &Ubig::from(3u64), 8);
+        fb.pow(&ctx, &Ubig::from_hex("1ffffffffff").unwrap());
     }
 }

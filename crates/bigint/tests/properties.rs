@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sintra_bigint::{Montgomery, Ubig, UbigRandom};
+use sintra_bigint::{FixedBase, Montgomery, Ubig, UbigRandom};
 
 /// Strategy producing Ubig values of widely varying sizes.
 fn ubig() -> impl Strategy<Value = Ubig> {
@@ -116,6 +116,50 @@ proptest! {
             base = base.mod_mul(&base, &m);
         }
         prop_assert_eq!(mont.pow(&a, &e), acc);
+    }
+
+    #[test]
+    fn multi_pow_matches_separate_pows(
+        parts in prop::collection::vec((ubig(), ubig()), 0..5),
+        m in odd_modulus(),
+    ) {
+        let mont = Montgomery::new(&m);
+        let pairs: Vec<(&Ubig, &Ubig)> = parts.iter().map(|(b, e)| (b, e)).collect();
+        let mut want = &Ubig::one() % &m;
+        for (b, e) in &parts {
+            want = want.mod_mul(&mont.pow(b, e), &m);
+        }
+        prop_assert_eq!(mont.multi_pow(&pairs), want);
+    }
+
+    #[test]
+    fn multi_pow_handles_mismatched_exponent_lengths(
+        b1 in ubig(), b2 in ubig(), short in any::<u8>(), long in ubig(), m in odd_modulus(),
+    ) {
+        // One tiny exponent riding a potentially much longer one (and
+        // degenerate 0/1 exponents via `short`).
+        let mont = Montgomery::new(&m);
+        let short = Ubig::from(short as u64);
+        let want = mont.pow(&b1, &short).mod_mul(&mont.pow(&b2, &long), &m);
+        prop_assert_eq!(mont.multi_pow(&[(&b1, &short), (&b2, &long)]), want);
+    }
+
+    #[test]
+    fn multi_pow_with_extreme_bases(e1 in ubig(), e2 in ubig(), m in odd_modulus()) {
+        // base = m-1 (order 2, all-ones residue pattern) mixed with base 1.
+        let mont = Montgomery::new(&m);
+        let top = &m - &Ubig::one();
+        let one = Ubig::one();
+        let want = mont.pow(&top, &e1).mod_mul(&mont.pow(&one, &e2), &m);
+        prop_assert_eq!(mont.multi_pow(&[(&top, &e1), (&one, &e2)]), want);
+    }
+
+    #[test]
+    fn fixed_base_table_matches_plain_pow(b in ubig(), e in ubig(), m in odd_modulus()) {
+        let mont = Montgomery::new(&m);
+        let table = FixedBase::new(&mont, &b, e.bit_length().max(1));
+        prop_assert!(table.covers(&e));
+        prop_assert_eq!(table.pow(&mont, &e), mont.pow(&b, &e));
     }
 
     #[test]

@@ -8,12 +8,37 @@
 //! machinery. Each benchmark is warmed up, the iteration count is scaled
 //! until one sample takes ≥ 5 ms, and the median/min/max over the sample
 //! set is printed in a criterion-like format.
+//!
+//! Two environment variables tailor runs for CI smoke jobs:
+//!
+//! * `SINTRA_BENCH_QUICK=1` — fewer samples and a shorter calibration
+//!   target, trading precision for wall-clock time;
+//! * `SINTRA_BENCH_JSON=<path>` — additionally write all results as a
+//!   JSON array of `{id, median_ns, min_ns, max_ns}` objects when the
+//!   benchmark binary finishes (the [`criterion_main!`] macro calls
+//!   [`finalize`]).
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether quick mode is enabled (see crate docs).
+fn quick_mode() -> bool {
+    std::env::var_os("SINTRA_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Completed measurements, collected for the optional JSON report.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
 
 /// Drives one benchmark's measurement loop.
 pub struct Bencher {
@@ -28,7 +53,9 @@ impl Bencher {
     /// Measures the closure. Call once per `bench_function` body.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up and calibration: find an iteration count where one
-        // sample takes at least ~5 ms (so timer noise stays < 0.1%).
+        // sample takes at least ~5 ms (so timer noise stays < 0.1%);
+        // quick mode settles for ~1 ms.
+        let target = Duration::from_millis(if quick_mode() { 1 } else { 5 });
         let mut iters: u64 = 1;
         loop {
             let start = Instant::now();
@@ -36,7 +63,7 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            if elapsed >= target || iters >= 1 << 20 {
                 self.iters_per_sample = iters;
                 break;
             }
@@ -87,6 +114,47 @@ fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
         format_time(median),
         format_time(hi),
     );
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id: id.to_string(),
+        median_ns: median * 1e9,
+        min_ns: lo * 1e9,
+        max_ns: hi * 1e9,
+    });
+}
+
+/// Writes collected results as JSON to `SINTRA_BENCH_JSON` (if set).
+/// Called automatically by [`criterion_main!`]; idempotent (the result
+/// buffer is drained).
+pub fn finalize() {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    let Some(path) = std::env::var_os("SINTRA_BENCH_JSON") else {
+        return;
+    };
+    if results.is_empty() {
+        return;
+    }
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Benchmark ids are code-controlled; escape the JSON specials anyway.
+        let id: String =
+            r.id.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if c.is_control() => vec![' '],
+                    c => vec![c],
+                })
+                .collect();
+        json.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{sep}\n",
+            r.median_ns, r.min_ns, r.max_ns
+        ));
+    }
+    json.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("failed to write {}: {e}", path.to_string_lossy());
+    }
 }
 
 /// Entry point handed to benchmark functions.
@@ -96,7 +164,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_count: 15 }
+        Criterion {
+            sample_count: if quick_mode() { 5 } else { 15 },
+        }
     }
 }
 
@@ -153,8 +223,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the number of samples per benchmark.
+    /// Overrides the number of samples per benchmark (capped in quick
+    /// mode so smoke runs stay fast).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = if quick_mode() { n.min(5) } else { n };
         self.sample_count = n.max(2);
         self
     }
@@ -210,6 +282,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -231,6 +304,19 @@ mod tests {
         g.sample_size(3);
         g.bench_with_input(BenchmarkId::new("x", 42), &2u32, |b, &v| b.iter(|| v * 2));
         g.finish();
+    }
+
+    #[test]
+    fn results_are_collected_for_reporting() {
+        let mut c = Criterion::default();
+        c.bench_function("collected", |b| b.iter(|| black_box(3) * 3));
+        let results = RESULTS.lock().expect("results lock");
+        let r = results
+            .iter()
+            .find(|r| r.id == "collected")
+            .expect("result recorded");
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns > 0.0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ struct RoundState {
     main_evaluated: bool,
     /// Verified coin shares by holder index.
     coin_shares: HashMap<usize, CoinShare>,
+    /// Received but not yet verified coin shares, keyed by *sender* so a
+    /// forged share cannot displace an honest party's. Verification is
+    /// deferred and batched: one combined DLEQ check replaces per-share
+    /// checks once enough shares are queued to flip the coin.
+    pending_coin: HashMap<PartyId, CoinShare>,
 }
 
 /// A binary Byzantine agreement instance.
@@ -243,7 +248,7 @@ impl BinaryAgreement {
                 share,
                 proof,
             } => self.on_main_vote(from, *round, *vote, just, share, proof.as_deref()),
-            Body::BaCoinShare { round, share } => self.on_coin_share(*round, share),
+            Body::BaCoinShare { round, share } => self.on_coin_share(from, *round, share),
             Body::BaDecide {
                 round,
                 value,
@@ -439,19 +444,37 @@ impl BinaryAgreement {
         }
     }
 
-    fn on_coin_share(&mut self, round: u32, share: &CoinShare) {
-        if round == 0 {
+    fn on_coin_share(&mut self, from: PartyId, round: u32, share: &CoinShare) {
+        if round == 0 || share.index >= self.ctx.keys().common.coin.public_key().n {
             return;
         }
+        // No crypto here: the share is only queued. The expensive DLEQ
+        // checks run as one batched verification in `try_advance` once a
+        // quorum's worth of shares has accumulated.
+        let state = self.rounds.entry(round).or_default();
+        if state.coin_shares.contains_key(&share.index) {
+            return;
+        }
+        state.pending_coin.insert(from, share.clone());
+    }
+
+    /// Batch-verifies any queued coin shares for `round`, promoting valid
+    /// ones into `coin_shares` and discarding the rest.
+    fn flush_pending_coin(&mut self, round: u32) {
+        let Some(state) = self.rounds.get_mut(&round) else {
+            return;
+        };
+        if state.pending_coin.is_empty() {
+            return;
+        }
+        let pending: Vec<CoinShare> = state.pending_coin.drain().map(|(_, s)| s).collect();
         let name = coin_name(&self.pid, round);
-        if !self.ctx.keys().common.coin.verify_share(&name, share) {
-            return;
+        let verdicts = self.ctx.keys().common.coin.verify_shares(&name, &pending);
+        for (share, valid) in pending.into_iter().zip(verdicts) {
+            if valid {
+                state.coin_shares.entry(share.index).or_insert(share);
+            }
         }
-        self.rounds
-            .entry(round)
-            .or_default()
-            .coin_shares
-            .insert(share.index, share.clone());
     }
 
     fn on_decide(
@@ -675,6 +698,15 @@ impl BinaryAgreement {
                     let (coin, shares_used) = if biased_round1 {
                         (self.bias.expect("bias set"), Vec::new())
                     } else {
+                        let Some(state) = self.rounds.get(&round) else {
+                            return;
+                        };
+                        // Cheap count first: only run the (batched) share
+                        // verification once a quorum could be present.
+                        if state.coin_shares.len() + state.pending_coin.len() < coin_k {
+                            return;
+                        }
+                        self.flush_pending_coin(round);
                         let Some(state) = self.rounds.get(&round) else {
                             return;
                         };

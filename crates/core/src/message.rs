@@ -733,7 +733,8 @@ mod tests {
                 index: 2,
                 value: sintra_bigint::Ubig::from(99u64),
                 proof: sintra_crypto::dleq::DleqProof {
-                    challenge: sintra_bigint::Ubig::from(1u64),
+                    commit_g: sintra_bigint::Ubig::from(1u64),
+                    commit_u: sintra_bigint::Ubig::from(3u64),
                     response: sintra_bigint::Ubig::from(2u64),
                 },
             },

@@ -279,12 +279,14 @@ use sintra_crypto::thsig::{ShoupShareProof, SigShare, SigShareBody, ThresholdSig
 
 impl Wire for DleqProof {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.challenge.encode(buf);
+        self.commit_g.encode(buf);
+        self.commit_u.encode(buf);
         self.response.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(DleqProof {
-            challenge: Ubig::decode(r)?,
+            commit_g: Ubig::decode(r)?,
+            commit_u: Ubig::decode(r)?,
             response: Ubig::decode(r)?,
         })
     }

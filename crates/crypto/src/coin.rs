@@ -17,14 +17,22 @@
 //! This is the randomness source of SINTRA's binary Byzantine agreement —
 //! the component that circumvents the FLP impossibility result.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rand::Rng;
 
 use sintra_bigint::Ubig;
 
-use crate::dleq::{self, DleqProof, DleqStatement};
+use crate::dleq::{self, BatchEntry, DleqProof, DleqStatement};
 use crate::group::SchnorrGroup;
 use crate::polynomial::{lagrange_at_zero, Polynomial};
 use crate::{hash, CryptoError, Result};
+
+/// Cap on memoized coin bases `ĝ = H(name)`. A binary-agreement instance
+/// touches one name per round; the cap covers many concurrent instances
+/// and the map is simply cleared when full.
+const MAX_CACHED_COIN_BASES: usize = 64;
 
 /// Public parameters of a dealt coin: thresholds and verification keys.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,10 +67,16 @@ pub struct CoinShare {
 /// A threshold coin instance: group + public key, shared by all parties.
 ///
 /// See the crate-level docs for a usage example.
+///
+/// The full-domain hash `ĝ = H(name)` costs a cofactor exponentiation —
+/// nearly a full `p`-bit exponentiation — so the scheme memoizes it per
+/// coin name (shared across clones): generating and verifying the `n`
+/// shares of one round then hashes into the group once, not `2n` times.
 #[derive(Debug, Clone)]
 pub struct CoinScheme {
     group: SchnorrGroup,
     public: CoinPublicKey,
+    bases: Arc<Mutex<HashMap<Vec<u8>, Ubig>>>,
 }
 
 const SHARE_DOMAIN: &[u8] = b"sintra-coin-share";
@@ -102,7 +116,11 @@ impl CoinScheme {
 
     /// Binds a scheme instance to a group and public key.
     pub fn new(group: SchnorrGroup, public: CoinPublicKey) -> Self {
-        CoinScheme { group, public }
+        CoinScheme {
+            group,
+            public,
+            bases: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The public key.
@@ -120,14 +138,28 @@ impl CoinScheme {
         self.public.k
     }
 
+    /// `ĝ = H(name)`, memoized per name; the first computation also
+    /// registers a fixed-base table so every later exponentiation of `ĝ`
+    /// in this round (share generation *and* verification) is
+    /// squaring-free.
     fn coin_base(&self, name: &[u8]) -> Ubig {
-        self.group.hash_to_group(b"sintra-coin-base", name)
+        let mut bases = self.bases.lock().expect("coin base cache");
+        if let Some(base) = bases.get(name) {
+            return base.clone();
+        }
+        let base = self.group.hash_to_group(b"sintra-coin-base", name);
+        self.group.cache_base(&base);
+        if bases.len() >= MAX_CACHED_COIN_BASES {
+            bases.clear();
+        }
+        bases.insert(name.to_vec(), base.clone());
+        base
     }
 
     /// Releases this party's share of the coin `name`.
     pub fn release_share(&self, name: &[u8], secret: &CoinSecretShare) -> CoinShare {
         let g_hat = self.coin_base(name);
-        let value = self.group.pow(&g_hat, &secret.key);
+        let value = self.group.pow_cached(&g_hat, &secret.key);
         let stmt = DleqStatement {
             g: self.group.generator(),
             h: &self.public.verification_keys[secret.index],
@@ -143,8 +175,12 @@ impl CoinScheme {
     }
 
     /// Verifies a putative share of coin `name`.
+    ///
+    /// The share value is subgroup-checked here (it arrives from an
+    /// untrusted peer); the verification key is a dealer-published group
+    /// member, so the proof itself runs in pre-verified mode.
     pub fn verify_share(&self, name: &[u8], share: &CoinShare) -> bool {
-        if share.index >= self.public.n {
+        if share.index >= self.public.n || !self.group.is_element(&share.value) {
             return false;
         }
         let g_hat = self.coin_base(name);
@@ -154,7 +190,40 @@ impl CoinScheme {
             u: &g_hat,
             v: &share.value,
         };
-        dleq::verify(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+        dleq::verify_preverified(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+    }
+
+    /// Verifies a batch of shares of coin `name` in (amortized) one
+    /// multi-exponentiation, falling back to per-share verification when
+    /// the combined check fails so invalid shares are attributed to their
+    /// senders. Returns per-share validity, parallel to `shares`.
+    pub fn verify_shares(&self, name: &[u8], shares: &[CoinShare]) -> Vec<bool> {
+        let mut ok = vec![true; shares.len()];
+        let mut entries = Vec::with_capacity(shares.len());
+        let mut positions = Vec::with_capacity(shares.len());
+        for (pos, share) in shares.iter().enumerate() {
+            // Structural checks stay per-share; only the proof equations
+            // are batched.
+            if share.index >= self.public.n || !self.group.is_element(&share.value) {
+                ok[pos] = false;
+                continue;
+            }
+            entries.push(BatchEntry {
+                h: &self.public.verification_keys[share.index],
+                v: &share.value,
+                proof: &share.proof,
+            });
+            positions.push(pos);
+        }
+        if entries.is_empty() {
+            return ok;
+        }
+        let g_hat = self.coin_base(name);
+        let verdicts = dleq::verify_batch_or_each(&self.group, SHARE_DOMAIN, &g_hat, &entries);
+        for (pos, valid) in positions.into_iter().zip(verdicts) {
+            ok[pos] = valid;
+        }
+        ok
     }
 
     /// Assembles `k` verified shares into `len` pseudorandom bytes.
@@ -183,17 +252,22 @@ impl CoinScheme {
                 return Err(CryptoError::DuplicateShare { index: share.index });
             }
             seen[share.index] = true;
-            if !self.verify_share(name, share) {
+        }
+        for (share, valid) in used.iter().zip(self.verify_shares(name, used)) {
+            if !valid {
                 return Err(CryptoError::InvalidShare { index: share.index });
             }
         }
-        // Lagrange interpolation in the exponent at the 1-based points.
+        // Lagrange interpolation in the exponent at the 1-based points,
+        // as one simultaneous multi-exponentiation.
         let points: Vec<u64> = used.iter().map(|s| s.index as u64 + 1).collect();
         let lambdas = lagrange_at_zero(&points, self.group.order());
-        let mut acc = Ubig::one();
-        for (share, lambda) in used.iter().zip(lambdas.iter()) {
-            acc = self.group.mul(&acc, &self.group.pow(&share.value, lambda));
-        }
+        let pairs: Vec<(&Ubig, &Ubig)> = used
+            .iter()
+            .zip(lambdas.iter())
+            .map(|(share, lambda)| (&share.value, lambda))
+            .collect();
+        let acc = self.group.multi_pow(&pairs);
         // acc = ĝ^{f(0)}; expand to the requested output length.
         let mut input = acc.to_be_bytes();
         input.extend_from_slice(name);
@@ -311,6 +385,45 @@ mod tests {
         }
         // Loose sanity bound: a constant coin would fail this.
         assert!(ones > 10 && ones < 50, "got {ones}/{total} ones");
+    }
+
+    #[test]
+    fn batch_verification_accepts_honest_shares() {
+        let (scheme, secrets) = setup(5, 3);
+        let name = b"batch";
+        let shares: Vec<CoinShare> = secrets
+            .iter()
+            .map(|s| scheme.release_share(name, s))
+            .collect();
+        assert_eq!(scheme.verify_shares(name, &shares), vec![true; 5]);
+    }
+
+    #[test]
+    fn batch_verification_attributes_corrupted_share() {
+        let (scheme, secrets) = setup(5, 3);
+        let name = b"batch";
+        let mut shares: Vec<CoinShare> = secrets
+            .iter()
+            .map(|s| scheme.release_share(name, s))
+            .collect();
+        // Corrupt one value (still a subgroup member) and one proof.
+        shares[2].value = scheme
+            .group()
+            .mul(&shares[2].value, scheme.group().generator());
+        shares[4].proof.response = shares[4]
+            .proof
+            .response
+            .mod_add(&Ubig::one(), scheme.group().order());
+        assert_eq!(
+            scheme.verify_shares(name, &shares),
+            vec![true, true, false, true, false]
+        );
+        // A non-member value is caught by the structural pre-check.
+        shares[0].value = Ubig::from(4u64);
+        assert!(!scheme.verify_shares(name, &shares)[0]);
+        // Out-of-range index likewise.
+        shares[1].index = 99;
+        assert!(!scheme.verify_shares(name, &shares)[1]);
     }
 
     #[test]

@@ -46,6 +46,56 @@ pub fn exp_work(modulus_bits: u32, exponent_bits: u32) -> f64 {
     m * m * e
 }
 
+/// Multiplications performed per exponent bit by the 4-bit-window ladder:
+/// one squaring per bit plus one table multiplication per 4 bits.
+///
+/// This anchors the sub-exponentiation cost shapes below to [`exp_work`]:
+/// a plain `e`-bit exponentiation is `1.25·e` modular multiplications, so
+/// one multiplication is `exp_work / (1.25·e)` and the fractional factors
+/// for shared-squaring and squaring-free ladders follow arithmetically.
+const MULS_PER_EXP_BIT: f64 = 1.25;
+
+/// Work units of a single modular multiplication (or squaring).
+///
+/// Multiplications used to be unmetered; batched verification replaces
+/// many exponentiations with a few multiplications, so leaving them free
+/// would overstate the win in RunReports.
+pub fn mul_work(modulus_bits: u32) -> f64 {
+    let m = modulus_bits as f64 / 1024.0;
+    m * m / (MULS_PER_EXP_BIT * 1024.0)
+}
+
+/// Work units of a modular inversion (extended Euclid), charged as a
+/// fixed multiple of a multiplication: the binary/Lehmer GCD is `O(m²)`
+/// like a multiplication with a larger constant; 30× is a conservative
+/// middle ground for 0.5–2 Kbit operands.
+pub fn inv_work(modulus_bits: u32) -> f64 {
+    30.0 * mul_work(modulus_bits)
+}
+
+/// Work units of a fixed-base (precomputed-table) exponentiation: no
+/// squarings, one multiplication per 4-bit window, i.e. `e/4` of the
+/// `1.25·e` multiplications of a plain exponentiation = 0.2×.
+pub fn fixed_base_exp_work(modulus_bits: u32, exponent_bits: u32) -> f64 {
+    0.2 * exp_work(modulus_bits, exponent_bits)
+}
+
+/// Work units of a simultaneous multi-exponentiation over the given
+/// exponent sizes: the squarings (`0.8` of a plain exponentiation) are
+/// paid once for the longest exponent, each base adds only its window
+/// multiplications (`0.2` each).
+pub fn multi_exp_work(modulus_bits: u32, exponent_bits: &[u32]) -> f64 {
+    let max = exponent_bits.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return 0.0;
+    }
+    let mut work = 0.8 * exp_work(modulus_bits, max);
+    for &e in exponent_bits {
+        work += 0.2 * exp_work(modulus_bits, e.max(1));
+    }
+    work
+}
+
 /// Measures the crypto work performed on this thread while the scope is
 /// alive, without disturbing the legacy meter or other scopes.
 ///
@@ -133,6 +183,24 @@ mod tests {
         assert!((exp_work(1024, 160) - 160.0 / 1024.0).abs() < 1e-12);
         // Halving the modulus at full exponent gives the cubic scaling.
         assert!((exp_work(512, 512) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_exponentiation_shapes_are_consistent() {
+        // 1280 multiplications make up one full 1024-bit exponentiation.
+        assert!((mul_work(1024) * 1280.0 - 1.0).abs() < 1e-9);
+        assert!((inv_work(1024) - 30.0 * mul_work(1024)).abs() < 1e-12);
+        // Fixed-base is 20% of plain.
+        assert!((fixed_base_exp_work(1024, 160) - 0.2 * exp_work(1024, 160)).abs() < 1e-12);
+        // A 1-element multi-exp costs exactly one plain exponentiation;
+        // each extra same-size base adds a fifth.
+        assert!((multi_exp_work(1024, &[160]) - exp_work(1024, 160)).abs() < 1e-12);
+        assert!((multi_exp_work(1024, &[160, 160]) - 1.2 * exp_work(1024, 160)).abs() < 1e-12);
+        assert_eq!(multi_exp_work(1024, &[]), 0.0);
+        // Shorter exponents ride the longest exponent's squaring chain.
+        let mixed = multi_exp_work(1024, &[160, 64]);
+        assert!(mixed < 2.0 * exp_work(1024, 160));
+        assert!(mixed > exp_work(1024, 160));
     }
 
     #[test]

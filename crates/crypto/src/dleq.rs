@@ -6,19 +6,38 @@
 //! submit a bad share without being detected.
 //!
 //! The proof is the Fiat–Shamir transform of the sigma protocol:
-//! commit `(g^w, u^w)`, challenge `c = H(...)`, response `z = w + c·x`.
+//! commit `(a₁, a₂) = (g^w, u^w)`, challenge `c = H(...)`, response
+//! `z = w + c·x`. Proofs carry the *commitments* rather than the
+//! challenge: verification recomputes `c` from them and checks the two
+//! group equations `g^z = a₁·h^c` and `u^z = a₂·v^c` — an equivalent
+//! check that additionally admits **batch verification**: the equations
+//! of many proofs are combined into one multi-exponentiation with small
+//! random exponents ([`verify_batch`]), amortizing nearly all squarings
+//! and both generator exponentiations across the batch.
 
 use rand::Rng;
 use sintra_bigint::Ubig;
 
 use crate::group::SchnorrGroup;
+use crate::hash;
 
-/// A non-interactive DLEQ proof `(c, z)`.
+/// Bits of each small random exponent in [`verify_batch`]. A batch of
+/// invalid proofs passes with probability `2^-64`; since the randomizers
+/// are derived by hashing the batch contents (keeping verification
+/// deterministic for reproducible simulation), an adversary may grind
+/// candidate shares offline, so 64 bits is a *work* bound, not a
+/// statistical one. Raise if proofs ever guard value beyond a protocol
+/// round.
+const BATCH_EXPONENT_BITS: usize = 64;
+
+/// A non-interactive DLEQ proof `(a₁, a₂, z)` in commitment form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DleqProof {
-    /// Fiat–Shamir challenge.
-    pub challenge: Ubig,
-    /// Sigma-protocol response.
+    /// Sigma-protocol commitment `a₁ = g^w`.
+    pub commit_g: Ubig,
+    /// Sigma-protocol commitment `a₂ = u^w`.
+    pub commit_u: Ubig,
+    /// Sigma-protocol response `z = w + c·x mod q`.
     pub response: Ubig,
 }
 
@@ -58,13 +77,14 @@ pub fn prove<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> DleqProof {
     let w = group.random_exponent(rng);
-    let a1 = group.pow(stmt.g, &w);
-    let a2 = group.pow(stmt.u, &w);
+    let a1 = group.pow_cached(stmt.g, &w);
+    let a2 = group.pow_cached(stmt.u, &w);
     let c = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
     // z = w + c*x mod q
     let z = w.mod_add(&c.mod_mul(x, group.order()), group.order());
     DleqProof {
-        challenge: c,
+        commit_g: a1,
+        commit_u: a2,
         response: z,
     }
 }
@@ -84,42 +104,249 @@ pub fn prove_deterministic(
     let mut nonce_input = x.to_be_bytes();
     nonce_input.extend_from_slice(&challenge_input(domain, stmt, &Ubig::zero(), &Ubig::zero()));
     let w = group.hash_to_exponent(b"sintra-dleq-nonce", &nonce_input);
-    let a1 = group.pow(stmt.g, &w);
-    let a2 = group.pow(stmt.u, &w);
+    let a1 = group.pow_cached(stmt.g, &w);
+    let a2 = group.pow_cached(stmt.u, &w);
     let c = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
     let z = w.mod_add(&c.mod_mul(x, group.order()), group.order());
     DleqProof {
-        challenge: c,
+        commit_g: a1,
+        commit_u: a2,
         response: z,
     }
 }
 
-/// Verifies a proof against the statement.
+/// Verifies a proof against the statement, including subgroup-membership
+/// checks on `h` and `v`.
 ///
-/// Recomputes the commitments as `a1 = g^z / h^c`, `a2 = u^z / v^c` and
-/// checks the Fiat–Shamir challenge matches.
+/// Prefer [`verify_preverified`] when the caller has already validated the
+/// statement's images (e.g. once at share deserialization): each
+/// membership test costs a full `q`-bit exponentiation.
 pub fn verify(
     group: &SchnorrGroup,
     domain: &[u8],
     stmt: &DleqStatement<'_>,
     proof: &DleqProof,
 ) -> bool {
-    if proof.challenge >= *group.order() || proof.response >= *group.order() {
-        return false;
-    }
     if !group.is_element(stmt.h) || !group.is_element(stmt.v) {
         return false;
     }
-    let a1 = group.div(
-        &group.pow(stmt.g, &proof.response),
-        &group.pow(stmt.h, &proof.challenge),
+    verify_preverified(group, domain, stmt, proof)
+}
+
+/// Verifies a proof assuming the statement is well-formed: `g`, `h`, `u`,
+/// `v` must all be subgroup members already validated by the caller
+/// (generators and dealer-published verification keys are members by
+/// construction; share values must be checked once on receipt).
+///
+/// Recomputes `c = H(..., a₁, a₂)` and checks `g^z·h^{-c} = a₁` and
+/// `u^z·v^{-c} = a₂`, each as one simultaneous multi-exponentiation (the
+/// negated exponent trick needs `h, v` of order `q`, hence the
+/// precondition).
+pub fn verify_preverified(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    stmt: &DleqStatement<'_>,
+    proof: &DleqProof,
+) -> bool {
+    if proof.response >= *group.order() {
+        return false;
+    }
+    let p = group.modulus();
+    if proof.commit_g.is_zero()
+        || proof.commit_u.is_zero()
+        || proof.commit_g >= *p
+        || proof.commit_u >= *p
+    {
+        return false;
+    }
+    let c = group.hash_to_exponent(
+        b"sintra-dleq",
+        &challenge_input(domain, stmt, &proof.commit_g, &proof.commit_u),
     );
-    let a2 = group.div(
-        &group.pow(stmt.u, &proof.response),
-        &group.pow(stmt.v, &proof.challenge),
-    );
-    let expected = group.hash_to_exponent(b"sintra-dleq", &challenge_input(domain, stmt, &a1, &a2));
-    expected == proof.challenge
+    let neg_c = group.neg_exponent(&c);
+    let a1 = group.multi_pow(&[(stmt.g, &proof.response), (stmt.h, &neg_c)]);
+    if a1 != proof.commit_g {
+        return false;
+    }
+    let a2 = group.multi_pow(&[(stmt.u, &proof.response), (stmt.v, &neg_c)]);
+    a2 == proof.commit_u
+}
+
+/// One proof of a common-base batch: all entries share the bases `(g, u)`
+/// of their statements — the shape of both coin shares (`u = ĝ(name)`)
+/// and decryption shares (`u` from the ciphertext).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// First image `h = g^x` (a dealer-published verification key).
+    pub h: &'a Ubig,
+    /// Second image `v = u^x` (the share value, subgroup-validated by the
+    /// caller).
+    pub v: &'a Ubig,
+    /// The share's proof.
+    pub proof: &'a DleqProof,
+}
+
+/// Batch-verifies DLEQ proofs sharing the base pair `(g, u)` with one
+/// small-exponent random-linear-combination multi-exponentiation.
+///
+/// Returns `true` iff every proof in the batch is valid (except with
+/// probability ~`2^-64` per adversarial attempt; see
+/// [`BATCH_EXPONENT_BITS`]). On `false`, callers fall back to per-proof
+/// [`verify_preverified`] to identify culprits.
+///
+/// # Soundness
+///
+/// Each proof contributes the two equations `g^z·h^{-c}·a₁^{-1} = 1` and
+/// `u^z·v^{-c}·a₂^{-1} = 1`; the batch combines them with independent
+/// 64-bit exponents `δᵢ, δ'ᵢ` into one product, then raises it to the
+/// subgroup cofactor. The cofactor power annihilates any component of the
+/// adversarially chosen commitments `a₁, a₂` outside the order-`q`
+/// subgroup (the group constructor rejects `q² | p-1`, so the
+/// decomposition is unique), which is what lets the batch skip the two
+/// per-proof subgroup-membership exponentiations entirely. `h` and `v`
+/// must be order-`q` elements — the same precondition as
+/// [`verify_preverified`].
+///
+/// # Preconditions
+///
+/// `u` and every entry's `h` and `v` are subgroup members.
+pub fn verify_batch(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    u: &Ubig,
+    entries: &[BatchEntry<'_>],
+) -> bool {
+    if entries.is_empty() {
+        return true;
+    }
+    if entries.len() == 1 {
+        // A single proof gains nothing from the combination; check directly.
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: entries[0].h,
+            u,
+            v: entries[0].v,
+        };
+        return verify_preverified(group, domain, &stmt, entries[0].proof);
+    }
+    let q = group.order();
+    let p = group.modulus();
+    // Range checks and Fiat–Shamir challenges.
+    let mut challenges = Vec::with_capacity(entries.len());
+    for e in entries {
+        if e.proof.response >= *q {
+            return false;
+        }
+        if e.proof.commit_g.is_zero()
+            || e.proof.commit_u.is_zero()
+            || e.proof.commit_g >= *p
+            || e.proof.commit_u >= *p
+        {
+            return false;
+        }
+        let stmt = DleqStatement {
+            g: group.generator(),
+            h: e.h,
+            u,
+            v: e.v,
+        };
+        challenges.push(group.hash_to_exponent(
+            b"sintra-dleq",
+            &challenge_input(domain, &stmt, &e.proof.commit_g, &e.proof.commit_u),
+        ));
+    }
+    // Derive the randomizers from the whole batch (random-oracle style):
+    // verification stays deterministic, and the δs are fixed only after
+    // every proof in the batch is fixed.
+    let mut seed = Vec::new();
+    seed.extend_from_slice(domain);
+    seed.extend_from_slice(&u.to_be_bytes());
+    for e in entries {
+        for part in [
+            e.h,
+            e.v,
+            &e.proof.commit_g,
+            &e.proof.commit_u,
+            &e.proof.response,
+        ] {
+            let bytes = part.to_be_bytes();
+            seed.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            seed.extend_from_slice(&bytes);
+        }
+    }
+    let delta_bytes = BATCH_EXPONENT_BITS / 8;
+    let raw = hash::expand(b"sintra-dleq-batch", &seed, entries.len() * 2 * delta_bytes);
+    let deltas: Vec<Ubig> = raw
+        .chunks_exact(delta_bytes)
+        .map(Ubig::from_be_bytes)
+        .collect();
+    // Exponent of g: -Σ δᵢ·zᵢ mod q; exponent of u: -Σ δ'ᵢ·zᵢ mod q.
+    let mut sum_g = Ubig::zero();
+    let mut sum_u = Ubig::zero();
+    let mut h_exps = Vec::with_capacity(entries.len());
+    let mut v_exps = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let (d1, d2) = (&deltas[2 * i], &deltas[2 * i + 1]);
+        sum_g = sum_g.mod_add(&d1.mod_mul(&e.proof.response, q), q);
+        sum_u = sum_u.mod_add(&d2.mod_mul(&e.proof.response, q), q);
+        // h and v have order q, so their δ·c exponents reduce mod q.
+        h_exps.push(group.neg_exponent(&d1.mod_mul(&challenges[i], q)));
+        v_exps.push(group.neg_exponent(&d2.mod_mul(&challenges[i], q)));
+    }
+    let g_exp = sum_g;
+    let u_exp = sum_u;
+    // P = g^{Σδz} · u^{Σδ'z} · ∏ hᵢ^{-δᵢcᵢ} vᵢ^{-δ'ᵢcᵢ} a₁ᵢ^{-δᵢ}a₂ᵢ^{-δ'ᵢ}
+    // — except commitments are adversarial, so instead of inverting them we
+    // move them across: check P' = g^{Σδz} u^{Σδ'z} ∏ h^{-δc} v^{-δ'c}
+    // against ∏ a₁^{δ} a₂^{δ'}; equivalently fold the commitments in with
+    // positive exponents and compare after the cofactor power.
+    let mut pairs: Vec<(&Ubig, &Ubig)> = Vec::with_capacity(2 + 4 * entries.len());
+    pairs.push((group.generator(), &g_exp));
+    pairs.push((u, &u_exp));
+    for (i, e) in entries.iter().enumerate() {
+        pairs.push((e.h, &h_exps[i]));
+        pairs.push((e.v, &v_exps[i]));
+    }
+    let lhs = group.multi_pow(&pairs);
+    let mut commit_pairs: Vec<(&Ubig, &Ubig)> = Vec::with_capacity(2 * entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        commit_pairs.push((&e.proof.commit_g, &deltas[2 * i]));
+        commit_pairs.push((&e.proof.commit_u, &deltas[2 * i + 1]));
+    }
+    let rhs = group.multi_pow(&commit_pairs);
+    if lhs == rhs {
+        return true;
+    }
+    // The q-components may still agree while commitment junk outside the
+    // subgroup differs; the cofactor power settles it.
+    let ratio = group.div(&lhs, &rhs);
+    group.pow(&ratio, group.cofactor()).is_one()
+}
+
+/// Batch-verifies like [`verify_batch`], but on failure re-checks each
+/// proof individually so callers can attribute blame. Returns per-entry
+/// validity.
+pub fn verify_batch_or_each(
+    group: &SchnorrGroup,
+    domain: &[u8],
+    u: &Ubig,
+    entries: &[BatchEntry<'_>],
+) -> Vec<bool> {
+    if verify_batch(group, domain, u, entries) {
+        return vec![true; entries.len()];
+    }
+    entries
+        .iter()
+        .map(|e| {
+            let stmt = DleqStatement {
+                g: group.generator(),
+                h: e.h,
+                u,
+                v: e.v,
+            };
+            verify_preverified(group, domain, &stmt, e.proof)
+        })
+        .collect()
 }
 
 #[cfg(test)]

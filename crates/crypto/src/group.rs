@@ -5,16 +5,30 @@
 //! with `q | p - 1`. SINTRA's configuration uses a 1024-bit `p` whose order
 //! has a 160-bit prime factor `q`; both sizes are parameters here.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rand::Rng;
-use sintra_bigint::{Montgomery, PrimeConfig, Ubig, UbigRandom};
+use sintra_bigint::{FixedBase, Montgomery, PrimeConfig, Ubig, UbigRandom};
 
 use crate::{cost, hash};
+
+/// Cap on dynamically cached fixed-base tables (beyond `g` and `ḡ`, which
+/// are always kept). Old tables are dropped wholesale once the cap is hit;
+/// hot bases simply get rebuilt.
+const MAX_CACHED_BASES: usize = 16;
 
 /// A Schnorr group `(p, q, g, ḡ)` with precomputed reduction context.
 ///
 /// Two independent generators are carried because the TDH2 threshold
 /// cryptosystem needs a second one; `ḡ` is derived from `g` by hashing so
 /// its discrete log is unknown to everyone ("nothing up my sleeve").
+///
+/// Exponentiations by the generators use fixed-base precomputed tables
+/// (built once per group), and further bases can be registered with
+/// [`SchnorrGroup::cache_base`]; the table cache is shared across clones
+/// of the group, so a scheme instance and its per-party copies reuse the
+/// same precomputation.
 #[derive(Debug, Clone)]
 pub struct SchnorrGroup {
     p: Ubig,
@@ -23,6 +37,9 @@ pub struct SchnorrGroup {
     g_bar: Ubig,
     cofactor: Ubig,
     mont: Montgomery,
+    g_fixed: Arc<FixedBase>,
+    g_bar_fixed: Arc<FixedBase>,
+    tables: Arc<Mutex<HashMap<Ubig, Arc<FixedBase>>>>,
 }
 
 impl PartialEq for SchnorrGroup {
@@ -50,7 +67,15 @@ impl SchnorrGroup {
         if !rem.is_zero() {
             return Err(crate::CryptoError::MalformedInput("q does not divide p-1"));
         }
+        if (&cofactor % &q).is_zero() {
+            // q² | p-1 would give the ambient group an order-q² component,
+            // breaking the cofactor-annihilation argument batched DLEQ
+            // verification relies on (and is never produced by honest
+            // parameter generation).
+            return Err(crate::CryptoError::MalformedInput("q^2 divides p-1"));
+        }
         let mont = Montgomery::new(&p);
+        let (g_fixed, g_bar_fixed) = Self::generator_tables(&mont, &g, &g_bar, &q);
         let group = SchnorrGroup {
             p,
             q,
@@ -58,6 +83,9 @@ impl SchnorrGroup {
             g_bar,
             cofactor,
             mont,
+            g_fixed,
+            g_bar_fixed,
+            tables: Arc::new(Mutex::new(HashMap::new())),
         };
         if !group.is_element(&group.g) || group.g.is_one() {
             return Err(crate::CryptoError::MalformedInput("g is not a generator"));
@@ -94,6 +122,7 @@ impl SchnorrGroup {
         let mut seed = p.to_be_bytes();
         seed.extend_from_slice(&g.to_be_bytes());
         let g_bar = Self::map_to_subgroup(&mont, &p, &cofactor, b"sintra-gbar", &seed);
+        let (g_fixed, g_bar_fixed) = Self::generator_tables(&mont, &g, &g_bar, &q);
         SchnorrGroup {
             p,
             q,
@@ -101,7 +130,26 @@ impl SchnorrGroup {
             g_bar,
             cofactor,
             mont,
+            g_fixed,
+            g_bar_fixed,
+            tables: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Builds the generator fixed-base tables (exponents are always < `q`,
+    /// or `q` itself in order checks) and meters the precomputation.
+    fn generator_tables(
+        mont: &Montgomery,
+        g: &Ubig,
+        g_bar: &Ubig,
+        q: &Ubig,
+    ) -> (Arc<FixedBase>, Arc<FixedBase>) {
+        let bits = q.bit_length();
+        let g_fixed = FixedBase::new(mont, g, bits);
+        let g_bar_fixed = FixedBase::new(mont, g_bar, bits);
+        let table_muls = (g_fixed.entries() + g_bar_fixed.entries()) as f64;
+        cost::charge(table_muls * cost::mul_work(mont.modulus().bit_length()));
+        (Arc::new(g_fixed), Arc::new(g_bar_fixed))
     }
 
     fn map_to_subgroup(
@@ -164,28 +212,124 @@ impl SchnorrGroup {
         cost::mont_pow(&self.mont, base, exp)
     }
 
-    /// `g^exp mod p`.
+    /// The fixed-base table for `base`, if one is available and covers
+    /// `exp`.
+    fn fixed_for(&self, base: &Ubig, exp: &Ubig) -> Option<Arc<FixedBase>> {
+        let fb = if *base == self.g {
+            self.g_fixed.clone()
+        } else if *base == self.g_bar {
+            self.g_bar_fixed.clone()
+        } else {
+            self.tables.lock().expect("table cache").get(base)?.clone()
+        };
+        fb.covers(exp).then_some(fb)
+    }
+
+    /// Precomputes and caches a fixed-base table for `base` (exponents up
+    /// to `q` bits), making later [`SchnorrGroup::pow_cached`] and
+    /// [`SchnorrGroup::multi_pow`] calls on that base squaring-free.
+    ///
+    /// The cache is shared across clones of the group and capped; evicted
+    /// tables are simply rebuilt on a later call.
+    pub fn cache_base(&self, base: &Ubig) {
+        if *base == self.g || *base == self.g_bar {
+            return;
+        }
+        let mut tables = self.tables.lock().expect("table cache");
+        if tables.contains_key(base) {
+            return;
+        }
+        if tables.len() >= MAX_CACHED_BASES {
+            tables.clear();
+        }
+        let fb = FixedBase::new(&self.mont, base, self.q.bit_length());
+        cost::charge(fb.entries() as f64 * cost::mul_work(self.p.bit_length()));
+        tables.insert(base.clone(), Arc::new(fb));
+    }
+
+    /// Metered exponentiation that uses a fixed-base table when one is
+    /// cached for `base` (see [`SchnorrGroup::cache_base`]) and falls back
+    /// to a plain windowed ladder otherwise.
+    pub fn pow_cached(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        match self.fixed_for(base, exp) {
+            Some(fb) => {
+                cost::charge(cost::fixed_base_exp_work(
+                    self.p.bit_length(),
+                    exp.bit_length().max(1),
+                ));
+                fb.pow(&self.mont, exp)
+            }
+            None => self.pow(base, exp),
+        }
+    }
+
+    /// `g^exp mod p` (fixed-base accelerated).
     pub fn pow_g(&self, exp: &Ubig) -> Ubig {
-        self.pow(&self.g, exp)
+        self.pow_cached(&self.g, exp)
     }
 
-    /// `ḡ^exp mod p`.
+    /// `ḡ^exp mod p` (fixed-base accelerated).
     pub fn pow_g_bar(&self, exp: &Ubig) -> Ubig {
-        self.pow(&self.g_bar, exp)
+        self.pow_cached(&self.g_bar, exp)
     }
 
-    /// Group operation `a * b mod p` (not metered: multiplication cost is
-    /// negligible next to exponentiation).
+    /// Metered simultaneous multi-exponentiation `∏ bᵢ^eᵢ mod p`.
+    ///
+    /// Bases with cached fixed-base tables are folded in squaring-free;
+    /// the remaining bases share one interleaved squaring chain
+    /// (Straus/Shamir), so `k` same-size exponentiations cost roughly
+    /// `0.8 + 0.2·k` plain exponentiations instead of `k`.
+    pub fn multi_pow(&self, pairs: &[(&Ubig, &Ubig)]) -> Ubig {
+        let mut acc: Option<Ubig> = None;
+        let mut dynamic: Vec<(&Ubig, &Ubig)> = Vec::new();
+        let mut dynamic_bits: Vec<u32> = Vec::new();
+        for &(base, exp) in pairs {
+            if exp.is_zero() {
+                continue;
+            }
+            if let Some(fb) = self.fixed_for(base, exp) {
+                cost::charge(cost::fixed_base_exp_work(
+                    self.p.bit_length(),
+                    exp.bit_length(),
+                ));
+                let part = fb.pow_mont(&self.mont, exp);
+                acc = Some(match acc {
+                    Some(a) => self.mont.mont_mul(&a, &part),
+                    None => part,
+                });
+            } else {
+                dynamic.push((base, exp));
+                dynamic_bits.push(exp.bit_length());
+            }
+        }
+        if !dynamic.is_empty() {
+            cost::charge(cost::multi_exp_work(self.p.bit_length(), &dynamic_bits));
+            let part = self.mont.multi_pow_mont(&dynamic);
+            acc = Some(match acc {
+                Some(a) => self.mont.mont_mul(&a, &part),
+                None => part,
+            });
+        }
+        match acc {
+            Some(a) => self.mont.from_mont(&a),
+            None => Ubig::one(),
+        }
+    }
+
+    /// Group operation `a * b mod p`, metered at the fractional weight of
+    /// one modular multiplication.
     pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        cost::charge(cost::mul_work(self.p.bit_length()));
         a.mod_mul(b, &self.p)
     }
 
-    /// Multiplicative inverse in `Z_p^*`.
+    /// Multiplicative inverse in `Z_p^*` (metered).
     ///
     /// # Panics
     ///
     /// Panics if `a` is zero mod `p` (never an element of the group).
     pub fn inv(&self, a: &Ubig) -> Ubig {
+        cost::charge(cost::inv_work(self.p.bit_length()));
         a.mod_inverse(&self.p)
             .expect("group elements are invertible")
     }
@@ -193,6 +337,17 @@ impl SchnorrGroup {
     /// `a / b mod p`.
     pub fn div(&self, a: &Ubig, b: &Ubig) -> Ubig {
         self.mul(a, &self.inv(b))
+    }
+
+    /// `-e mod q`: turns a division by `x^e` into a multiplication by
+    /// `x^{-e mod q}` for order-`q` elements, avoiding modular inversion.
+    pub fn neg_exponent(&self, e: &Ubig) -> Ubig {
+        Ubig::zero().mod_sub(e, &self.q)
+    }
+
+    /// The subgroup cofactor `(p-1)/q`.
+    pub fn cofactor(&self) -> &Ubig {
+        &self.cofactor
     }
 
     /// Hashes arbitrary bytes onto a subgroup element (a full-domain hash

@@ -15,7 +15,7 @@
 use rand::Rng;
 use sintra_bigint::Ubig;
 
-use crate::dleq::{self, DleqProof, DleqStatement};
+use crate::dleq::{self, BatchEntry, DleqProof, DleqStatement};
 use crate::group::SchnorrGroup;
 use crate::polynomial::{lagrange_at_zero, Polynomial};
 use crate::{chacha, hash, CryptoError, Result};
@@ -117,7 +117,12 @@ impl EncScheme {
     }
 
     /// Binds a scheme instance to its parameters.
+    ///
+    /// Registers a fixed-base table for the encryption key `h`: every
+    /// encryption exponentiates `h`, and the table makes that
+    /// squaring-free like the generator exponentiations.
     pub fn new(group: SchnorrGroup, public: EncPublicKey) -> Self {
+        group.cache_base(&public.h);
         EncScheme { group, public }
     }
 
@@ -170,7 +175,7 @@ impl EncScheme {
     ) -> Ciphertext {
         let r = self.group.random_exponent(rng);
         let s = self.group.random_exponent(rng);
-        let shared = self.group.pow(&self.public.h, &r);
+        let shared = self.group.pow_cached(&self.public.h, &r);
         let data = chacha::seal(&shared.to_be_bytes(), message);
         let u = self.group.pow_g(&r);
         let w = self.group.pow_g(&s);
@@ -197,14 +202,16 @@ impl EncScheme {
         if ct.e >= *self.group.order() || ct.f >= *self.group.order() {
             return false;
         }
-        // Recompute w = g^f / u^e and w̄ = ḡ^f / ū^e.
+        // Recompute w = g^f·u^{-e} and w̄ = ḡ^f·ū^{-e}, each as one
+        // multi-exponentiation; the negated exponents are sound because
+        // u and ū passed the subgroup checks above.
+        let neg_e = self.group.neg_exponent(&ct.e);
         let w = self
             .group
-            .div(&self.group.pow_g(&ct.f), &self.group.pow(&ct.u, &ct.e));
-        let w_bar = self.group.div(
-            &self.group.pow_g_bar(&ct.f),
-            &self.group.pow(&ct.u_bar, &ct.e),
-        );
+            .multi_pow(&[(self.group.generator(), &ct.f), (&ct.u, &neg_e)]);
+        let w_bar = self
+            .group
+            .multi_pow(&[(self.group.generator_bar(), &ct.f), (&ct.u_bar, &neg_e)]);
         self.validity_challenge(&ct.data, &ct.label, &ct.u, &w, &ct.u_bar, &w_bar) == ct.e
     }
 
@@ -236,8 +243,12 @@ impl EncScheme {
     }
 
     /// Verifies a peer's decryption share against a ciphertext.
+    ///
+    /// The share value is subgroup-checked here; `ct.u` is assumed already
+    /// validated (honest parties check [`EncScheme::verify_ciphertext`],
+    /// which includes the membership test, before touching shares).
     pub fn verify_share(&self, ct: &Ciphertext, share: &DecryptionShare) -> bool {
-        if share.index >= self.public.n {
+        if share.index >= self.public.n || !self.group.is_element(&share.value) {
             return false;
         }
         let stmt = DleqStatement {
@@ -246,7 +257,39 @@ impl EncScheme {
             u: &ct.u,
             v: &share.value,
         };
-        dleq::verify(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+        dleq::verify_preverified(&self.group, SHARE_DOMAIN, &stmt, &share.proof)
+    }
+
+    /// Verifies a batch of decryption shares for one ciphertext with a
+    /// single combined check (falling back to per-share verification to
+    /// attribute blame). Returns per-share validity, parallel to `shares`.
+    ///
+    /// Same precondition as [`EncScheme::verify_share`]: `ct` has already
+    /// passed [`EncScheme::verify_ciphertext`].
+    pub fn verify_shares(&self, ct: &Ciphertext, shares: &[DecryptionShare]) -> Vec<bool> {
+        let mut ok = vec![true; shares.len()];
+        let mut entries = Vec::with_capacity(shares.len());
+        let mut positions = Vec::with_capacity(shares.len());
+        for (pos, share) in shares.iter().enumerate() {
+            if share.index >= self.public.n || !self.group.is_element(&share.value) {
+                ok[pos] = false;
+                continue;
+            }
+            entries.push(BatchEntry {
+                h: &self.public.verification_keys[share.index],
+                v: &share.value,
+                proof: &share.proof,
+            });
+            positions.push(pos);
+        }
+        if entries.is_empty() {
+            return ok;
+        }
+        let verdicts = dleq::verify_batch_or_each(&self.group, SHARE_DOMAIN, &ct.u, &entries);
+        for (pos, valid) in positions.into_iter().zip(verdicts) {
+            ok[pos] = valid;
+        }
+        ok
     }
 
     /// Combines `k` decryption shares and recovers the plaintext.
@@ -275,18 +318,20 @@ impl EncScheme {
                 return Err(CryptoError::DuplicateShare { index: share.index });
             }
             seen[share.index] = true;
-            if !self.verify_share(ct, share) {
+        }
+        for (share, valid) in used.iter().zip(self.verify_shares(ct, used)) {
+            if !valid {
                 return Err(CryptoError::InvalidShare { index: share.index });
             }
         }
         let points: Vec<u64> = used.iter().map(|s| s.index as u64 + 1).collect();
         let lambdas = lagrange_at_zero(&points, self.group.order());
-        let mut shared = Ubig::one();
-        for (share, lambda) in used.iter().zip(lambdas.iter()) {
-            shared = self
-                .group
-                .mul(&shared, &self.group.pow(&share.value, lambda));
-        }
+        let pairs: Vec<(&Ubig, &Ubig)> = used
+            .iter()
+            .zip(lambdas.iter())
+            .map(|(share, lambda)| (&share.value, lambda))
+            .collect();
+        let shared = self.group.multi_pow(&pairs);
         Ok(chacha::open(&shared.to_be_bytes(), &ct.data))
     }
 }
@@ -382,6 +427,24 @@ mod tests {
             scheme.combine(&ct, &shares),
             Err(CryptoError::InvalidShare { index: 1 })
         ));
+    }
+
+    #[test]
+    fn batch_verification_attributes_bad_share() {
+        let (scheme, secrets, mut rng) = setup(4, 3);
+        let ct = scheme.encrypt(b"l", b"m", &mut rng);
+        let mut shares: Vec<DecryptionShare> = secrets
+            .iter()
+            .map(|s| scheme.decryption_share(&ct, s).unwrap())
+            .collect();
+        assert_eq!(scheme.verify_shares(&ct, &shares), vec![true; 4]);
+        shares[2].value = scheme
+            .group()
+            .mul(&shares[2].value, scheme.group().generator());
+        assert_eq!(
+            scheme.verify_shares(&ct, &shares),
+            vec![true, true, false, true]
+        );
     }
 
     #[test]
