@@ -1,25 +1,54 @@
-//! The per-party server threads and the blocking application API.
+//! The transport-independent per-party server: one OS thread driving a
+//! sans-I/O [`Node`], fed by a command/network inbox.
+//!
+//! Both real runtimes ([`threaded`](crate::threaded) and
+//! [`tcp`](crate::tcp)) run this exact loop; they differ only in the
+//! [`Transport`] they plug in — how a sealed envelope reaches a peer and
+//! how inbound bytes are authenticated back into envelopes. The
+//! application talks to the loop through a [`ServerHandle`], whose
+//! blocking `send`/`receive`/`close`/`close_wait` API mirrors the Java
+//! `Channel` interface of the paper (§3.4).
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender};
 
 use sintra_core::agreement::CandidateOrder;
 use sintra_core::channel::{AtomicChannelConfig, OptimisticChannelConfig};
-use sintra_core::message::Payload;
+use sintra_core::message::{Envelope, Payload};
 use sintra_core::node::Node;
 use sintra_core::validator::{ArrayValidator, BinaryValidator};
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
 use sintra_crypto::dealer::PartyKeys;
 use sintra_telemetry::{root_scope, Recorder};
 
-use super::link::AuthenticatedLink;
+/// How a party's sealed envelopes reach its peers, and how inbound
+/// transport items turn back into authenticated envelopes.
+///
+/// The server loop owns a `Transport` and calls it from its single
+/// thread; implementations may hand frames to other threads (the TCP
+/// runtime's per-peer writers) but `transmit`/`open` themselves must not
+/// block on the network.
+pub trait Transport: Send + 'static {
+    /// Number of parties in the group.
+    fn parties(&self) -> usize;
+
+    /// Seals `env` and hands it to the delivery substrate for `to`
+    /// (which may be the local party — self-delivery is the transport's
+    /// job too). Returns the number of bytes put on, or queued for, the
+    /// wire; 0 when the frame was shed (e.g. link backpressure).
+    fn transmit(&mut self, to: PartyId, env: &Envelope) -> u64;
+
+    /// Authenticates and decodes one inbound item that arrived from
+    /// `from`. `None` drops the item (failed authentication, duplicate,
+    /// or malformed payload); the loop counts the drop.
+    fn open(&mut self, from: PartyId, data: &[u8]) -> Option<Envelope>;
+}
 
 /// What a server thread can be asked to do.
-enum Command {
+pub(crate) enum Command {
     CreateAtomic(ProtocolId, AtomicChannelConfig),
     CreateSecure(ProtocolId, AtomicChannelConfig),
     CreateOptimistic(ProtocolId, OptimisticChannelConfig),
@@ -38,8 +67,19 @@ enum Command {
     Shutdown,
 }
 
-enum Input {
-    Net { from: PartyId, frame: Vec<u8> },
+/// One item in a server's inbox: either bytes from the network or an
+/// application command.
+pub(crate) enum Input {
+    /// A transport item from `from`; `data` is transport-defined (a
+    /// sealed frame for the threaded runtime, an already-authenticated
+    /// envelope encoding for TCP).
+    Net {
+        /// Claimed (threaded) or authenticated (TCP) origin.
+        from: PartyId,
+        /// Transport-defined bytes, resolved by [`Transport::open`].
+        data: Vec<u8>,
+    },
+    /// An application command from the [`ServerHandle`].
     Cmd(Command),
 }
 
@@ -47,7 +87,9 @@ enum Input {
 ///
 /// Mirrors the paper's Java `Channel` API: `send` and `close` are
 /// non-blocking requests, `receive` blocks until the next delivery,
-/// `close_wait` blocks until the channel terminates.
+/// `close_wait` blocks until the channel terminates. The handle is
+/// transport-independent — the threaded and TCP runtimes both hand out
+/// this type.
 pub struct ServerHandle {
     me: PartyId,
     cmd_tx: Sender<Input>,
@@ -59,6 +101,16 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(me: PartyId, cmd_tx: Sender<Input>, event_rx: Receiver<Event>) -> Self {
+        ServerHandle {
+            me,
+            cmd_tx,
+            event_rx,
+            stash: HashMap::new(),
+            closed: std::collections::HashSet::new(),
+        }
+    }
+
     /// This server's party identity.
     pub fn id(&self) -> PartyId {
         self.me
@@ -325,87 +377,50 @@ impl ServerHandle {
     }
 }
 
-/// A running group of server threads.
-pub struct ThreadedGroup {
-    threads: Vec<JoinHandle<()>>,
-    shutdown_txs: Vec<Sender<Input>>,
-}
-
-impl ThreadedGroup {
-    /// Spawns one server thread per set of party keys and returns the
-    /// application handles.
-    pub fn spawn(party_keys: Vec<Arc<PartyKeys>>) -> (ThreadedGroup, Vec<ServerHandle>) {
-        Self::spawn_with_recorder(party_keys, None)
-    }
-
-    /// Like [`ThreadedGroup::spawn`], but every server thread reports to
-    /// `recorder`: nodes attribute crypto work and message counts to it,
-    /// the transport counts `msgs_sent` / `bytes_sent` / `msgs_delivered`
-    /// (plus `msgs_dropped` for frames failing authentication), and
-    /// protocol trace events are stamped with microseconds since spawn.
-    pub fn spawn_with_recorder(
-        party_keys: Vec<Arc<PartyKeys>>,
-        recorder: Option<Arc<dyn Recorder>>,
-    ) -> (ThreadedGroup, Vec<ServerHandle>) {
-        let n = party_keys.len();
-        // One inbox per party.
-        let inboxes: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
-        let mut handles = Vec::with_capacity(n);
-        let mut threads = Vec::with_capacity(n);
-        let mut shutdown_txs = Vec::with_capacity(n);
-
-        for (i, keys) in party_keys.iter().enumerate() {
-            let (event_tx, event_rx) = unbounded();
-            let inbox_rx = inboxes[i].1.clone();
-            let peers: Vec<Sender<Input>> = inboxes.iter().map(|(tx, _)| tx.clone()).collect();
-            // Link endpoints to every peer.
-            let links: Vec<AuthenticatedLink> = (0..n)
-                .map(|j| AuthenticatedLink::new(keys.mac_keys[j].clone(), PartyId(i), PartyId(j)))
-                .collect();
-            let keys = Arc::clone(keys);
-            let recorder = recorder.clone();
-            let thread = std::thread::Builder::new()
-                .name(format!("sintra-p{i}"))
-                .spawn(move || {
-                    server_loop(i, keys, inbox_rx, peers, links, event_tx, recorder);
-                })
-                .expect("spawn server thread");
-            threads.push(thread);
-            shutdown_txs.push(inboxes[i].0.clone());
-            handles.push(ServerHandle {
-                me: PartyId(i),
-                cmd_tx: inboxes[i].0.clone(),
-                event_rx,
-                stash: HashMap::new(),
-                closed: std::collections::HashSet::new(),
-            });
+/// Drains one step's outgoing messages/traces into the transport.
+fn flush<T: Transport>(
+    out: &mut Outgoing,
+    transport: &mut T,
+    recorder: &Option<Arc<dyn Recorder>>,
+    run_start: std::time::Instant,
+) {
+    // Wall-clock trace stamps: microseconds since the group spawned.
+    if let Some(rec) = recorder {
+        let now_us = run_start.elapsed().as_micros() as u64;
+        for mut ev in out.drain_traces() {
+            ev.time_us = now_us;
+            let scope = root_scope(&ev.protocol);
+            match ev.phase {
+                "round" | "epoch" => rec.counter_add(scope, "rounds", 1),
+                "batch" => rec.observe(scope, "batch_size", ev.bytes),
+                _ => {}
+            }
+            rec.trace(ev);
         }
-        (
-            ThreadedGroup {
-                threads,
-                shutdown_txs,
-            },
-            handles,
-        )
     }
-
-    /// Stops all server threads and waits for them.
-    pub fn shutdown(self) {
-        for tx in &self.shutdown_txs {
-            let _ = tx.send(Input::Cmd(Command::Shutdown));
-        }
-        for t in self.threads {
-            let _ = t.join();
+    for (recipient, env) in out.drain() {
+        let targets: Vec<usize> = match recipient {
+            Recipient::All => (0..transport.parties()).collect(),
+            Recipient::One(p) => vec![p.0],
+        };
+        for to in targets {
+            let wire_bytes = transport.transmit(PartyId(to), &env);
+            if let Some(rec) = recorder {
+                let scope = root_scope(env.pid.as_str());
+                rec.counter_add(scope, "msgs_sent", 1);
+                rec.counter_add(scope, "bytes_sent", wire_bytes);
+            }
         }
     }
 }
 
-fn server_loop(
+/// Runs one party's server loop until shutdown. Spawned on its own
+/// thread by each runtime.
+pub(crate) fn server_loop<T: Transport>(
     me: usize,
     keys: Arc<PartyKeys>,
     inbox: Receiver<Input>,
-    peers: Vec<Sender<Input>>,
-    links: Vec<AuthenticatedLink>,
+    mut transport: T,
     event_tx: Sender<Event>,
     recorder: Option<Arc<dyn Recorder>>,
 ) {
@@ -416,40 +431,6 @@ fn server_loop(
     }
     let tracing = recorder.as_ref().is_some_and(|r| r.enabled());
     let run_start = std::time::Instant::now();
-    let transmit = |out: &mut Outgoing| {
-        // Wall-clock trace stamps: microseconds since the group spawned.
-        if let Some(rec) = &recorder {
-            let now_us = run_start.elapsed().as_micros() as u64;
-            for mut ev in out.drain_traces() {
-                ev.time_us = now_us;
-                let scope = root_scope(&ev.protocol);
-                match ev.phase {
-                    "round" | "epoch" => rec.counter_add(scope, "rounds", 1),
-                    "batch" => rec.observe(scope, "batch_size", ev.bytes),
-                    _ => {}
-                }
-                rec.trace(ev);
-            }
-        }
-        for (recipient, env) in out.drain() {
-            let targets: Vec<usize> = match recipient {
-                Recipient::All => (0..peers.len()).collect(),
-                Recipient::One(p) => vec![p.0],
-            };
-            for to in targets {
-                let frame = links[to].seal(&env);
-                if let Some(rec) = &recorder {
-                    let scope = root_scope(env.pid.as_str());
-                    rec.counter_add(scope, "msgs_sent", 1);
-                    rec.counter_add(scope, "bytes_sent", frame.len() as u64);
-                }
-                let _ = peers[to].send(Input::Net {
-                    from: PartyId(me),
-                    frame,
-                });
-            }
-        }
-    };
     // Pending timers: (deadline, pid, token), earliest first.
     let mut timers: std::collections::BinaryHeap<
         std::cmp::Reverse<(std::time::Instant, ProtocolId, u64)>,
@@ -472,7 +453,7 @@ fn server_loop(
                     t.token,
                 )));
             }
-            transmit(&mut out);
+            flush(&mut out, &mut transport, &recorder, run_start);
             for event in node.take_events() {
                 let _ = event_tx.send(event);
             }
@@ -494,12 +475,8 @@ fn server_loop(
         let mut out = Outgoing::new();
         out.set_tracing(tracing);
         match input {
-            Input::Net { from, frame } => {
-                // Authenticate with the pairwise key of the claimed sender.
-                if from.0 >= links.len() {
-                    continue;
-                }
-                let Some(env) = links[from.0].open(&frame) else {
+            Input::Net { from, data } => {
+                let Some(env) = transport.open(from, &data) else {
                     // An unauthenticated frame carries no trustworthy
                     // protocol id; account it against the link itself.
                     if let Some(rec) = &recorder {
@@ -554,183 +531,9 @@ fn server_loop(
                 t.token,
             )));
         }
-        transmit(&mut out);
+        flush(&mut out, &mut transport, &recorder, run_start);
         for event in node.take_events() {
             let _ = event_tx.send(event);
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use sintra_crypto::dealer::{deal, DealerConfig};
-
-    fn keys(n: usize, t: usize) -> Vec<Arc<PartyKeys>> {
-        let mut rng = StdRng::seed_from_u64(59);
-        deal(&DealerConfig::small(n, t), &mut rng)
-            .unwrap()
-            .into_iter()
-            .map(Arc::new)
-            .collect()
-    }
-
-    #[test]
-    fn atomic_channel_over_threads() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("threaded-ac");
-        for h in &handles {
-            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
-        }
-        handles[0].send(&pid, b"over threads".to_vec());
-        for (i, h) in handles.iter_mut().enumerate() {
-            let p = h.receive(&pid).expect("delivery");
-            assert_eq!(p.data, b"over threads", "party {i}");
-            assert_eq!(p.origin, PartyId(0));
-        }
-        group.shutdown();
-    }
-
-    #[test]
-    fn total_order_across_concurrent_threaded_senders() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("threaded-order");
-        for h in &handles {
-            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
-        }
-        for (i, h) in handles.iter().enumerate() {
-            h.send(&pid, format!("from-{i}").into_bytes());
-        }
-        let mut sequences = Vec::new();
-        for h in handles.iter_mut() {
-            let seq: Vec<Vec<u8>> = (0..4).map(|_| h.receive(&pid).unwrap().data).collect();
-            sequences.push(seq);
-        }
-        for s in &sequences[1..] {
-            assert_eq!(s, &sequences[0], "real-thread total order");
-        }
-        group.shutdown();
-    }
-
-    #[test]
-    fn close_wait_terminates() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("threaded-close");
-        for h in &handles {
-            h.create_reliable_channel(pid.clone());
-        }
-        handles[2].send(&pid, b"goodbye".to_vec());
-        // Wait for the payload to reach every party before closing: the
-        // channel may otherwise terminate (t + 1 close requests) before
-        // the payload wins a batch, since fairness only bounds delivery
-        // while the channel stays open.
-        for h in handles.iter_mut() {
-            while !h.can_receive(&pid) {
-                std::thread::yield_now();
-            }
-        }
-        // Everyone requests closure first — a single closer would block
-        // forever, since termination needs t + 1 requests — then waits.
-        for h in &handles {
-            h.close(&pid);
-        }
-        let mut residuals = Vec::new();
-        for h in handles.iter_mut() {
-            residuals.push(h.close_wait(&pid));
-        }
-        assert!(residuals
-            .iter()
-            .all(|r| r.iter().any(|p| p.data == b"goodbye")));
-        group.shutdown();
-    }
-
-    #[test]
-    fn broadcast_and_agreement_over_threads() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        // Reliable broadcast with party 1 as sender.
-        let rb = ProtocolId::new("t-rb");
-        for h in &handles {
-            h.create_reliable_broadcast(rb.clone(), PartyId(1));
-        }
-        handles[1].broadcast_send(&rb, b"threaded broadcast".to_vec());
-        for h in handles.iter_mut() {
-            assert_eq!(
-                h.receive_broadcast(&rb).as_deref(),
-                Some(&b"threaded broadcast"[..])
-            );
-        }
-        // Binary agreement with split proposals.
-        let ba = ProtocolId::new("t-ba");
-        for h in &handles {
-            h.create_binary_agreement(ba.clone(), None, None);
-        }
-        for (i, h) in handles.iter().enumerate() {
-            h.propose_binary(&ba, i % 2 == 0, Vec::new());
-        }
-        let decisions: Vec<bool> = handles
-            .iter_mut()
-            .map(|h| h.decide_binary(&ba).expect("decided").0)
-            .collect();
-        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
-        group.shutdown();
-    }
-
-    #[test]
-    fn multi_valued_agreement_over_threads() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("t-vba");
-        for h in &handles {
-            h.create_multi_valued(
-                pid.clone(),
-                sintra_core::validator::ArrayValidator::always(),
-                CandidateOrder::LocalRandom,
-            );
-        }
-        for (i, h) in handles.iter().enumerate() {
-            h.propose_multi(&pid, format!("tv-{i}").into_bytes());
-        }
-        let decisions: Vec<Vec<u8>> = handles
-            .iter_mut()
-            .map(|h| h.decide_multi(&pid).expect("decided"))
-            .collect();
-        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
-        group.shutdown();
-    }
-
-    #[test]
-    fn optimistic_channel_over_threads() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("threaded-opt");
-        for h in &handles {
-            h.create_optimistic_channel(pid.clone(), OptimisticChannelConfig::default());
-        }
-        for (i, h) in handles.iter().enumerate() {
-            h.send(&pid, format!("opt-{i}").into_bytes());
-        }
-        let mut sequences = Vec::new();
-        for h in handles.iter_mut() {
-            let seq: Vec<Vec<u8>> = (0..4).map(|_| h.receive(&pid).unwrap().data).collect();
-            sequences.push(seq);
-        }
-        for s in &sequences[1..] {
-            assert_eq!(s, &sequences[0], "optimistic total order over threads");
-        }
-        group.shutdown();
-    }
-
-    #[test]
-    fn secure_channel_over_threads() {
-        let (group, mut handles) = ThreadedGroup::spawn(keys(4, 1));
-        let pid = ProtocolId::new("threaded-sc");
-        for h in &handles {
-            h.create_secure_channel(pid.clone(), AtomicChannelConfig::default());
-        }
-        handles[1].send(&pid, b"threaded secret".to_vec());
-        for h in handles.iter_mut() {
-            assert_eq!(h.receive(&pid).unwrap().data, b"threaded secret");
-        }
-        group.shutdown();
     }
 }

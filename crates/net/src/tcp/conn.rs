@@ -1,0 +1,545 @@
+//! Per-peer TCP connection management: dialing, accepting, handshakes,
+//! reader/writer threads, and reconnection with jittered exponential
+//! backoff.
+//!
+//! Topology per party: one listener thread accepts connections from
+//! every *lower-id* peer (the deterministic dial rule: the lower id
+//! dials, so exactly one connection exists per pair), and per peer there
+//! is one supervisor thread (dialing or installing accepted sockets),
+//! one writer thread draining an outbound frame queue, and one reader
+//! thread per live socket. All link state — sequence numbers, the
+//! retransmission queue, delivery watermarks — lives in the shared
+//! [`ReliableLink`]; connections are disposable carriers that resume the
+//! link via the [`handshake`](crate::link::handshake) and a replay of
+//! unacknowledged frames.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use sintra_core::PartyId;
+use sintra_telemetry::Recorder;
+
+use crate::link::handshake::{self, fresh_nonce};
+use crate::link::{frame_sender, FrameBuffer, FrameKind, LinkEvent, LinkKey, ReliableLink};
+use crate::server::Input;
+
+/// Reconnection backoff policy: exponential growth from `initial_ms` to
+/// `max_ms` with up to `jitter_pct` percent randomization on each sleep
+/// (so a partitioned group does not redial in lockstep).
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First retry delay in milliseconds.
+    pub initial_ms: u64,
+    /// Delay ceiling in milliseconds.
+    pub max_ms: u64,
+    /// Random extra delay, as a percentage of the current delay.
+    pub jitter_pct: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            initial_ms: 20,
+            max_ms: 2000,
+            jitter_pct: 50,
+        }
+    }
+}
+
+/// Scope under which all link-layer telemetry counters are recorded.
+pub const LINK_SCOPE: &str = "link";
+
+/// Messages to a peer's writer thread.
+pub(crate) enum WriterMsg {
+    /// A sealed data frame (already in the retransmission queue).
+    Frame(Vec<u8>),
+    /// Seal and write a cumulative ack if the watermark advanced.
+    Ack,
+    /// A session resumed: prune against the peer's watermark and rewrite
+    /// the unacknowledged tail.
+    Replay(u64),
+    /// Drain queued frames best-effort and exit.
+    Shutdown,
+}
+
+/// Events for a peer's supervisor thread.
+pub(crate) enum SupEvent {
+    /// The connection of generation `.0` died.
+    Broken(u64),
+    /// The listener completed a handshake on an inbound socket; install
+    /// it (peer watermark attached).
+    Accepted(TcpStream, u64),
+    /// Stop supervising.
+    Shutdown,
+}
+
+/// Shared state for the link to one peer.
+pub(crate) struct PeerLink {
+    pub(crate) peer: PartyId,
+    pub(crate) link: Mutex<ReliableLink>,
+    pub(crate) writer_tx: Sender<WriterMsg>,
+    pub(crate) sup_tx: Sender<SupEvent>,
+    /// Current write half, tagged with its connection generation.
+    wstream: Mutex<Option<(u64, TcpStream)>>,
+    /// A second clone used only to `shutdown()` the socket without
+    /// taking the writer's lock (fault injection, teardown).
+    control: Mutex<Option<TcpStream>>,
+    generation: AtomicU64,
+    sessions: AtomicU64,
+}
+
+impl PeerLink {
+    pub(crate) fn new(
+        peer: PartyId,
+        link: ReliableLink,
+        writer_tx: Sender<WriterMsg>,
+        sup_tx: Sender<SupEvent>,
+    ) -> Self {
+        PeerLink {
+            peer,
+            link: Mutex::new(link),
+            writer_tx,
+            sup_tx,
+            wstream: Mutex::new(None),
+            control: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+        }
+    }
+
+    /// Forcibly closes the current socket (if any); readers and writers
+    /// observe the error and the supervisor reconnects.
+    pub(crate) fn sever(&self) {
+        if let Some(s) = self.control.lock().unwrap().as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn clear_if_gen(&self, gen: u64) {
+        let mut w = self.wstream.lock().unwrap();
+        if matches!(*w, Some((g, _)) if g == gen) {
+            *w = None;
+        }
+    }
+}
+
+/// One party's network side: the per-peer links plus the thread registry
+/// and shutdown flag shared by all its connection threads.
+pub(crate) struct PartyNet {
+    pub(crate) me: PartyId,
+    /// `peers[j]` is `None` at `j == me`.
+    pub(crate) peers: Vec<Option<Arc<PeerLink>>>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) recorder: Option<Arc<dyn Recorder>>,
+    pub(crate) threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pub(crate) handshake_timeout: Duration,
+}
+
+impl PartyNet {
+    pub(crate) fn count(&self, name: &'static str, delta: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add(LINK_SCOPE, name, delta);
+        }
+    }
+
+    pub(crate) fn register_thread(&self, handle: std::thread::JoinHandle<()>) {
+        self.threads.lock().unwrap().push(handle);
+    }
+
+    /// Closes every live connection of this party (fault injection: the
+    /// group keeps running and the links must recover by reconnecting).
+    pub(crate) fn sever_all(&self) {
+        for peer in self.peers.iter().flatten() {
+            peer.sever();
+        }
+    }
+}
+
+/// Installs a handshaken socket as the peer's current connection:
+/// replaces (and closes) any previous socket, spawns a reader for the
+/// new one, and queues the replay of unacknowledged frames.
+pub(crate) fn install_connection(
+    net: &Arc<PartyNet>,
+    peer: &Arc<PeerLink>,
+    stream: TcpStream,
+    peer_cum: u64,
+    inbox: &Sender<Input>,
+) {
+    let gen = net_install_gen(peer);
+    // Tear down the previous carrier, if any.
+    {
+        let mut control = peer.control.lock().unwrap();
+        if let Some(old) = control.take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let writer_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        *peer.wstream.lock().unwrap() = Some((gen, writer_stream));
+        *control = Some(stream);
+        let net2 = Arc::clone(net);
+        let peer2 = Arc::clone(peer);
+        let inbox2 = inbox.clone();
+        let reader = std::thread::Builder::new()
+            .name(format!("sintra-rx-{}-{}", net.me.0, peer.peer.0))
+            .spawn(move || reader_loop(reader_stream, gen, net2, peer2, inbox2))
+            .expect("spawn reader thread");
+        net.register_thread(reader);
+    }
+    let _ = peer.writer_tx.send(WriterMsg::Replay(peer_cum));
+    if peer.sessions.fetch_add(1, Ordering::Relaxed) > 0 {
+        net.count("reconnects", 1);
+    }
+    net.count("connects", 1);
+}
+
+fn net_install_gen(peer: &Arc<PeerLink>) -> u64 {
+    peer.generation.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// The per-socket read loop: reassemble frames, run them through the
+/// reliable link, forward deliveries to the server inbox, request acks.
+fn reader_loop(
+    mut stream: TcpStream,
+    gen: u64,
+    net: Arc<PartyNet>,
+    peer: Arc<PeerLink>,
+    inbox: Sender<Input>,
+) {
+    let mut fb = FrameBuffer::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        net.count("bytes_received", n as u64);
+        fb.extend(&buf[..n]);
+        let mut delivered = false;
+        loop {
+            let frame = match fb.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    // Unframeable stream: drop the carrier, the link
+                    // state survives and replay recovers.
+                    net.count("stream_errors", 1);
+                    break 'conn;
+                }
+            };
+            let event = peer.link.lock().unwrap().on_frame(&frame);
+            match event {
+                Ok(LinkEvent::Deliver(payload)) => {
+                    delivered = true;
+                    net.count("frames_delivered", 1);
+                    let _ = inbox.send(Input::Net {
+                        from: peer.peer,
+                        data: payload,
+                    });
+                }
+                Ok(LinkEvent::Duplicate) => net.count("dup_frames", 1),
+                Ok(LinkEvent::Acked) => {}
+                Ok(LinkEvent::Handshake(_)) => {
+                    // Handshake frames are consumed before the reader
+                    // starts; mid-stream ones are stray replays.
+                    net.count("stray_handshake_frames", 1);
+                }
+                Err(_) => {
+                    // A frame that fails authentication inside an
+                    // established TCP stream means corruption or an
+                    // attack; the carrier is untrustworthy.
+                    net.count("auth_failures", 1);
+                    break 'conn;
+                }
+            }
+        }
+        if delivered {
+            let _ = peer.writer_tx.send(WriterMsg::Ack);
+        }
+    }
+    peer.clear_if_gen(gen);
+    let _ = peer.sup_tx.send(SupEvent::Broken(gen));
+}
+
+/// The per-peer write loop: drains the outbound queue onto whatever
+/// socket is current; frames shed while disconnected are recovered from
+/// the retransmission queue at the next resume.
+pub(crate) fn writer_loop(net: Arc<PartyNet>, peer: Arc<PeerLink>, rx: Receiver<WriterMsg>) {
+    let write_frame = |bytes: &[u8], counter: &'static str| {
+        let mut slot = peer.wstream.lock().unwrap();
+        if let Some((gen, stream)) = slot.as_mut() {
+            if stream.write_all(bytes).is_err() {
+                let gen = *gen;
+                *slot = None;
+                let _ = peer.sup_tx.send(SupEvent::Broken(gen));
+            } else {
+                net.count("bytes_sent", bytes.len() as u64);
+                net.count(counter, 1);
+            }
+        }
+    };
+    loop {
+        let msg = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return,
+        };
+        match msg {
+            WriterMsg::Frame(bytes) => write_frame(&bytes, "frames_sent"),
+            WriterMsg::Ack => {
+                let ack = peer.link.lock().unwrap().make_ack();
+                if let Some(bytes) = ack {
+                    write_frame(&bytes, "acks_sent");
+                }
+            }
+            WriterMsg::Replay(peer_cum) => {
+                let frames = peer.link.lock().unwrap().replay_from(peer_cum);
+                for bytes in frames {
+                    net.count("retransmits", 1);
+                    write_frame(&bytes, "frames_sent");
+                }
+            }
+            WriterMsg::Shutdown => {
+                // Drain the outbound queue best-effort before exiting so
+                // `close`d channels get their final frames out.
+                while let Ok(msg) = rx.try_recv() {
+                    match msg {
+                        WriterMsg::Frame(bytes) => write_frame(&bytes, "frames_sent"),
+                        WriterMsg::Ack => {
+                            if let Some(bytes) = peer.link.lock().unwrap().make_ack() {
+                                write_frame(&bytes, "acks_sent");
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The dialing supervisor for a higher-id peer: connect, handshake,
+/// install, wait for the connection to break, back off, repeat.
+pub(crate) fn dial_supervisor(
+    net: Arc<PartyNet>,
+    peer: Arc<PeerLink>,
+    addr: SocketAddr,
+    backoff: BackoffConfig,
+    sup_rx: Receiver<SupEvent>,
+    inbox: Sender<Input>,
+) {
+    let mut delay_ms = backoff.initial_ms;
+    let mut jitter = Xorshift::new();
+    loop {
+        if net.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Absorb any pending events (stale breaks, shutdown).
+        loop {
+            match sup_rx.try_recv() {
+                Ok(SupEvent::Shutdown) => return,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        let attempt = TcpStream::connect_timeout(&addr, Duration::from_secs(1)).and_then(|s| {
+            s.set_read_timeout(Some(net.handshake_timeout))?;
+            s.set_nodelay(true)?;
+            Ok(s)
+        });
+        let mut stream = match attempt {
+            Ok(s) => s,
+            Err(_) => {
+                if sleep_or_shutdown(&sup_rx, jitter.jittered(delay_ms, &backoff)) {
+                    return;
+                }
+                delay_ms = (delay_ms * 2).min(backoff.max_ms);
+                continue;
+            }
+        };
+        let recv_cum = peer.link.lock().unwrap().recv_cum();
+        let peer_cum = match handshake::initiate(&mut stream, &key_of(&peer), recv_cum) {
+            Ok(cum) => cum,
+            Err(_) => {
+                net.count("handshake_failures", 1);
+                if sleep_or_shutdown(&sup_rx, jitter.jittered(delay_ms, &backoff)) {
+                    return;
+                }
+                delay_ms = (delay_ms * 2).min(backoff.max_ms);
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(None);
+        install_connection(&net, &peer, stream, peer_cum, &inbox);
+        delay_ms = backoff.initial_ms;
+        let current = peer.generation.load(Ordering::Relaxed);
+        // Wait for this connection (or the whole party) to go down.
+        loop {
+            match sup_rx.recv() {
+                Ok(SupEvent::Broken(gen)) if gen >= current => break,
+                Ok(SupEvent::Broken(_)) => {}
+                Ok(SupEvent::Accepted(s, _)) => drop(s),
+                Ok(SupEvent::Shutdown) | Err(_) => return,
+            }
+        }
+    }
+}
+
+/// The accepting supervisor for a lower-id peer: installs sockets the
+/// listener has already handshaken; the remote side owns redialing.
+pub(crate) fn accept_supervisor(
+    net: Arc<PartyNet>,
+    peer: Arc<PeerLink>,
+    sup_rx: Receiver<SupEvent>,
+    inbox: Sender<Input>,
+) {
+    loop {
+        match sup_rx.recv() {
+            Ok(SupEvent::Accepted(stream, peer_cum)) => {
+                install_connection(&net, &peer, stream, peer_cum, &inbox);
+            }
+            Ok(SupEvent::Broken(gen)) => peer.clear_if_gen(gen),
+            Ok(SupEvent::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+/// The party's accept loop: polls the listener (so shutdown is
+/// observable), runs the responder handshake, and hands authenticated
+/// sockets to the owning peer's supervisor.
+pub(crate) fn listener_loop(net: Arc<PartyNet>, listener: TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    loop {
+        if net.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        handle_inbound(&net, stream);
+    }
+}
+
+/// Authenticates one inbound connection and forwards it to its peer's
+/// supervisor. Runs inline on the listener thread; the handshake is
+/// three small frames under a read timeout, so the accept loop is
+/// blocked only briefly.
+fn handle_inbound(net: &Arc<PartyNet>, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(net.handshake_timeout))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let hello = match handshake::read_frame(&mut stream) {
+        Ok(frame) => frame,
+        Err(_) => {
+            net.count("handshake_failures", 1);
+            return;
+        }
+    };
+    // Peek the claimed sender to select the pairwise key; only lower-id
+    // peers dial us.
+    let claimed = match frame_sender(&hello) {
+        Some(p) if p.0 < net.me.0 => p,
+        _ => {
+            net.count("handshake_failures", 1);
+            return;
+        }
+    };
+    let Some(peer) = net.peers.get(claimed.0).and_then(|p| p.as_ref()) else {
+        net.count("handshake_failures", 1);
+        return;
+    };
+    let nonce = match key_of(peer).open(&hello) {
+        Ok(FrameKind::Hello { nonce }) => nonce,
+        _ => {
+            net.count("auth_failures", 1);
+            return;
+        }
+    };
+    let recv_cum = peer.link.lock().unwrap().recv_cum();
+    let peer_cum = match handshake::respond(&mut stream, &key_of(peer), nonce, recv_cum) {
+        Ok(cum) => cum,
+        Err(_) => {
+            net.count("handshake_failures", 1);
+            return;
+        }
+    };
+    if stream.set_read_timeout(None).is_err() {
+        return;
+    }
+    let _ = peer.sup_tx.send(SupEvent::Accepted(stream, peer_cum));
+}
+
+fn key_of(peer: &Arc<PeerLink>) -> LinkKey {
+    peer.link.lock().unwrap().key().clone()
+}
+
+/// Sleeps `ms`, interruptible by a shutdown event. Returns `true` when
+/// the supervisor should exit.
+fn sleep_or_shutdown(sup_rx: &Receiver<SupEvent>, ms: u64) -> bool {
+    let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+    loop {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            return false;
+        }
+        match sup_rx.recv_timeout(left) {
+            Ok(SupEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => return true,
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => return false,
+        }
+    }
+}
+
+/// A tiny xorshift64* PRNG for backoff jitter (freshness, not crypto).
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new() -> Self {
+        let nonce = fresh_nonce();
+        let seed = u64::from_be_bytes(nonce[..8].try_into().expect("8 bytes"));
+        Xorshift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn jittered(&mut self, base_ms: u64, backoff: &BackoffConfig) -> u64 {
+        if backoff.jitter_pct == 0 {
+            return base_ms;
+        }
+        base_ms + self.next() % (base_ms * backoff.jitter_pct / 100 + 1)
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's deployment model over real TCP sockets.
+//!
+//! Each party binds a loopback listener; for every pair exactly one
+//! connection exists at a time, dialed by the lower-id party (the
+//! deterministic dial rule avoids duplicate-connection races). A fresh
+//! connection is bound to the pairwise HMAC key by the three-frame
+//! challenge–response [`handshake`](crate::link::handshake) before it
+//! carries data; data frames then flow through the shared
+//! [`ReliableLink`](crate::link::ReliableLink), which provides the
+//! reliable FIFO authenticated point-to-point links SINTRA assumes
+//! (§2.1) on top of a fair-lossy substrate: sequence numbers, cumulative
+//! acknowledgements, a bounded retransmission queue, and duplicate
+//! suppression.
+//!
+//! Torn connections are re-established with jittered exponential
+//! backoff; the handshake exchanges delivery watermarks and the sender
+//! replays every unacknowledged frame above the peer's watermark, so a
+//! severed-and-resumed link loses and reorders nothing. Protocol logic
+//! is untouched by any of this: the same [`server`](crate::server) loop
+//! that drives the threaded runtime runs here behind a [`Transport`]
+//! whose frames happen to cross real sockets.
+//!
+//! [`Transport`]: crate::Transport
+
+mod conn;
+mod runtime;
+
+pub use conn::{BackoffConfig, LINK_SCOPE};
+pub use runtime::{TcpConfig, TcpGroup, TcpHandle};

@@ -1,0 +1,337 @@
+//! Group assembly and teardown for the TCP runtime.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use sintra_core::message::Envelope;
+use sintra_core::wire::Wire;
+use sintra_core::PartyId;
+use sintra_crypto::dealer::PartyKeys;
+use sintra_telemetry::Recorder;
+
+use crate::link::{LinkConfig, LinkKey, ReliableLink};
+use crate::server::{server_loop, Command, Input, ServerHandle, Transport};
+use crate::tcp::conn::{
+    accept_supervisor, dial_supervisor, listener_loop, writer_loop, BackoffConfig, PartyNet,
+    PeerLink, SupEvent, WriterMsg,
+};
+use crate::{AsServer, Runtime};
+
+/// Configuration for a TCP group.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Reconnection backoff policy.
+    pub backoff: BackoffConfig,
+    /// Reliable-link tuning (retransmission queue bound, ack cadence).
+    pub link: LinkConfig,
+    /// Read timeout applied while a connection handshakes; a peer that
+    /// stalls mid-handshake is dropped after this long.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            backoff: BackoffConfig::default(),
+            link: LinkConfig::default(),
+            handshake_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Moves sealed envelopes onto per-peer writer queues. Never blocks on
+/// the network: a frame either enters the bounded retransmission queue
+/// (and is eventually written/replayed by the peer's writer thread) or
+/// is shed when that queue is full — which only happens to a peer that
+/// is not acknowledging, a condition the protocols tolerate since links
+/// to faulty parties may be lossy.
+struct TcpTransport {
+    me: PartyId,
+    net: Arc<PartyNet>,
+    /// This party's own inbox, for self-delivery.
+    self_tx: Sender<Input>,
+}
+
+impl Transport for TcpTransport {
+    fn parties(&self) -> usize {
+        self.net.peers.len()
+    }
+
+    fn transmit(&mut self, to: PartyId, env: &Envelope) -> u64 {
+        let bytes = env.to_bytes();
+        if to == self.me {
+            let len = bytes.len() as u64;
+            let _ = self.self_tx.send(Input::Net {
+                from: self.me,
+                data: bytes,
+            });
+            return len;
+        }
+        let Some(peer) = self.net.peers.get(to.0).and_then(|p| p.as_ref()) else {
+            return 0;
+        };
+        match peer.link.lock().unwrap().seal_data(&bytes) {
+            Ok(frame) => {
+                let len = frame.len() as u64;
+                let _ = peer.writer_tx.send(WriterMsg::Frame(frame));
+                len
+            }
+            Err(_) => {
+                self.net.count("backpressure_drops", 1);
+                0
+            }
+        }
+    }
+
+    fn open(&mut self, _from: PartyId, data: &[u8]) -> Option<Envelope> {
+        // Authentication and duplicate suppression already happened in
+        // the reader thread that produced these bytes.
+        Envelope::from_bytes(data).ok()
+    }
+}
+
+/// A handle to one party of a TCP group: the transport-independent
+/// [`ServerHandle`] API (via [`PartyHandle`](crate::PartyHandle)) plus
+/// TCP-specific controls.
+pub struct TcpHandle {
+    inner: ServerHandle,
+    net: Arc<PartyNet>,
+}
+
+impl TcpHandle {
+    /// Forcibly closes every live TCP connection of this party without
+    /// stopping it — a fault-injection hook. The connection supervisors
+    /// observe the broken sockets and re-establish them with backoff;
+    /// the reliable link replays whatever was unacknowledged, so no
+    /// delivery is lost or reordered.
+    pub fn sever_links(&self) {
+        self.net.sever_all();
+    }
+}
+
+impl AsServer for TcpHandle {
+    fn as_server(&self) -> &ServerHandle {
+        &self.inner
+    }
+    fn as_server_mut(&mut self) -> &mut ServerHandle {
+        &mut self.inner
+    }
+}
+
+/// A running group of SINTRA servers connected over real TCP sockets.
+pub struct TcpGroup {
+    server_threads: Vec<JoinHandle<()>>,
+    shutdown_txs: Vec<Sender<Input>>,
+    nets: Vec<Arc<PartyNet>>,
+    writer_threads: Vec<JoinHandle<()>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl TcpGroup {
+    /// Spawns an `n`-party group on loopback sockets with ephemeral
+    /// ports and default configuration.
+    pub fn spawn(party_keys: Vec<Arc<PartyKeys>>) -> std::io::Result<(TcpGroup, Vec<TcpHandle>)> {
+        Self::spawn_with(party_keys, TcpConfig::default(), None)
+    }
+
+    /// Spawns a group with explicit configuration and an optional
+    /// telemetry recorder; link-layer counters (bytes, frames,
+    /// retransmits, reconnects, authentication failures) are recorded
+    /// under the `"link"` scope.
+    pub fn spawn_with(
+        party_keys: Vec<Arc<PartyKeys>>,
+        config: TcpConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> std::io::Result<(TcpGroup, Vec<TcpHandle>)> {
+        let n = party_keys.len();
+        // Bind every listener first so the full address table is known
+        // before anyone dials.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        let inboxes: Vec<_> = (0..n).map(|_| unbounded::<Input>()).collect();
+        let mut handles = Vec::with_capacity(n);
+        let mut server_threads = Vec::with_capacity(n);
+        let mut shutdown_txs = Vec::with_capacity(n);
+        let mut nets = Vec::with_capacity(n);
+        let mut writer_threads = Vec::new();
+
+        for (i, (keys, listener)) in party_keys.iter().zip(listeners).enumerate() {
+            let me = PartyId(i);
+            let inbox_tx = inboxes[i].0.clone();
+
+            // Per-peer link state and channels; thread spawns wait until
+            // the PartyNet exists.
+            let mut peers: Vec<Option<Arc<PeerLink>>> = Vec::with_capacity(n);
+            let mut pending = Vec::new(); // (j, writer_rx, sup_rx)
+            for j in 0..n {
+                if j == i {
+                    peers.push(None);
+                    continue;
+                }
+                let (writer_tx, writer_rx) = unbounded::<WriterMsg>();
+                let (sup_tx, sup_rx) = unbounded::<SupEvent>();
+                let link = ReliableLink::new(
+                    LinkKey::new(keys.mac_keys[j].clone(), me, PartyId(j)),
+                    config.link.clone(),
+                );
+                peers.push(Some(Arc::new(PeerLink::new(
+                    PartyId(j),
+                    link,
+                    writer_tx,
+                    sup_tx,
+                ))));
+                pending.push((j, writer_rx, sup_rx));
+            }
+
+            let net = Arc::new(PartyNet {
+                me,
+                peers,
+                shutdown: std::sync::atomic::AtomicBool::new(false),
+                recorder: recorder.clone(),
+                threads: Mutex::new(Vec::new()),
+                handshake_timeout: config.handshake_timeout,
+            });
+
+            for (j, writer_rx, sup_rx) in pending {
+                let peer = Arc::clone(net.peers[j].as_ref().expect("peer link"));
+                let writer = std::thread::Builder::new()
+                    .name(format!("sintra-tx-{i}-{j}"))
+                    .spawn({
+                        let net = Arc::clone(&net);
+                        let peer = Arc::clone(&peer);
+                        move || writer_loop(net, peer, writer_rx)
+                    })
+                    .expect("spawn writer thread");
+                writer_threads.push(writer);
+
+                let sup = if i < j {
+                    // Deterministic dial direction: the lower id dials.
+                    let addr = addrs[j];
+                    let backoff = config.backoff.clone();
+                    let net2 = Arc::clone(&net);
+                    let inbox2 = inbox_tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("sintra-dial-{i}-{j}"))
+                        .spawn(move || dial_supervisor(net2, peer, addr, backoff, sup_rx, inbox2))
+                        .expect("spawn dial supervisor")
+                } else {
+                    let net2 = Arc::clone(&net);
+                    let inbox2 = inbox_tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("sintra-accept-{i}-{j}"))
+                        .spawn(move || accept_supervisor(net2, peer, sup_rx, inbox2))
+                        .expect("spawn accept supervisor")
+                };
+                net.register_thread(sup);
+            }
+
+            let listener_thread = std::thread::Builder::new()
+                .name(format!("sintra-listen-{i}"))
+                .spawn({
+                    let net = Arc::clone(&net);
+                    move || listener_loop(net, listener)
+                })
+                .expect("spawn listener thread");
+            net.register_thread(listener_thread);
+
+            let (event_tx, event_rx) = unbounded();
+            let transport = TcpTransport {
+                me,
+                net: Arc::clone(&net),
+                self_tx: inbox_tx.clone(),
+            };
+            let keys = Arc::clone(keys);
+            let rec = recorder.clone();
+            let inbox_rx = inboxes[i].1.clone();
+            let server = std::thread::Builder::new()
+                .name(format!("sintra-p{i}"))
+                .spawn(move || server_loop(i, keys, inbox_rx, transport, event_tx, rec))
+                .expect("spawn server thread");
+
+            server_threads.push(server);
+            shutdown_txs.push(inbox_tx.clone());
+            handles.push(TcpHandle {
+                inner: ServerHandle::new(me, inbox_tx, event_rx),
+                net: Arc::clone(&net),
+            });
+            nets.push(net);
+        }
+
+        Ok((
+            TcpGroup {
+                server_threads,
+                shutdown_txs,
+                nets,
+                writer_threads,
+                addrs,
+            },
+            handles,
+        ))
+    }
+
+    /// The socket addresses the parties are listening on, by party id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Stops the group: server loops first (so final protocol messages
+    /// reach the writer queues), then writers (draining their queues
+    /// while every remote reader is still alive), then all sockets and
+    /// remaining transport threads. Mirrors
+    /// [`ThreadedGroup::shutdown`](crate::threaded::ThreadedGroup::shutdown):
+    /// every thread is joined before this returns.
+    pub fn shutdown(self) {
+        for tx in &self.shutdown_txs {
+            let _ = tx.send(Input::Cmd(Command::Shutdown));
+        }
+        for t in self.server_threads {
+            let _ = t.join();
+        }
+        // Writers drain outbound queues while all peers' readers still
+        // consume, so the final frames are not stranded in full socket
+        // buffers.
+        for net in &self.nets {
+            for peer in net.peers.iter().flatten() {
+                let _ = peer.writer_tx.send(WriterMsg::Shutdown);
+            }
+        }
+        for t in self.writer_threads {
+            let _ = t.join();
+        }
+        // Now stop everything else: flags for the polling listeners,
+        // events for the supervisors, severed sockets for the blocked
+        // readers.
+        for net in &self.nets {
+            net.shutdown.store(true, Ordering::Relaxed);
+            for peer in net.peers.iter().flatten() {
+                let _ = peer.sup_tx.send(SupEvent::Shutdown);
+            }
+            net.sever_all();
+        }
+        for net in &self.nets {
+            let threads = std::mem::take(&mut *net.threads.lock().unwrap());
+            for t in threads {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Runtime for TcpGroup {
+    type Handle = TcpHandle;
+
+    fn shutdown(self) {
+        TcpGroup::shutdown(self)
+    }
+}

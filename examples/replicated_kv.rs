@@ -7,15 +7,24 @@
 //! the same order and end in identical states — even though commands
 //! arrive at different servers concurrently.
 //!
-//! Run with: `cargo run --release --example replicated_kv`
+//! The replication logic is written against the transport-independent
+//! [`PartyHandle`]/[`Runtime`] traits, so the same code runs over the
+//! in-process threaded runtime or over real loopback TCP sockets with
+//! authenticated, reconnecting links (the paper's deployment model).
+//!
+//! Run with: `cargo run --release --example replicated_kv` (in-process
+//! links) or `cargo run --release --example replicated_kv -- --tcp`
+//! (real 127.0.0.1 sockets).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::SeedableRng;
-use sintra::crypto::dealer::{deal, DealerConfig};
+use sintra::crypto::dealer::{deal, DealerConfig, PartyKeys};
 use sintra::protocols::channel::AtomicChannelConfig;
-use sintra::runtime::threaded::{ServerHandle, ThreadedGroup};
+use sintra::runtime::tcp::TcpGroup;
+use sintra::runtime::threaded::ThreadedGroup;
+use sintra::runtime::{PartyHandle, Runtime};
 use sintra::ProtocolId;
 
 /// The replicated state machine: a sorted map plus a command log length.
@@ -42,8 +51,8 @@ impl KvStore {
     }
 }
 
-fn drive_replica(
-    server: &mut ServerHandle,
+fn drive_replica<H: PartyHandle>(
+    server: &mut H,
     channel: &ProtocolId,
     expected_commands: usize,
 ) -> KvStore {
@@ -57,12 +66,10 @@ fn drive_replica(
     store
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (n, t) = (4, 1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let keys = deal(&DealerConfig::small(n, t), &mut rng)?;
-    let (group, mut servers) = ThreadedGroup::spawn(keys.into_iter().map(Arc::new).collect());
-
+/// The whole scenario, transport-agnostic: create the channel, submit
+/// commands through different servers, drive every replica to the same
+/// final state, shut the group down.
+fn run_scenario<R: Runtime>(group: R, mut servers: Vec<R::Handle>, n: usize) {
     let channel = ProtocolId::new("kv-store");
     for s in &servers {
         s.create_atomic_channel(channel.clone(), AtomicChannelConfig::default());
@@ -102,5 +109,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     group.shutdown();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let use_tcp = std::env::args().any(|a| a == "--tcp");
+    let (n, t) = (4, 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keys: Vec<Arc<PartyKeys>> = deal(&DealerConfig::small(n, t), &mut rng)?
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    if use_tcp {
+        let (group, servers) = TcpGroup::spawn(keys)?;
+        println!("replicas listening on real loopback sockets:");
+        for (i, addr) in group.addrs().iter().enumerate() {
+            println!("  replica {i}: {addr}");
+        }
+        println!();
+        run_scenario(group, servers, n);
+    } else {
+        let (group, servers) = ThreadedGroup::spawn(keys);
+        run_scenario(group, servers, n);
+    }
     Ok(())
 }
