@@ -179,6 +179,16 @@ impl LinkKey {
         self.peer
     }
 
+    /// The value a sealed data frame's `len` field would carry for a
+    /// payload of `payload_len` bytes: sender id, kind byte, sequence
+    /// number, payload, and tag. Senders use this to refuse payloads
+    /// that would exceed [`MAX_FRAME_LEN`] *before* sealing, since a
+    /// receiver's [`FrameBuffer`] poisons the whole stream on an
+    /// oversized length prefix.
+    pub fn data_frame_len(&self, payload_len: usize) -> usize {
+        4 + 1 + 8 + payload_len + self.key.tag_len()
+    }
+
     /// Seals one frame: encodes the body, authenticates `sender || body`
     /// and prepends the length.
     pub fn seal(&self, kind: &FrameKind) -> Vec<u8> {

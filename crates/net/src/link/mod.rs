@@ -56,8 +56,10 @@ pub enum LinkError {
     /// The inner payload failed to decode.
     BadPayload(WireError),
     /// The bounded retransmission queue is full; the frame was not
-    /// accepted (the peer is not acknowledging — shed load rather than
-    /// grow without bound).
+    /// accepted. The peer has outrun the frame/byte bounds without
+    /// acknowledging — usually because it is faulty, but possibly
+    /// because a partition outlasted the (deliberately large) bounds;
+    /// see [`LinkConfig`] for the trade-off.
     QueueFull,
 }
 

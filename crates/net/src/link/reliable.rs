@@ -15,17 +15,28 @@
 
 use std::collections::VecDeque;
 
-use super::frame::{FrameKind, LinkKey};
+use super::frame::{FrameKind, LinkKey, MAX_FRAME_LEN};
 use super::LinkError;
 
 /// Tunables for one reliable link endpoint.
+///
+/// The retransmission queue is bounded in both frames and bytes. The
+/// bounds exist so memory stays finite when a peer never acknowledges
+/// (crashed forever, or Byzantine), but they also cap how long an
+/// outage to a *correct* peer can last before frames are shed: once
+/// [`seal_data`](ReliableLink::seal_data) starts returning
+/// [`LinkError::QueueFull`], the shed frames are never resent by any
+/// layer, and the reliable-link guarantee toward that peer is lost
+/// until protocol-level recovery. The defaults are therefore sized
+/// generously — hundreds of thousands of typical protocol envelopes —
+/// and every shed is surfaced in [`LinkStats::queue_full_drops`] and
+/// the `link` telemetry scope rather than dropped silently.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
-    /// Retransmission-queue bound in frames. When the peer stops
-    /// acknowledging and the queue fills, new sends fail with
-    /// [`LinkError::QueueFull`] rather than growing without bound; the
-    /// protocol layer tolerates lossy links to faulty peers.
+    /// Retransmission-queue bound in frames.
     pub max_unacked: usize,
+    /// Retransmission-queue bound in total sealed-frame bytes.
+    pub max_unacked_bytes: usize,
     /// Send a cumulative ack after this many in-order deliveries (an ack
     /// is also due whenever the transport drains a read batch).
     pub ack_every: u64,
@@ -34,7 +45,8 @@ pub struct LinkConfig {
 impl Default for LinkConfig {
     fn default() -> Self {
         LinkConfig {
-            max_unacked: 4096,
+            max_unacked: 1 << 18,
+            max_unacked_bytes: 64 * 1024 * 1024,
             ack_every: 16,
         }
     }
@@ -81,6 +93,8 @@ pub struct ReliableLink {
     /// Sealed data frames not yet covered by the peer's cumulative ack,
     /// in sequence order.
     unacked: VecDeque<(u64, Vec<u8>)>,
+    /// Total wire bytes held in `unacked`.
+    unacked_bytes: usize,
     /// Highest sequence number acknowledged by the peer.
     peer_acked: u64,
     /// Highest in-order sequence number delivered locally.
@@ -98,6 +112,7 @@ impl ReliableLink {
             config,
             next_seq: 1,
             unacked: VecDeque::new(),
+            unacked_bytes: 0,
             peer_acked: 0,
             recv_cum: 0,
             last_acked_out: 0,
@@ -126,15 +141,31 @@ impl ReliableLink {
         self.unacked.len()
     }
 
+    /// Total wire bytes awaiting acknowledgement.
+    pub fn unacked_bytes(&self) -> usize {
+        self.unacked_bytes
+    }
+
     /// Assigns the next sequence number to `payload`, seals the data
     /// frame, and retains it for retransmission. Returns the wire bytes.
     ///
     /// # Errors
     ///
+    /// [`LinkError::Oversized`] when the sealed frame would exceed
+    /// [`MAX_FRAME_LEN`] — such a frame must never be sealed, let alone
+    /// enqueued: the receiver's `FrameBuffer` poisons the stream on its
+    /// length prefix, and replaying it from the retransmission queue
+    /// after every resume would wedge the link permanently.
+    ///
     /// [`LinkError::QueueFull`] when the retransmission queue is at its
-    /// bound; the frame is not enqueued.
+    /// frame or byte bound; the frame is not enqueued.
     pub fn seal_data(&mut self, payload: &[u8]) -> Result<Vec<u8>, LinkError> {
-        if self.unacked.len() >= self.config.max_unacked {
+        if self.key.data_frame_len(payload.len()) > MAX_FRAME_LEN {
+            return Err(LinkError::Oversized);
+        }
+        if self.unacked.len() >= self.config.max_unacked
+            || self.unacked_bytes >= self.config.max_unacked_bytes
+        {
             self.stats.queue_full_drops += 1;
             return Err(LinkError::QueueFull);
         }
@@ -144,6 +175,7 @@ impl ReliableLink {
             payload: payload.to_vec(),
         });
         self.next_seq += 1;
+        self.unacked_bytes += frame.len();
         self.unacked.push_back((seq, frame.clone()));
         self.stats.frames_sent += 1;
         Ok(frame)
@@ -173,9 +205,7 @@ impl ReliableLink {
             FrameKind::Ack { cum } => {
                 if cum > self.peer_acked {
                     self.peer_acked = cum;
-                    while matches!(self.unacked.front(), Some((seq, _)) if *seq <= cum) {
-                        self.unacked.pop_front();
-                    }
+                    self.prune_acked();
                 }
                 LinkEvent::Acked
             }
@@ -207,12 +237,19 @@ impl ReliableLink {
         if peer_cum > self.peer_acked {
             self.peer_acked = peer_cum;
         }
-        while matches!(self.unacked.front(), Some((seq, _)) if *seq <= self.peer_acked) {
-            self.unacked.pop_front();
-        }
+        self.prune_acked();
         let frames: Vec<Vec<u8>> = self.unacked.iter().map(|(_, f)| f.clone()).collect();
         self.stats.frames_retransmitted += frames.len() as u64;
         frames
+    }
+
+    /// Drops every queued frame covered by `peer_acked`, keeping the
+    /// byte accounting in step.
+    fn prune_acked(&mut self) {
+        while matches!(self.unacked.front(), Some((seq, _)) if *seq <= self.peer_acked) {
+            let (_, frame) = self.unacked.pop_front().expect("matched front");
+            self.unacked_bytes -= frame.len();
+        }
     }
 }
 
@@ -298,13 +335,56 @@ mod tests {
             LinkKey::new(key, PartyId(0), PartyId(1)),
             LinkConfig {
                 max_unacked: 2,
-                ack_every: 16,
+                ..LinkConfig::default()
             },
         );
         a.seal_data(b"x").unwrap();
         a.seal_data(b"y").unwrap();
         assert_eq!(a.seal_data(b"z"), Err(LinkError::QueueFull));
         assert_eq!(a.stats().queue_full_drops, 1);
+    }
+
+    #[test]
+    fn byte_bound_sheds_load_and_acks_reopen_it() {
+        let key = HmacKey::new(b"kb".to_vec());
+        let mut a = ReliableLink::new(
+            LinkKey::new(key.clone(), PartyId(0), PartyId(1)),
+            LinkConfig {
+                max_unacked_bytes: 200,
+                ..LinkConfig::default()
+            },
+        );
+        let mut b = ReliableLink::new(
+            LinkKey::new(key, PartyId(1), PartyId(0)),
+            LinkConfig::default(),
+        );
+        let f1 = a.seal_data(&[0u8; 90]).unwrap();
+        let f2 = a.seal_data(&[1u8; 90]).unwrap();
+        assert!(a.unacked_bytes() >= 200);
+        assert_eq!(a.seal_data(b"over"), Err(LinkError::QueueFull));
+        // Acknowledging frees the byte budget again.
+        b.on_frame(&f1).unwrap();
+        b.on_frame(&f2).unwrap();
+        let ack = b.make_ack().unwrap();
+        a.on_frame(&ack).unwrap();
+        assert_eq!(a.unacked_bytes(), 0);
+        a.seal_data(b"fits again").unwrap();
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_enqueue() {
+        let (mut a, _) = link_pair();
+        let huge = vec![0u8; crate::link::MAX_FRAME_LEN + 1];
+        assert_eq!(a.seal_data(&huge), Err(LinkError::Oversized));
+        assert_eq!(a.unacked_len(), 0, "rejected frame must not be queued");
+        assert_eq!(a.stats().frames_sent, 0);
+        // The next sequence number is untouched: the link keeps working.
+        let frame = a.seal_data(b"normal").unwrap();
+        let (_, mut b) = link_pair();
+        assert_eq!(
+            b.on_frame(&frame).unwrap(),
+            LinkEvent::Deliver(b"normal".to_vec())
+        );
     }
 
     #[test]
@@ -315,15 +395,15 @@ mod tests {
         let mut a = ReliableLink::new(
             pair(PartyId(0), PartyId(1)),
             LinkConfig {
-                max_unacked: 64,
                 ack_every: 3,
+                ..LinkConfig::default()
             },
         );
         let mut b = ReliableLink::new(
             pair(PartyId(1), PartyId(0)),
             LinkConfig {
-                max_unacked: 64,
                 ack_every: 3,
+                ..LinkConfig::default()
             },
         );
         for i in 0..3 {

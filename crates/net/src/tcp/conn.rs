@@ -137,8 +137,17 @@ pub(crate) struct PartyNet {
     pub(crate) shutdown: AtomicBool,
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
     pub(crate) threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Short-lived threads running inbound handshakes, one per
+    /// connection attempt (reaped as they finish, capped at
+    /// [`MAX_INBOUND_HANDSHAKES`]).
+    pub(crate) handshake_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     pub(crate) handshake_timeout: Duration,
 }
+
+/// Bound on concurrently running inbound-handshake threads; attempts
+/// past the bound are dropped at accept. Each thread lives at most a
+/// few read-timeouts, so the cap is only reached under a connect flood.
+pub(crate) const MAX_INBOUND_HANDSHAKES: usize = 64;
 
 impl PartyNet {
     pub(crate) fn count(&self, name: &'static str, delta: u64) {
@@ -207,6 +216,16 @@ fn net_install_gen(peer: &Arc<PeerLink>) -> u64 {
     peer.generation.fetch_add(1, Ordering::Relaxed) + 1
 }
 
+/// What one inbound frame produced, recorded after the link lock is
+/// released (telemetry needs no lock).
+enum FrameOutcome {
+    Delivered,
+    Duplicate,
+    Acked,
+    StrayHandshake,
+    AuthFailure,
+}
+
 /// The per-socket read loop: reassemble frames, run them through the
 /// reliable link, forward deliveries to the server inbox, request acks.
 fn reader_loop(
@@ -237,24 +256,43 @@ fn reader_loop(
                     break 'conn;
                 }
             };
-            let event = peer.link.lock().unwrap().on_frame(&frame);
-            match event {
-                Ok(LinkEvent::Deliver(payload)) => {
+            // Advancing the link watermark and enqueueing the payload
+            // must be one atomic step: a reader from a superseded
+            // connection generation may still be draining its buffer
+            // concurrently with this one (install_connection does not
+            // join the old reader), and if the inbox send happened
+            // outside the link lock, the two readers could enqueue
+            // in-order deliveries out of order. The inbox is unbounded,
+            // so the send never blocks while the lock is held.
+            let outcome = {
+                let mut link = peer.link.lock().unwrap();
+                match link.on_frame(&frame) {
+                    Ok(LinkEvent::Deliver(payload)) => {
+                        let _ = inbox.send(Input::Net {
+                            from: peer.peer,
+                            data: payload,
+                        });
+                        FrameOutcome::Delivered
+                    }
+                    Ok(LinkEvent::Duplicate) => FrameOutcome::Duplicate,
+                    Ok(LinkEvent::Acked) => FrameOutcome::Acked,
+                    Ok(LinkEvent::Handshake(_)) => FrameOutcome::StrayHandshake,
+                    Err(_) => FrameOutcome::AuthFailure,
+                }
+            };
+            match outcome {
+                FrameOutcome::Delivered => {
                     delivered = true;
                     net.count("frames_delivered", 1);
-                    let _ = inbox.send(Input::Net {
-                        from: peer.peer,
-                        data: payload,
-                    });
                 }
-                Ok(LinkEvent::Duplicate) => net.count("dup_frames", 1),
-                Ok(LinkEvent::Acked) => {}
-                Ok(LinkEvent::Handshake(_)) => {
+                FrameOutcome::Duplicate => net.count("dup_frames", 1),
+                FrameOutcome::Acked => {}
+                FrameOutcome::StrayHandshake => {
                     // Handshake frames are consumed before the reader
                     // starts; mid-stream ones are stray replays.
                     net.count("stray_handshake_frames", 1);
                 }
-                Err(_) => {
+                FrameOutcome::AuthFailure => {
                     // A frame that fails authentication inside an
                     // established TCP stream means corruption or an
                     // attack; the carrier is untrustworthy.
@@ -439,14 +477,35 @@ pub(crate) fn listener_loop(net: Arc<PartyNet>, listener: TcpListener) {
         if stream.set_nonblocking(false).is_err() {
             continue;
         }
-        handle_inbound(&net, stream);
+        spawn_inbound(&net, stream);
     }
 }
 
+/// Hands one accepted socket to a short-lived handshake thread so a
+/// client that connects and then stalls cannot block the accept loop
+/// (each handshake read is bounded by `handshake_timeout`, but serial
+/// stalls would still starve accepts). Finished threads are reaped
+/// here; when [`MAX_INBOUND_HANDSHAKES`] are still running, the attempt
+/// is dropped instead of spawning without bound.
+fn spawn_inbound(net: &Arc<PartyNet>, stream: TcpStream) {
+    let mut slots = net.handshake_threads.lock().unwrap();
+    slots.retain(|h| !h.is_finished());
+    if slots.len() >= MAX_INBOUND_HANDSHAKES {
+        net.count("handshake_rejects", 1);
+        return;
+    }
+    let net2 = Arc::clone(net);
+    let handle = std::thread::Builder::new()
+        .name(format!("sintra-hs-{}", net.me.0))
+        .spawn(move || handle_inbound(&net2, stream))
+        .expect("spawn handshake thread");
+    slots.push(handle);
+}
+
 /// Authenticates one inbound connection and forwards it to its peer's
-/// supervisor. Runs inline on the listener thread; the handshake is
-/// three small frames under a read timeout, so the accept loop is
-/// blocked only briefly.
+/// supervisor. Runs on its own short-lived thread; every read is
+/// bounded by `handshake_timeout`, so the thread cannot outlive a
+/// stalled client by more than the timeout.
 fn handle_inbound(net: &Arc<PartyNet>, mut stream: TcpStream) {
     if stream
         .set_read_timeout(Some(net.handshake_timeout))

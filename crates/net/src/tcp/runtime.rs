@@ -14,7 +14,7 @@ use sintra_core::PartyId;
 use sintra_crypto::dealer::PartyKeys;
 use sintra_telemetry::Recorder;
 
-use crate::link::{LinkConfig, LinkKey, ReliableLink};
+use crate::link::{LinkConfig, LinkError, LinkKey, ReliableLink};
 use crate::server::{server_loop, Command, Input, ServerHandle, Transport};
 use crate::tcp::conn::{
     accept_supervisor, dial_supervisor, listener_loop, writer_loop, BackoffConfig, PartyNet,
@@ -47,9 +47,16 @@ impl Default for TcpConfig {
 /// Moves sealed envelopes onto per-peer writer queues. Never blocks on
 /// the network: a frame either enters the bounded retransmission queue
 /// (and is eventually written/replayed by the peer's writer thread) or
-/// is shed when that queue is full — which only happens to a peer that
-/// is not acknowledging, a condition the protocols tolerate since links
-/// to faulty parties may be lossy.
+/// is shed when that queue hits its bound. A peer that stops
+/// acknowledging may be faulty — whose links are allowed to be lossy —
+/// but may also be a correct peer behind a long partition; shedding to
+/// the latter breaks the reliable-link guarantee until protocol-level
+/// recovery, which is why the byte-based bound
+/// ([`LinkConfig::max_unacked_bytes`]) defaults large enough to buffer
+/// minutes of outage and every shed is surfaced via the
+/// `backpressure_drops` counter rather than dropped silently. Blocking
+/// the server loop instead is not an option: one Byzantine peer could
+/// then stall this party's progress with every correct peer.
 struct TcpTransport {
     me: PartyId,
     net: Arc<PartyNet>,
@@ -80,6 +87,12 @@ impl Transport for TcpTransport {
                 let len = frame.len() as u64;
                 let _ = peer.writer_tx.send(WriterMsg::Frame(frame));
                 len
+            }
+            Err(LinkError::Oversized) => {
+                // An envelope no receiver could accept; sealing it would
+                // poison the peer's stream on every replay.
+                self.net.count("oversized_drops", 1);
+                0
             }
             Err(_) => {
                 self.net.count("backpressure_drops", 1);
@@ -200,6 +213,7 @@ impl TcpGroup {
                 shutdown: std::sync::atomic::AtomicBool::new(false),
                 recorder: recorder.clone(),
                 threads: Mutex::new(Vec::new()),
+                handshake_threads: Mutex::new(Vec::new()),
                 handshake_timeout: config.handshake_timeout,
             });
 
@@ -322,6 +336,12 @@ impl TcpGroup {
         for net in &self.nets {
             let threads = std::mem::take(&mut *net.threads.lock().unwrap());
             for t in threads {
+                let _ = t.join();
+            }
+            // In-flight inbound handshakes are bounded by the read
+            // timeout; wait them out so no thread outlives the group.
+            let handshakes = std::mem::take(&mut *net.handshake_threads.lock().unwrap());
+            for t in handshakes {
                 let _ = t.join();
             }
         }

@@ -183,6 +183,51 @@ fn close_wait_terminates_over_threads_via_shared_path() {
 }
 
 #[test]
+fn stalled_inbound_connections_do_not_starve_accepts() {
+    // Regression for inbound handshakes running inline on the accept
+    // loop: sockets that connect and then go silent each burn a full
+    // handshake timeout, and enough of them serialize into accept
+    // starvation. Handshakes now run on their own short-lived threads,
+    // so legitimate redials complete while the stalled sockets wait out
+    // their timeouts in parallel.
+    with_deadline(180, || {
+        let (group, mut handles) = TcpGroup::spawn(group_keys(4, 1, 96)).expect("bind loopback");
+        // Party 3 accepts from everyone (lower ids dial). Stall its
+        // listener with connections that never speak.
+        let addr = group.addrs()[3];
+        let stalled: Vec<std::net::TcpStream> = (0..8)
+            .map(|_| std::net::TcpStream::connect(addr).expect("connect"))
+            .collect();
+        let pid = ProtocolId::new("tcp-stall");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        // Force everyone to redial party 3 while the stalled sockets
+        // occupy its handshake threads.
+        handles[3].sever_links();
+        for (i, h) in handles.iter().enumerate() {
+            h.send(&pid, format!("stall-{i}").into_bytes());
+        }
+        let mut sequences = Vec::new();
+        for h in handles.iter_mut() {
+            let seq: Vec<Vec<u8>> = (0..4)
+                .map(|_| {
+                    h.receive(&pid)
+                        .expect("channel survives stalled peers")
+                        .data
+                })
+                .collect();
+            sequences.push(seq);
+        }
+        for (i, s) in sequences.iter().enumerate().skip(1) {
+            assert_eq!(s, &sequences[0], "party {i} diverges under accept pressure");
+        }
+        drop(stalled);
+        group.shutdown();
+    });
+}
+
+#[test]
 fn tcp_shutdown_joins_cleanly_while_idle() {
     // Teardown with live connections but no protocol traffic: every
     // listener, supervisor, reader and writer thread must exit.
