@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use sintra_crypto::coin::CoinShare;
 use sintra_crypto::thsig::{SigShare, ThresholdSignature};
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
@@ -200,13 +201,11 @@ impl BinaryAgreement {
     }
 
     fn send_pre_vote(&mut self, out: &mut Outgoing) {
-        if out.tracing() {
-            out.trace(
-                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
-                    .phase("round")
-                    .round(self.round as u64),
-            );
-        }
+        out.trace_with(|| {
+            TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
+                .phase("round")
+                .round(self.round as u64)
+        });
         let statement = statement_pre_vote(&self.pid, self.round, self.preference);
         let share = self.ctx.keys().thsig_agreement.sign_share(&statement);
         let proof = if self.validated {
@@ -529,14 +528,12 @@ impl BinaryAgreement {
         );
         self.decided = Some((value, proof));
         self.stage = Stage::Done;
-        if out.tracing() {
-            out.trace(
-                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
-                    .phase("decide")
-                    .round(round as u64)
-                    .bytes(value as u64),
-            );
-        }
+        out.trace_with(|| {
+            TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
+                .phase("decide")
+                .round(round as u64)
+                .bytes(value as u64)
+        });
     }
 
     /// Drives the round state machine after any mutation.
@@ -656,17 +653,11 @@ impl BinaryAgreement {
                             .coin_shares
                             .insert(share.index, share.clone());
                         out.send_all(&self.pid, Body::BaCoinShare { round, share });
-                        if out.tracing() {
-                            out.trace(
-                                sintra_telemetry::TraceEvent::new(
-                                    self.ctx.me().0,
-                                    self.pid.as_str(),
-                                    "abba",
-                                )
+                        out.trace_with(|| {
+                            TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "abba")
                                 .phase("coin")
-                                .round(round as u64),
-                            );
-                        }
+                                .round(round as u64)
+                        });
                     }
                     if let Some(b) = value_vote {
                         // Adopt the observed value; the accepted main-vote's
@@ -792,6 +783,40 @@ impl BinaryAgreement {
             proof0,
             proof1,
         })
+    }
+}
+
+impl StateSnapshot for BinaryAgreement {
+    fn has_pending_work(&self) -> bool {
+        !matches!(self.stage, Stage::Idle | Stage::Done)
+    }
+
+    fn snapshot_json(&self) -> String {
+        let stage = match self.stage {
+            Stage::Idle => "idle",
+            Stage::CollectingPreVotes => "collecting-pre-votes",
+            Stage::CollectingMainVotes => "collecting-main-votes",
+            Stage::CollectingCoin => "collecting-coin",
+            Stage::Done => "done",
+        };
+        let state = self.rounds.get(&self.round);
+        let w = SnapshotWriter::new(self.pid.as_str(), "abba")
+            .num("round", self.round as u64)
+            .text("stage", stage)
+            .flag("preference", self.preference)
+            .num("quorum", self.quorum() as u64)
+            .num("pre_votes", state.map_or(0, |s| s.pre_votes.len()) as u64)
+            .num("main_votes", state.map_or(0, |s| s.main_votes.len()) as u64)
+            .num(
+                "coin_shares",
+                state.map_or(0, |s| s.coin_shares.len() + s.pending_coin.len()) as u64,
+            )
+            .flag(
+                "value_justified",
+                state.is_some_and(|s| s.value_just.is_some()),
+            )
+            .flag("decided", self.decided.is_some());
+        w.finish()
     }
 }
 

@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use sintra_crypto::hash::Sha256;
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::agreement::BinaryAgreement;
 use crate::broadcast::VerifiableConsistentBroadcast;
@@ -446,17 +447,11 @@ impl MultiValuedAgreement {
             // that did not already happen.
             if self.iteration.is_none() {
                 self.iteration = Some(0);
-                if out.tracing() {
-                    out.trace(
-                        sintra_telemetry::TraceEvent::new(
-                            self.ctx.me().0,
-                            self.pid.as_str(),
-                            "vba",
-                        )
+                out.trace_with(|| {
+                    TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vba")
                         .phase("round")
-                        .round(0),
-                    );
-                }
+                        .round(0)
+                });
             }
         }
         if self.perm.is_none() {
@@ -523,31 +518,63 @@ impl MultiValuedAgreement {
                 }
                 if let Some(Some(value)) = &self.proposals[candidate] {
                     self.decided = Some(value.clone());
-                    if out.tracing() {
-                        out.trace(
-                            sintra_telemetry::TraceEvent::new(
-                                self.ctx.me().0,
-                                self.pid.as_str(),
-                                "vba",
-                            )
+                    let bytes = value.len() as u64;
+                    out.trace_with(|| {
+                        TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vba")
                             .phase("decide")
                             .round(iteration as u64)
-                            .bytes(value.len() as u64),
-                        );
-                    }
+                            .bytes(bytes)
+                    });
                 }
                 return;
             }
             // Decided 0: next candidate.
             self.iteration = Some(iteration + 1);
-            if out.tracing() {
-                out.trace(
-                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vba")
-                        .phase("round")
-                        .round((iteration + 1) as u64),
-                );
-            }
+            out.trace_with(|| {
+                TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vba")
+                    .phase("round")
+                    .round((iteration + 1) as u64)
+            });
         }
+    }
+}
+
+impl StateSnapshot for MultiValuedAgreement {
+    fn has_pending_work(&self) -> bool {
+        self.proposed && self.decided.is_none()
+    }
+
+    fn snapshot_json(&self) -> String {
+        // The candidate set: parties whose proposal arrived and validated.
+        let candidates = self
+            .proposals
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Some(Some(_))))
+            .map(|(i, _)| i as u64);
+        let iteration = self.iteration.map_or(0, u64::from);
+        let current_votes = self
+            .iteration
+            .and_then(|i| self.votes.get(&i))
+            .map_or(0, |v| v.proper);
+        let mut w = SnapshotWriter::new(self.pid.as_str(), "vba")
+            .flag("proposed", self.proposed)
+            .flag("loop_started", self.iteration.is_some())
+            .num("iteration", iteration)
+            .nums("candidates", candidates)
+            .num("valid_proposals", self.valid_count as u64)
+            .num("proposal_quorum", self.ctx.n_minus_t() as u64)
+            .num("proper_votes", current_votes as u64)
+            .num("vote_quorum", self.ctx.n_minus_t() as u64)
+            .flag("perm_known", self.perm.is_some())
+            .num("deferred_msgs", self.deferred.len() as u64)
+            .flag("decided", self.decided.is_some());
+        // The current candidate's binary agreement, when it exists, is
+        // usually what the loop is waiting on.
+        if let Some(ba) = self.iteration.and_then(|i| self.bas.get(&i)) {
+            w = w.raw("current_ba", &ba.snapshot_json());
+        }
+        w.finish()
     }
 }
 

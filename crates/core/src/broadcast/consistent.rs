@@ -14,6 +14,7 @@
 //! primitive's contract).
 
 use sintra_crypto::thsig::{SigShare, ThresholdSignature};
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
@@ -139,17 +140,11 @@ impl ConsistentBroadcast {
                 if self.shares.len() >= public.threshold() {
                     if let Ok(sig) = public.assemble_preverified(&statement, &self.shares) {
                         self.final_sent = true;
-                        if out.tracing() {
-                            out.trace(
-                                sintra_telemetry::TraceEvent::new(
-                                    self.ctx.me().0,
-                                    self.pid.as_str(),
-                                    "vcb",
-                                )
+                        out.trace_with(|| {
+                            TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vcb")
                                 .phase("final")
-                                .bytes(payload.len() as u64),
-                            );
-                        }
+                                .bytes(payload.len() as u64)
+                        });
                         out.send_all(
                             &self.pid,
                             Body::CbFinal {
@@ -173,21 +168,47 @@ impl ConsistentBroadcast {
                     .verify(&statement, sig)
                 {
                     self.delivered = Some((payload.clone(), sig.clone()));
-                    if out.tracing() {
-                        out.trace(
-                            sintra_telemetry::TraceEvent::new(
-                                self.ctx.me().0,
-                                self.pid.as_str(),
-                                "vcb",
-                            )
+                    out.trace_with(|| {
+                        TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vcb")
                             .phase("deliver")
-                            .bytes(payload.len() as u64),
-                        );
-                    }
+                            .bytes(payload.len() as u64)
+                    });
                 }
             }
             _ => {}
         }
+    }
+}
+
+impl StateSnapshot for ConsistentBroadcast {
+    fn has_pending_work(&self) -> bool {
+        let started = self.sent || self.echoed || !self.shares.is_empty();
+        started && self.delivered.is_none()
+    }
+
+    fn snapshot_json(&self) -> String {
+        SnapshotWriter::new(self.pid.as_str(), "vcb")
+            .num("sender", self.sender.0 as u64)
+            .flag("sent", self.sent)
+            .flag("echoed", self.echoed)
+            .num("shares", self.shares.len() as u64)
+            .num(
+                "share_threshold",
+                self.ctx.keys().common.thsig_broadcast.threshold() as u64,
+            )
+            .flag("final_sent", self.final_sent)
+            .flag("delivered", self.delivered.is_some())
+            .finish()
+    }
+}
+
+impl StateSnapshot for VerifiableConsistentBroadcast {
+    fn has_pending_work(&self) -> bool {
+        self.inner.has_pending_work()
+    }
+
+    fn snapshot_json(&self) -> String {
+        self.inner.snapshot_json()
     }
 }
 

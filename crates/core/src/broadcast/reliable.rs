@@ -12,6 +12,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
+
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
 use crate::message::{payload_digest, Body};
@@ -138,28 +140,50 @@ impl ReliableBroadcast {
         if !self.ready_sent && (echo_count >= self.ctx.quorum() || ready_count > self.ctx.t()) {
             self.ready_sent = true;
             out.send_all(&self.pid, Body::RbReady(digest));
-            if out.tracing() {
-                out.trace(
-                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb")
-                        .phase("ready"),
-                );
-            }
+            out.trace_with(|| {
+                TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb").phase("ready")
+            });
         }
         if ready_count > 2 * self.ctx.t() {
             if let Some(payload) = self.payloads.get(&digest) {
                 self.delivered = Some(payload.clone());
-                if out.tracing() {
-                    out.trace(
-                        sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb")
-                            .phase("deliver")
-                            .bytes(payload.len() as u64),
-                    );
-                }
+                out.trace_with(|| {
+                    TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb")
+                        .phase("deliver")
+                        .bytes(payload.len() as u64)
+                });
             }
             // If the payload bytes are unknown the delivery completes when
             // an echo carrying them arrives (quorum of echoes for this
             // digest guarantees an honest party has them).
         }
+    }
+}
+
+impl StateSnapshot for ReliableBroadcast {
+    fn has_pending_work(&self) -> bool {
+        let started = self.sent
+            || self.echoed
+            || !self.echoes.is_empty()
+            || !self.readies.is_empty()
+            || !self.payloads.is_empty();
+        started && self.delivered.is_none()
+    }
+
+    fn snapshot_json(&self) -> String {
+        let echo_count = self.echoes.values().map(HashSet::len).max().unwrap_or(0);
+        let ready_count = self.readies.values().map(HashSet::len).max().unwrap_or(0);
+        SnapshotWriter::new(self.pid.as_str(), "rb")
+            .num("sender", self.sender.0 as u64)
+            .flag("sent", self.sent)
+            .flag("echoed", self.echoed)
+            .flag("ready_sent", self.ready_sent)
+            .num("echoes", echo_count as u64)
+            .num("echo_quorum", self.ctx.quorum() as u64)
+            .num("readies", ready_count as u64)
+            .num("ready_quorum", 2 * self.ctx.t() as u64 + 1)
+            .flag("delivered", self.delivered.is_some())
+            .finish()
     }
 }
 

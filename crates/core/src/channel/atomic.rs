@@ -23,6 +23,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
+
 use crate::agreement::{CandidateOrder, MultiValuedAgreement};
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
@@ -410,14 +412,13 @@ impl AtomicChannel {
             };
             let batch = Batch::from_bytes(&decided).expect("validated batches decode");
             let mut batch_entries = batch.0;
-            if out.tracing() {
-                out.trace(
-                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
-                        .phase("batch")
-                        .round(round)
-                        .bytes(batch_entries.len() as u64),
-                );
-            }
+            let batch_len = batch_entries.len() as u64;
+            out.trace_with(|| {
+                TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
+                    .phase("batch")
+                    .round(round)
+                    .bytes(batch_len)
+            });
             // Fixed delivery order within the batch: by signer index.
             batch_entries.sort_by_key(|e| e.signer);
             for entry in batch_entries {
@@ -441,14 +442,47 @@ impl AtomicChannel {
                 return;
             }
             self.round += 1;
-            if out.tracing() {
-                out.trace(
-                    sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
-                        .phase("round")
-                        .round(self.round),
-                );
-            }
+            out.trace_with(|| {
+                TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "atomic")
+                    .phase("round")
+                    .round(self.round)
+            });
         }
+    }
+}
+
+impl StateSnapshot for AtomicChannel {
+    fn has_pending_work(&self) -> bool {
+        if self.closed {
+            return false;
+        }
+        !self.queue.is_empty()
+            || self.close_requested
+            || !self.entries.is_empty()
+            || !self.vbas.is_empty()
+    }
+
+    fn snapshot_json(&self) -> String {
+        let current_entries = self.entries.get(&self.round).map_or(0, Vec::len);
+        let mut w = SnapshotWriter::new(self.pid.as_str(), "atomic")
+            .num("round", self.round)
+            .num("queue_depth", self.queue.len() as u64)
+            .num("undrained_deliveries", self.deliveries.len() as u64)
+            .num("entries", current_entries as u64)
+            .num(
+                "entry_quorum",
+                self.ctx.n_minus_t().max(self.batch_size) as u64,
+            )
+            .num("batch_size", self.batch_size as u64)
+            .flag("entry_sent", self.sent_entry.contains(&self.round))
+            .flag("batch_proposed", self.proposed.contains(&self.round))
+            .flag("close_requested", self.close_requested)
+            .num("close_origins", self.close_origins.len() as u64)
+            .flag("closed", self.closed);
+        if let Some(vba) = self.vbas.get(&self.round) {
+            w = w.raw("vba", &vba.snapshot_json());
+        }
+        w.finish()
     }
 }
 

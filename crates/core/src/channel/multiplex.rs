@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use sintra_telemetry::{SnapshotWriter, StateSnapshot};
+
 use crate::broadcast::{ConsistentBroadcast, ReliableBroadcast};
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
@@ -289,6 +291,44 @@ impl<B: BroadcastInstance> BroadcastChannel<B> {
                 }
             }
         }
+    }
+}
+
+impl<B: BroadcastInstance + StateSnapshot> StateSnapshot for BroadcastChannel<B> {
+    fn has_pending_work(&self) -> bool {
+        !self.closed
+            && (!self.instances.is_empty()
+                || !self.send_queue.is_empty()
+                || self.held.iter().any(|h| !h.is_empty())
+                || self.close_requested)
+    }
+
+    fn snapshot_json(&self) -> String {
+        let held: u64 = self.held.iter().map(|h| h.len() as u64).sum();
+        let mut w = SnapshotWriter::new(self.pid.as_str(), "broadcast-channel")
+            .num("live_instances", self.instances.len() as u64)
+            .nums("next_deliver", self.next_deliver.iter().copied())
+            .num("held", held)
+            .num("next_send", self.next_send)
+            .num("send_queue", self.send_queue.len() as u64)
+            .num("own_in_flight", self.own_in_flight as u64)
+            .num("undrained_deliveries", self.deliveries.len() as u64)
+            .flag("close_requested", self.close_requested)
+            .num("close_senders", self.close_senders.len() as u64)
+            .flag("closed", self.closed);
+        // The instance each sender's FIFO is blocked on, if live: that is
+        // the one worth inspecting in a stall.
+        let blocking: Vec<String> = (0..self.ctx.n())
+            .filter_map(|s| {
+                self.instances
+                    .get(&(PartyId(s), self.next_deliver[s]))
+                    .map(StateSnapshot::snapshot_json)
+            })
+            .collect();
+        if !blocking.is_empty() {
+            w = w.raw("blocking_instances", &format!("[{}]", blocking.join(",")));
+        }
+        w.finish()
     }
 }
 

@@ -28,6 +28,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use sintra_crypto::rsa::RsaSignature;
+use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::agreement::{CandidateOrder, MultiValuedAgreement};
 use crate::broadcast::ReliableBroadcast;
@@ -795,13 +796,11 @@ impl OptimisticChannel {
         }
         // Start the next epoch under the next leader.
         self.epoch += 1;
-        if out.tracing() {
-            out.trace(
-                sintra_telemetry::TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "opt")
-                    .phase("epoch")
-                    .round(self.epoch),
-            );
-        }
+        out.trace_with(|| {
+            TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "opt")
+                .phase("epoch")
+                .round(self.epoch)
+        });
         self.assigned.clear();
         self.next_assign = 0;
         self.rbs.clear();
@@ -839,6 +838,43 @@ impl OptimisticChannel {
             self.timer_armed = false;
             self.arm_timer(out);
         }
+    }
+}
+
+impl StateSnapshot for OptimisticChannel {
+    fn has_pending_work(&self) -> bool {
+        !self.closed && (self.has_work() || self.close_requested || self.in_recovery)
+    }
+
+    fn snapshot_json(&self) -> String {
+        let undelivered = self
+            .known
+            .keys()
+            .filter(|id| !self.delivered.contains(*id))
+            .count() as u64;
+        let mut w = SnapshotWriter::new(self.pid.as_str(), "optimistic")
+            .num("epoch", self.epoch)
+            .num("undelivered_known", undelivered)
+            .num("next_deliver", self.next_deliver)
+            .num("orders", self.orders.len() as u64)
+            .num("prepared", self.prepared.len() as u64)
+            .num("committed", self.committed.len() as u64)
+            .num("delivery_count", self.delivery_count)
+            .num("progress", self.progress)
+            .flag("complained", self.complained)
+            .num("complainers", self.complainers.len() as u64)
+            .num("complaint_quorum", (self.ctx.t() + 1) as u64)
+            .flag("in_recovery", self.in_recovery)
+            .flag("state_sent", self.state_sent)
+            .num("epoch_states", self.states.len() as u64)
+            .flag("timer_armed", self.timer_armed)
+            .flag("close_requested", self.close_requested)
+            .num("close_origins", self.close_origins.len() as u64)
+            .flag("closed", self.closed);
+        if let Some(recovery) = &self.recovery {
+            w = w.raw("recovery_vba", &recovery.snapshot_json());
+        }
+        w.finish()
     }
 }
 

@@ -15,6 +15,7 @@ use std::collections::{HashMap, VecDeque};
 
 use rand::Rng;
 use sintra_crypto::thenc::{Ciphertext, DecryptionShare};
+use sintra_telemetry::{SnapshotWriter, StateSnapshot};
 
 use crate::channel::atomic::{AtomicChannel, AtomicChannelConfig};
 use crate::config::GroupContext;
@@ -286,6 +287,29 @@ impl SecureAtomicChannel {
                 break;
             }
         }
+    }
+}
+
+impl StateSnapshot for SecureAtomicChannel {
+    fn has_pending_work(&self) -> bool {
+        self.inner.has_pending_work() || !self.pending.is_empty()
+    }
+
+    fn snapshot_json(&self) -> String {
+        let k = self.ctx.keys().common.enc.threshold();
+        let mut w = SnapshotWriter::new(self.pid.as_str(), "secure")
+            .num("pending_decryptions", self.pending.len() as u64)
+            .num("share_threshold", k as u64)
+            .num("early_share_keys", self.early_shares.len() as u64)
+            .num("undrained_deliveries", self.deliveries.len() as u64);
+        if let Some(front) = self.pending.front() {
+            w = w
+                .num("front_origin", front.payload_meta.0 .0 as u64)
+                .num("front_seq", front.payload_meta.1)
+                .num("front_shares", front.shares.len() as u64)
+                .flag("front_skipped", front.skipped);
+        }
+        w.raw("inner", &self.inner.snapshot_json()).finish()
     }
 }
 

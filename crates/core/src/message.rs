@@ -280,6 +280,12 @@ impl Body {
 pub struct Envelope {
     /// Full hierarchical id of the destination instance.
     pub pid: ProtocolId,
+    /// Per-sender send sequence number, stamped by the runtime when the
+    /// envelope is drained for transmission. Together with the sending
+    /// party it forms the `(sender, send_seq)` causal origin that trace
+    /// events on the receiving side point back to; it carries no
+    /// protocol meaning and is not covered by protocol signatures.
+    pub send_seq: u64,
     /// Message contents.
     pub body: Body,
 }
@@ -696,13 +702,16 @@ impl Wire for Body {
 impl Wire for Envelope {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_bytes(buf, self.pid.as_bytes());
+        buf.extend_from_slice(&self.send_seq.to_be_bytes());
         self.body.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let pid_bytes = r.bytes()?.to_vec();
         let pid_str = String::from_utf8(pid_bytes).map_err(|_| WireError::BadDiscriminant(0xFE))?;
+        let send_seq = r.u64()?;
         Ok(Envelope {
             pid: ProtocolId::new(pid_str),
+            send_seq,
             body: Body::decode(r)?,
         })
     }
@@ -715,6 +724,7 @@ mod tests {
     fn roundtrip(body: Body) {
         let env = Envelope {
             pid: ProtocolId::new("test/1"),
+            send_seq: 7,
             body,
         };
         let decoded = Envelope::from_bytes(&env.to_bytes()).unwrap();

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sintra_crypto::cost::CostScope;
-use sintra_telemetry::{root_scope, NoopRecorder, Recorder, CRYPTO_WORK_MILLI};
+use sintra_telemetry::{root_scope, NoopRecorder, Recorder, StateSnapshot, CRYPTO_WORK_MILLI};
 
 use crate::agreement::{BinaryAgreement, CandidateOrder, MultiValuedAgreement};
 use crate::broadcast::{ReliableBroadcast, VerifiableConsistentBroadcast};
@@ -389,6 +389,39 @@ impl Node {
         self.harvest();
     }
 
+    /// A view of an instance as its [`StateSnapshot`] facet.
+    fn as_snapshot(instance: &Instance) -> &dyn StateSnapshot {
+        match instance {
+            Instance::ReliableBroadcast(b) => b,
+            Instance::ConsistentBroadcast(b) => b,
+            Instance::BinaryAgreement(a) => a,
+            Instance::MultiValued(a) => a,
+            Instance::Atomic(c) => c,
+            Instance::Secure(c) => c,
+            Instance::Optimistic(c) => c,
+            Instance::ReliableChannel(c) => c,
+            Instance::ConsistentChannel(c) => c,
+        }
+    }
+
+    /// Whether any hosted instance has started but not finished its work
+    /// (the stall detector's "is anything outstanding" probe).
+    pub fn has_pending_work(&self) -> bool {
+        self.instances
+            .values()
+            .any(|inst| Self::as_snapshot(inst).has_pending_work())
+    }
+
+    /// Serializes every hosted instance's live phase to JSON, sorted by
+    /// protocol id so dumps diff cleanly across parties.
+    pub fn snapshot_instances(&self) -> Vec<String> {
+        let mut pids: Vec<&ProtocolId> = self.instances.keys().collect();
+        pids.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        pids.into_iter()
+            .map(|pid| Self::as_snapshot(&self.instances[pid]).snapshot_json())
+            .collect()
+    }
+
     /// Translates instance state changes into events.
     fn harvest(&mut self) {
         let before = self.events.len();
@@ -606,6 +639,7 @@ mod tests {
         let mut ns = nodes(4, 1);
         let env = Envelope {
             pid: ProtocolId::new("nonexistent"),
+            send_seq: 0,
             body: crate::message::Body::RbSend(vec![1]),
         };
         let mut out = Outgoing::new();

@@ -45,6 +45,7 @@ pub struct Outgoing {
     timers: Vec<TimerRequest>,
     traces: Vec<TraceEvent>,
     tracing: bool,
+    cause: Option<(usize, u64)>,
 }
 
 impl Outgoing {
@@ -59,6 +60,7 @@ impl Outgoing {
             Recipient::One(to),
             Envelope {
                 pid: pid.clone(),
+                send_seq: 0,
                 body,
             },
         ));
@@ -70,6 +72,7 @@ impl Outgoing {
             Recipient::All,
             Envelope {
                 pid: pid.clone(),
+                send_seq: 0,
                 body,
             },
         ));
@@ -116,10 +119,41 @@ impl Outgoing {
         self.tracing
     }
 
-    /// Queues a trace event (dropped unless tracing is on).
+    /// Sets the causal origin for the current protocol step: the
+    /// `(sender_party, send_seq)` of the network message being
+    /// processed, or `None` for locally-triggered steps (client
+    /// requests, timer expiries). The runtime calls this before
+    /// dispatching into a state machine; every trace queued during the
+    /// step inherits it, so protocol code never threads causality by
+    /// hand.
+    pub fn set_cause(&mut self, cause: Option<(usize, u64)>) {
+        self.cause = cause;
+    }
+
+    /// The causal origin of the step in progress, if any.
+    pub fn cause(&self) -> Option<(usize, u64)> {
+        self.cause
+    }
+
+    /// Queues a trace event (dropped unless tracing is on). Events
+    /// without an explicit cause inherit the current step's causal
+    /// origin (see [`Outgoing::set_cause`]).
     pub fn trace(&mut self, event: TraceEvent) {
         if self.tracing {
+            let mut event = event;
+            if event.cause.is_none() {
+                event.cause = self.cause;
+            }
             self.traces.push(event);
+        }
+    }
+
+    /// Queues a trace event built lazily: `make` runs only when tracing
+    /// is on, so call sites pay one branch instead of duplicating the
+    /// `if out.tracing()` gate around every event construction.
+    pub fn trace_with(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.tracing {
+            self.trace(make());
         }
     }
 
@@ -206,5 +240,32 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(drained[0].0, Recipient::All);
         assert_eq!(drained[1].0, Recipient::One(PartyId(2)));
+    }
+
+    #[test]
+    fn traces_inherit_step_cause() {
+        let mut out = Outgoing::new();
+        out.set_tracing(true);
+        out.set_cause(Some((3, 17)));
+        out.trace(TraceEvent::new(0, "rb", "rb").phase("echo"));
+        // An explicit cause wins over the step cause.
+        out.trace(
+            TraceEvent::new(0, "rb", "rb")
+                .phase("ready")
+                .caused_by(1, 2),
+        );
+        out.set_cause(None);
+        out.trace_with(|| TraceEvent::new(0, "rb", "rb").phase("deliver"));
+        let traces = out.drain_traces();
+        assert_eq!(traces[0].cause, Some((3, 17)));
+        assert_eq!(traces[1].cause, Some((1, 2)));
+        assert_eq!(traces[2].cause, None);
+    }
+
+    #[test]
+    fn trace_with_skips_construction_when_off() {
+        let mut out = Outgoing::new();
+        out.trace_with(|| unreachable!("tracing is off"));
+        assert!(out.drain_traces().is_empty());
     }
 }

@@ -77,6 +77,7 @@ proptest! {
     fn envelope_roundtrip(body in body_strategy(), pid in "[a-z]{1,12}(/[a-z0-9]{1,6}){0,3}") {
         let env = Envelope {
             pid: ProtocolId::new(pid),
+            send_seq: 0,
             body,
         };
         prop_assert_eq!(Envelope::from_bytes(&env.to_bytes()).unwrap(), env);
@@ -95,6 +96,7 @@ proptest! {
     fn decode_of_truncation_errors_cleanly(body in body_strategy()) {
         let env = Envelope {
             pid: ProtocolId::new("p"),
+            send_seq: 0,
             body,
         };
         let bytes = env.to_bytes();

@@ -66,6 +66,7 @@ fn sample_envelope(tag: u8, data: Vec<u8>) -> Envelope {
     };
     Envelope {
         pid: ProtocolId::new("fuzz/ch/1"),
+        send_seq: tag as u64,
         body,
     }
 }

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod observe;
 pub mod server;
 pub mod sim;
 pub mod tcp;
 pub mod threaded;
 
+pub use observe::ObservabilityConfig;
 pub use server::{ServerHandle, Transport};
 
 use sintra_core::agreement::CandidateOrder;

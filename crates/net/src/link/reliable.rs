@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use sintra_telemetry::SnapshotWriter;
+
 use super::frame::{FrameKind, LinkKey, MAX_FRAME_LEN};
 use super::LinkError;
 
@@ -228,6 +230,26 @@ impl ReliableLink {
         self.last_acked_out = self.recv_cum;
         self.stats.acks_sent += 1;
         Some(self.key.seal(&FrameKind::Ack { cum: self.recv_cum }))
+    }
+
+    /// Serializes the link's live cursors and backlog for a debug dump:
+    /// how far ahead of the peer's acknowledgement this endpoint has
+    /// run, and how much it would replay on a reconnect.
+    pub fn snapshot_json(&self) -> String {
+        let pid = format!("link/{}->{}", self.key.local().0, self.key.peer().0);
+        SnapshotWriter::new(&pid, "link")
+            .num("next_seq", self.next_seq)
+            .num("peer_acked", self.peer_acked)
+            .num("recv_cum", self.recv_cum)
+            .num("last_acked_out", self.last_acked_out)
+            .num("unacked_frames", self.unacked.len() as u64)
+            .num("unacked_bytes", self.unacked_bytes as u64)
+            .num("frames_sent", self.stats.frames_sent)
+            .num("frames_retransmitted", self.stats.frames_retransmitted)
+            .num("delivered", self.stats.delivered)
+            .num("duplicates", self.stats.duplicates)
+            .num("queue_full_drops", self.stats.queue_full_drops)
+            .finish()
     }
 
     /// Prunes the queue against the watermark a resuming peer advertised

@@ -1,0 +1,129 @@
+//! Live-debugging hooks for the real runtimes: the flight recorder and
+//! stall detector configuration, and the dump writer both share.
+//!
+//! When a group is spawned with an [`ObservabilityConfig`], every server
+//! loop keeps a bounded [`FlightRecorder`](sintra_telemetry::FlightRecorder)
+//! of recent trace events and watches its own progress: if nothing
+//! happens for [`quiet`](ObservabilityConfig::quiet) while some hosted
+//! instance still has pending work, the loop serializes every instance's
+//! live phase, the transport's link state and the drained event ring to
+//! `sintra-dump-<party>-<reason>.json` in
+//! [`dump_dir`](ObservabilityConfig::dump_dir). The same dump fires when
+//! a protocol invariant panics the dispatch path (reason `invariant`)
+//! and on demand via
+//! [`ServerHandle::request_dump`](crate::ServerHandle::request_dump) —
+//! the portable stand-in for a SIGUSR1 handler, which a dependency-free
+//! workspace cannot install.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sintra_telemetry::{render_dump, TraceEvent};
+
+/// Tuning for the per-party flight recorder and stall detector.
+#[derive(Debug, Clone)]
+pub struct ObservabilityConfig {
+    /// Bounded capacity of the in-memory trace-event ring; the oldest
+    /// events are evicted once it fills (eviction count appears in the
+    /// dump as `dropped_events`).
+    pub ring_capacity: usize,
+    /// How long the server loop may sit idle with work pending before it
+    /// declares a stall and writes a dump.
+    pub quiet: Duration,
+    /// How often the idle loop wakes to check for a stall. Defaults to a
+    /// quarter of `quiet` (clamped to at least 10ms) when `None`.
+    pub check_interval: Option<Duration>,
+    /// Directory dumps are written into.
+    pub dump_dir: PathBuf,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            ring_capacity: 4096,
+            quiet: Duration::from_secs(2),
+            check_interval: None,
+            dump_dir: PathBuf::from("."),
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    /// The effective stall-poll cadence.
+    pub fn effective_check_interval(&self) -> Duration {
+        self.check_interval
+            .unwrap_or_else(|| (self.quiet / 4).max(Duration::from_millis(10)))
+    }
+
+    /// The dump path for one party/reason pair. Repeated dumps for the
+    /// same reason overwrite — the latest state is the interesting one.
+    pub fn dump_path(&self, party: usize, reason: &str) -> PathBuf {
+        self.dump_dir
+            .join(format!("sintra-dump-{party}-{reason}.json"))
+    }
+}
+
+/// Renders and writes one dump file; returns its path on success. Errors
+/// are reported on stderr rather than propagated — a failing dump must
+/// never take down the server loop it is trying to describe.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn write_dump(
+    config: &ObservabilityConfig,
+    party: usize,
+    reason: &str,
+    time_us: u64,
+    quiet_us: u64,
+    instances: &[String],
+    links: &[String],
+    events: &[TraceEvent],
+    dropped: u64,
+) -> Option<PathBuf> {
+    let body = render_dump(
+        party, reason, time_us, quiet_us, instances, links, events, dropped,
+    );
+    let path = config.dump_path(party, reason);
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            eprintln!(
+                "sintra: party {party} wrote {reason} dump to {}",
+                path.display()
+            );
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("sintra: party {party} failed to write {reason} dump: {err}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_check_interval_is_quarter_quiet() {
+        let config = ObservabilityConfig::default();
+        assert_eq!(
+            config.effective_check_interval(),
+            Duration::from_millis(500)
+        );
+        let fast = ObservabilityConfig {
+            quiet: Duration::from_millis(20),
+            ..ObservabilityConfig::default()
+        };
+        assert_eq!(fast.effective_check_interval(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn dump_path_names_party_and_reason() {
+        let config = ObservabilityConfig {
+            dump_dir: PathBuf::from("/tmp/x"),
+            ..ObservabilityConfig::default()
+        };
+        assert_eq!(
+            config.dump_path(3, "stall"),
+            PathBuf::from("/tmp/x/sintra-dump-3-stall.json")
+        );
+    }
+}

@@ -9,20 +9,22 @@
 //! blocking `send`/`receive`/`close`/`close_wait` API mirrors the Java
 //! `Channel` interface of the paper (§3.4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 
 use sintra_core::agreement::CandidateOrder;
 use sintra_core::channel::{AtomicChannelConfig, OptimisticChannelConfig};
-use sintra_core::message::{Envelope, Payload};
+use sintra_core::message::{Envelope, Payload, PayloadKind};
 use sintra_core::node::Node;
 use sintra_core::validator::{ArrayValidator, BinaryValidator};
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
 use sintra_crypto::dealer::PartyKeys;
-use sintra_telemetry::{root_scope, Recorder};
+use sintra_telemetry::{root_scope, FlightRecorder, Recorder, TraceEvent, DELIVERY_LATENCY};
+
+use crate::observe::{write_dump, ObservabilityConfig};
 
 /// How a party's sealed envelopes reach its peers, and how inbound
 /// transport items turn back into authenticated envelopes.
@@ -45,6 +47,13 @@ pub trait Transport: Send + 'static {
     /// `from`. `None` drops the item (failed authentication, duplicate,
     /// or malformed payload); the loop counts the drop.
     fn open(&mut self, from: PartyId, data: &[u8]) -> Option<Envelope>;
+
+    /// Serializes the transport's per-peer link state (sequence cursors,
+    /// retransmission backlog) for a debug dump. The default reports
+    /// nothing — only transports with meaningful link state override it.
+    fn link_snapshots(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// What a server thread can be asked to do.
@@ -64,6 +73,8 @@ pub(crate) enum Command {
     ProposeBinary(ProtocolId, bool, Vec<u8>),
     ProposeMulti(ProtocolId, Vec<u8>),
     Close(ProtocolId),
+    /// Dump the server's live state under the given reason tag.
+    DumpState(String),
     Shutdown,
 }
 
@@ -168,6 +179,25 @@ impl ServerHandle {
     /// Requests termination of a channel (non-blocking).
     pub fn close(&self, pid: &ProtocolId) {
         let _ = self.cmd_tx.send(Input::Cmd(Command::Close(pid.clone())));
+    }
+
+    /// Asks the server to dump its live state (instance snapshots, link
+    /// state, recent trace events) to a `sintra-dump-<party>-<reason>.json`
+    /// file. A no-op unless the group was spawned with an
+    /// [`ObservabilityConfig`](crate::ObservabilityConfig). This is the
+    /// portable equivalent of a SIGUSR1 "dump state" signal — the
+    /// dependency-free workspace cannot install OS signal handlers.
+    pub fn request_dump(&self, reason: &str) {
+        let _ = self
+            .cmd_tx
+            .send(Input::Cmd(Command::DumpState(reason.to_string())));
+    }
+
+    /// Stops this server's loop without touching the rest of the group —
+    /// a crash-fault injection hook for tests. The group's own
+    /// `shutdown` later joins the (already finished) thread.
+    pub fn shutdown(&self) {
+        let _ = self.cmd_tx.send(Input::Cmd(Command::Shutdown));
     }
 
     /// Registers a reliable broadcast instance for `sender`.
@@ -377,40 +407,164 @@ impl ServerHandle {
     }
 }
 
+/// Everything a server loop needs beyond its transport and channels.
+pub(crate) struct ServerOpts {
+    /// Telemetry sink for counters, histograms and traces.
+    pub recorder: Option<Arc<dyn Recorder>>,
+    /// Flight recorder + stall detector configuration.
+    pub observability: Option<ObservabilityConfig>,
+    /// The group-wide time zero: every party of a group shares one
+    /// anchor, so trace stamps from different server threads are directly
+    /// comparable (and causal arrows in exported traces point forward).
+    pub run_start: Instant,
+}
+
 /// Drains one step's outgoing messages/traces into the transport.
+///
+/// Every envelope is stamped with this party's next `send_seq` before
+/// transmission — one number per envelope, shared by all fan-out copies —
+/// so receivers can attribute the work a message triggers back to the
+/// exact send. When tracing, a synthetic `net`/`send` event records the
+/// stamp (and inherits the cause of the step that produced the message).
+#[allow(clippy::too_many_arguments)]
 fn flush<T: Transport>(
+    me: usize,
     out: &mut Outgoing,
     transport: &mut T,
     recorder: &Option<Arc<dyn Recorder>>,
-    run_start: std::time::Instant,
+    flight: &Option<FlightRecorder>,
+    run_start: Instant,
+    next_send_seq: &mut u64,
+    tracing: bool,
 ) {
     // Wall-clock trace stamps: microseconds since the group spawned.
-    if let Some(rec) = recorder {
-        let now_us = run_start.elapsed().as_micros() as u64;
-        for mut ev in out.drain_traces() {
-            ev.time_us = now_us;
+    let now_us = run_start.elapsed().as_micros() as u64;
+    let cause = out.cause();
+    for mut ev in out.drain_traces() {
+        ev.time_us = now_us;
+        if let Some(rec) = recorder {
             let scope = root_scope(&ev.protocol);
             match ev.phase {
                 "round" | "epoch" => rec.counter_add(scope, "rounds", 1),
                 "batch" => rec.observe(scope, "batch_size", ev.bytes),
                 _ => {}
             }
-            rec.trace(ev);
+            if rec.enabled() {
+                if let Some(flight) = flight {
+                    flight.record(ev.clone());
+                }
+                rec.trace(ev);
+                continue;
+            }
+        }
+        if let Some(flight) = flight {
+            flight.record(ev);
         }
     }
-    for (recipient, env) in out.drain() {
+    for (recipient, mut env) in out.drain() {
+        env.send_seq = *next_send_seq;
+        *next_send_seq += 1;
         let targets: Vec<usize> = match recipient {
             Recipient::All => (0..transport.parties()).collect(),
             Recipient::One(p) => vec![p.0],
         };
+        let mut wire_total = 0u64;
         for to in targets {
             let wire_bytes = transport.transmit(PartyId(to), &env);
+            wire_total += wire_bytes;
             if let Some(rec) = recorder {
                 let scope = root_scope(env.pid.as_str());
                 rec.counter_add(scope, "msgs_sent", 1);
                 rec.counter_add(scope, "bytes_sent", wire_bytes);
             }
         }
+        if tracing {
+            let mut ev = TraceEvent::new(me, env.pid.as_str(), "net")
+                .phase("send")
+                .round(env.send_seq)
+                .bytes(wire_total);
+            ev.time_us = now_us;
+            ev.cause = cause;
+            if let Some(flight) = flight {
+                flight.record(ev.clone());
+            }
+            if let Some(rec) = recorder {
+                if rec.enabled() {
+                    rec.trace(ev);
+                }
+            }
+        }
+    }
+}
+
+/// Forwards harvested node events to the application, recording
+/// end-to-end delivery latency for payloads this party sent itself
+/// (channels deliver each sender's payloads in order, so FIFO pairing of
+/// send instants against own deliveries is exact).
+fn forward_events(
+    node: &mut Node,
+    event_tx: &Sender<Event>,
+    recorder: &Option<Arc<dyn Recorder>>,
+    send_times: &mut HashMap<String, VecDeque<Instant>>,
+    me: usize,
+) {
+    for event in node.take_events() {
+        if let Some(rec) = recorder {
+            if let Event::ChannelDelivered { pid, payload } = &event {
+                if payload.origin.0 == me && payload.kind == PayloadKind::App {
+                    if let Some(sent_at) = send_times
+                        .get_mut(pid.as_str())
+                        .and_then(|queue| queue.pop_front())
+                    {
+                        rec.observe(
+                            root_scope(pid.as_str()),
+                            DELIVERY_LATENCY,
+                            sent_at.elapsed().as_micros() as u64,
+                        );
+                    }
+                }
+            }
+        }
+        let _ = event_tx.send(event);
+    }
+}
+
+/// Runs `dispatch` against the node; with observability on, a panic
+/// inside it (a protocol invariant violation) first writes an
+/// `invariant` dump and then resumes unwinding.
+#[allow(clippy::too_many_arguments)]
+fn guarded_dispatch<T: Transport>(
+    node: &mut Node,
+    out: &mut Outgoing,
+    transport: &T,
+    observability: &Option<ObservabilityConfig>,
+    flight: &Option<FlightRecorder>,
+    me: usize,
+    run_start: Instant,
+    dispatch: impl FnOnce(&mut Node, &mut Outgoing),
+) {
+    let Some(obs) = observability else {
+        dispatch(node, out);
+        return;
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(node, out)));
+    if let Err(panic) = result {
+        let (events, dropped) = flight
+            .as_ref()
+            .map(|flight| flight.drain())
+            .unwrap_or_default();
+        write_dump(
+            obs,
+            me,
+            "invariant",
+            run_start.elapsed().as_micros() as u64,
+            obs.quiet.as_micros() as u64,
+            &node.snapshot_instances(),
+            &transport.link_snapshots(),
+            &events,
+            dropped,
+        );
+        std::panic::resume_unwind(panic);
     }
 }
 
@@ -422,22 +576,38 @@ pub(crate) fn server_loop<T: Transport>(
     inbox: Receiver<Input>,
     mut transport: T,
     event_tx: Sender<Event>,
-    recorder: Option<Arc<dyn Recorder>>,
+    opts: ServerOpts,
 ) {
+    let ServerOpts {
+        recorder,
+        observability,
+        run_start,
+    } = opts;
     let ctx = GroupContext::new(keys);
     let mut node = Node::new(ctx, me as u64 ^ 0x7EAD_ED01);
     if let Some(rec) = &recorder {
         node.set_recorder(rec.clone());
     }
-    let tracing = recorder.as_ref().is_some_and(|r| r.enabled());
-    let run_start = std::time::Instant::now();
+    let tracing = recorder.as_ref().is_some_and(|r| r.enabled()) || observability.is_some();
+    let flight = observability
+        .as_ref()
+        .map(|obs| FlightRecorder::new(obs.ring_capacity));
+    let mut next_send_seq: u64 = 1;
+    // Per-channel FIFO of own send instants, matched against own
+    // deliveries for end-to-end latency.
+    let mut send_times: HashMap<String, VecDeque<Instant>> = HashMap::new();
+    // Stall detection: quiet time is measured from the last *network or
+    // application* input. Timer expiries deliberately do not reset it —
+    // a channel re-arming its complaint timer while starved of messages
+    // is exactly the situation worth dumping.
+    let mut last_input = Instant::now();
+    let mut stall_dumped = false;
     // Pending timers: (deadline, pid, token), earliest first.
-    let mut timers: std::collections::BinaryHeap<
-        std::cmp::Reverse<(std::time::Instant, ProtocolId, u64)>,
-    > = std::collections::BinaryHeap::new();
+    let mut timers: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, ProtocolId, u64)>> =
+        std::collections::BinaryHeap::new();
     loop {
         // Fire due timers before blocking.
-        let now = std::time::Instant::now();
+        let now = Instant::now();
         while let Some(std::cmp::Reverse((deadline, _, _))) = timers.peek() {
             if *deadline > now {
                 break;
@@ -445,33 +615,85 @@ pub(crate) fn server_loop<T: Transport>(
             let std::cmp::Reverse((_, pid, token)) = timers.pop().expect("peeked");
             let mut out = Outgoing::new();
             out.set_tracing(tracing);
-            node.handle_timer(&pid, token, &mut out);
+            guarded_dispatch(
+                &mut node,
+                &mut out,
+                &transport,
+                &observability,
+                &flight,
+                me,
+                run_start,
+                |node, out| node.handle_timer(&pid, token, out),
+            );
             for t in out.drain_timers() {
                 timers.push(std::cmp::Reverse((
-                    std::time::Instant::now() + Duration::from_millis(t.delay_ms),
+                    Instant::now() + Duration::from_millis(t.delay_ms),
                     t.pid,
                     t.token,
                 )));
             }
-            flush(&mut out, &mut transport, &recorder, run_start);
-            for event in node.take_events() {
-                let _ = event_tx.send(event);
-            }
+            flush(
+                me,
+                &mut out,
+                &mut transport,
+                &recorder,
+                &flight,
+                run_start,
+                &mut next_send_seq,
+                tracing,
+            );
+            forward_events(&mut node, &event_tx, &recorder, &mut send_times, me);
         }
-        let input = match timers.peek() {
-            Some(std::cmp::Reverse((deadline, _, _))) => {
-                let wait = deadline.saturating_duration_since(std::time::Instant::now());
-                match inbox.recv_timeout(wait) {
+        // Block for the next input — but never past the next timer
+        // deadline, and never past the stall-check cadence when the
+        // detector is armed.
+        let timer_wait = timers.peek().map(|std::cmp::Reverse((deadline, _, _))| {
+            deadline.saturating_duration_since(Instant::now())
+        });
+        let input = if let Some(obs) = &observability {
+            let check = obs.effective_check_interval();
+            let wait = timer_wait.map_or(check, |w| w.min(check));
+            match inbox.recv_timeout(wait) {
+                Ok(input) => input,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if !stall_dumped && last_input.elapsed() >= obs.quiet && node.has_pending_work()
+                    {
+                        let (events, dropped) = flight
+                            .as_ref()
+                            .map(|flight| flight.drain())
+                            .unwrap_or_default();
+                        write_dump(
+                            obs,
+                            me,
+                            "stall",
+                            run_start.elapsed().as_micros() as u64,
+                            obs.quiet.as_micros() as u64,
+                            &node.snapshot_instances(),
+                            &transport.link_snapshots(),
+                            &events,
+                            dropped,
+                        );
+                        stall_dumped = true;
+                    }
+                    continue;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            match timer_wait {
+                Some(wait) => match inbox.recv_timeout(wait) {
                     Ok(input) => input,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                }
+                },
+                None => match inbox.recv() {
+                    Ok(input) => input,
+                    Err(_) => return,
+                },
             }
-            None => match inbox.recv() {
-                Ok(input) => input,
-                Err(_) => return,
-            },
         };
+        last_input = Instant::now();
+        stall_dumped = false;
         let mut out = Outgoing::new();
         out.set_tracing(tracing);
         match input {
@@ -487,7 +709,27 @@ pub(crate) fn server_loop<T: Transport>(
                 if let Some(rec) = &recorder {
                     rec.counter_add(root_scope(env.pid.as_str()), "msgs_delivered", 1);
                 }
-                node.handle_envelope(from, &env, &mut out);
+                // Everything this step emits — messages and trace events
+                // alike — descends from this exact transmission.
+                out.set_cause(Some((from.0, env.send_seq)));
+                if tracing {
+                    out.trace(
+                        TraceEvent::new(me, env.pid.as_str(), "net")
+                            .phase("recv")
+                            .round(env.send_seq)
+                            .bytes(data.len() as u64),
+                    );
+                }
+                guarded_dispatch(
+                    &mut node,
+                    &mut out,
+                    &transport,
+                    &observability,
+                    &flight,
+                    me,
+                    run_start,
+                    |node, out| node.handle_envelope(from, &env, out),
+                );
             }
             Input::Cmd(cmd) => match cmd {
                 Command::CreateAtomic(pid, config) => node.create_atomic_channel(pid, config),
@@ -509,7 +751,15 @@ pub(crate) fn server_loop<T: Transport>(
                 Command::CreateMultiValued(pid, validator, order) => {
                     node.create_multi_valued(pid, validator, order)
                 }
-                Command::Send(pid, data) => node.channel_send(&pid, data, &mut out),
+                Command::Send(pid, data) => {
+                    if recorder.as_ref().is_some_and(|r| r.enabled()) {
+                        send_times
+                            .entry(pid.as_str().to_string())
+                            .or_default()
+                            .push_back(Instant::now());
+                    }
+                    node.channel_send(&pid, data, &mut out)
+                }
                 Command::SendCiphertext(pid, ct) => {
                     node.channel_send_ciphertext(&pid, ct, &mut out)
                 }
@@ -521,19 +771,45 @@ pub(crate) fn server_loop<T: Transport>(
                 }
                 Command::ProposeMulti(pid, value) => node.propose_multi(&pid, value, &mut out),
                 Command::Close(pid) => node.channel_close(&pid, &mut out),
+                Command::DumpState(reason) => {
+                    if let Some(obs) = &observability {
+                        let (events, dropped) = flight
+                            .as_ref()
+                            .map(|flight| flight.drain())
+                            .unwrap_or_default();
+                        write_dump(
+                            obs,
+                            me,
+                            &reason,
+                            run_start.elapsed().as_micros() as u64,
+                            obs.quiet.as_micros() as u64,
+                            &node.snapshot_instances(),
+                            &transport.link_snapshots(),
+                            &events,
+                            dropped,
+                        );
+                    }
+                }
                 Command::Shutdown => return,
             },
         }
         for t in out.drain_timers() {
             timers.push(std::cmp::Reverse((
-                std::time::Instant::now() + Duration::from_millis(t.delay_ms),
+                Instant::now() + Duration::from_millis(t.delay_ms),
                 t.pid,
                 t.token,
             )));
         }
-        flush(&mut out, &mut transport, &recorder, run_start);
-        for event in node.take_events() {
-            let _ = event_tx.send(event);
-        }
+        flush(
+            me,
+            &mut out,
+            &mut transport,
+            &recorder,
+            &flight,
+            run_start,
+            &mut next_send_seq,
+            tracing,
+        );
+        forward_events(&mut node, &event_tx, &recorder, &mut send_times, me);
     }
 }

@@ -84,6 +84,7 @@ impl ByzantineActor for EquivocatingSender {
                     Recipient::One(PartyId(p)),
                     Envelope {
                         pid: self.pid.clone(),
+                        send_seq: 0,
                         body: Body::RbSend(payload),
                     },
                 )
@@ -110,7 +111,12 @@ impl ByzantineActor for Reflector {
         env: &Envelope,
         _clock: VirtualTime,
     ) -> Vec<(Recipient, Envelope)> {
-        let fingerprint = sintra_core::wire::Wire::to_bytes(env);
+        // The send-seq is restamped at every hop, so it must not count
+        // toward message identity — otherwise a reflection of our own
+        // reflection always looks new and the storm never terminates.
+        let mut canonical = env.clone();
+        canonical.send_seq = 0;
+        let fingerprint = sintra_core::wire::Wire::to_bytes(&canonical);
         if self.seen.insert(fingerprint) {
             vec![(Recipient::All, env.clone())]
         } else {
@@ -128,6 +134,7 @@ mod tests {
         let mut s = Silent;
         let env = Envelope {
             pid: ProtocolId::new("x"),
+            send_seq: 0,
             body: Body::RbSend(vec![1]),
         };
         assert!(s.on_message(PartyId(0), &env, 0).is_empty());
@@ -158,6 +165,7 @@ mod tests {
         let mut r = Reflector::default();
         let env = Envelope {
             pid: ProtocolId::new("x"),
+            send_seq: 0,
             body: Body::RbSend(vec![9]),
         };
         let out = r.on_message(PartyId(2), &env, 5);

@@ -141,6 +141,8 @@ pub struct Simulation {
     seq: u64,
     heap: BinaryHeap<Scheduled>,
     busy_until: Vec<VirtualTime>,
+    /// Per-party causal sequence stamp for outgoing envelopes.
+    send_seqs: Vec<u64>,
     records: Vec<DeliveryRecord>,
     stats: Stats,
     /// Decides the fate of each `(from, to)` message at a given time.
@@ -197,6 +199,7 @@ impl Simulation {
             seq: 0,
             heap: BinaryHeap::new(),
             busy_until: vec![0; n],
+            send_seqs: vec![1; n],
             records: Vec::new(),
             stats: Stats::default(),
             link_filter: None,
@@ -343,7 +346,11 @@ impl Simulation {
         if matches!(self.faults[from], Fault::Mute) || self.is_crashed(from, depart) {
             return;
         }
-        for (recipient, env) in out {
+        for (recipient, mut env) in out {
+            // Same causal stamping as the real runtimes: one sequence
+            // number per envelope, shared by all fan-out copies.
+            env.send_seq = self.send_seqs[from];
+            self.send_seqs[from] += 1;
             let targets: Vec<usize> = match recipient {
                 Recipient::All => (0..self.n()).collect(),
                 Recipient::One(p) => vec![p.0],
@@ -411,6 +418,7 @@ impl Simulation {
                         cost::reset();
                         let mut out = Outgoing::new();
                         out.set_tracing(tracing);
+                        out.set_cause(Some((from.0, env.send_seq)));
                         node.handle_envelope(from, &env, &mut out);
                         let work = cost::take();
                         let start = self.clock.max(self.busy_until[to]);

@@ -15,7 +15,8 @@ use sintra_crypto::dealer::PartyKeys;
 use sintra_telemetry::Recorder;
 
 use crate::link::{LinkConfig, LinkError, LinkKey, ReliableLink};
-use crate::server::{server_loop, Command, Input, ServerHandle, Transport};
+use crate::observe::ObservabilityConfig;
+use crate::server::{server_loop, Command, Input, ServerHandle, ServerOpts, Transport};
 use crate::tcp::conn::{
     accept_supervisor, dial_supervisor, listener_loop, writer_loop, BackoffConfig, PartyNet,
     PeerLink, SupEvent, WriterMsg,
@@ -32,6 +33,9 @@ pub struct TcpConfig {
     /// Read timeout applied while a connection handshakes; a peer that
     /// stalls mid-handshake is dropped after this long.
     pub handshake_timeout: Duration,
+    /// Flight-recorder and stall-detector settings; `None` disables both
+    /// (no per-event overhead beyond one branch).
+    pub observability: Option<ObservabilityConfig>,
 }
 
 impl Default for TcpConfig {
@@ -40,6 +44,7 @@ impl Default for TcpConfig {
             backoff: BackoffConfig::default(),
             link: LinkConfig::default(),
             handshake_timeout: Duration::from_secs(2),
+            observability: None,
         }
     }
 }
@@ -106,6 +111,15 @@ impl Transport for TcpTransport {
         // the reader thread that produced these bytes.
         Envelope::from_bytes(data).ok()
     }
+
+    fn link_snapshots(&self) -> Vec<String> {
+        self.net
+            .peers
+            .iter()
+            .flatten()
+            .map(|peer| peer.link.lock().unwrap().snapshot_json())
+            .collect()
+    }
 }
 
 /// A handle to one party of a TCP group: the transport-independent
@@ -124,6 +138,20 @@ impl TcpHandle {
     /// delivery is lost or reordered.
     pub fn sever_links(&self) {
         self.net.sever_all();
+    }
+
+    /// Asks this party's server to write a state dump (see
+    /// [`ServerHandle::request_dump`]).
+    pub fn request_dump(&self, reason: &str) {
+        self.inner.request_dump(reason);
+    }
+
+    /// Stops this party's server loop without stopping the group — a
+    /// crash-fault injection hook (see [`ServerHandle::shutdown`]). Its
+    /// sockets stay up until the group shuts down; combine with
+    /// [`TcpHandle::sever_links`] to silence the party completely.
+    pub fn shutdown_server(&self) {
+        self.inner.shutdown();
     }
 }
 
@@ -162,6 +190,9 @@ impl TcpGroup {
         recorder: Option<Arc<dyn Recorder>>,
     ) -> std::io::Result<(TcpGroup, Vec<TcpHandle>)> {
         let n = party_keys.len();
+        // One shared time zero for the whole group: trace stamps from
+        // different party threads must be comparable.
+        let run_start = std::time::Instant::now();
         // Bind every listener first so the full address table is known
         // before anyone dials.
         let mut listeners = Vec::with_capacity(n);
@@ -266,11 +297,15 @@ impl TcpGroup {
                 self_tx: inbox_tx.clone(),
             };
             let keys = Arc::clone(keys);
-            let rec = recorder.clone();
+            let opts = ServerOpts {
+                recorder: recorder.clone(),
+                observability: config.observability.clone(),
+                run_start,
+            };
             let inbox_rx = inboxes[i].1.clone();
             let server = std::thread::Builder::new()
                 .name(format!("sintra-p{i}"))
-                .spawn(move || server_loop(i, keys, inbox_rx, transport, event_tx, rec))
+                .spawn(move || server_loop(i, keys, inbox_rx, transport, event_tx, opts))
                 .expect("spawn server thread");
 
             server_threads.push(server);

@@ -20,10 +20,11 @@ use sintra_core::message::Envelope;
 use sintra_core::wire::Wire;
 use sintra_core::PartyId;
 use sintra_crypto::dealer::PartyKeys;
-use sintra_telemetry::Recorder;
+use sintra_telemetry::{Recorder, SnapshotWriter};
 
 use crate::link::{FrameKind, LinkKey};
-use crate::server::{server_loop, Command, Input, Transport};
+use crate::observe::ObservabilityConfig;
+use crate::server::{server_loop, Command, Input, ServerOpts, Transport};
 use crate::Runtime;
 
 pub use crate::server::ServerHandle;
@@ -82,6 +83,21 @@ impl Transport for ThreadedTransport {
             _ => None,
         }
     }
+
+    fn link_snapshots(&self) -> Vec<String> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(peer, _)| *peer != self.me.0)
+            .map(|(peer, link)| {
+                let pid = format!("link/{}->{}", self.me.0, peer);
+                SnapshotWriter::new(&pid, "link")
+                    .num("next_seq", link.next_seq)
+                    .num("recv_cum", link.recv_cum)
+                    .finish()
+            })
+            .collect()
+    }
 }
 
 /// A running group of server threads.
@@ -106,7 +122,24 @@ impl ThreadedGroup {
         party_keys: Vec<Arc<PartyKeys>>,
         recorder: Option<Arc<dyn Recorder>>,
     ) -> (ThreadedGroup, Vec<ServerHandle>) {
+        Self::spawn_observable(party_keys, recorder, None)
+    }
+
+    /// Like [`ThreadedGroup::spawn_with_recorder`], with flight-recorder
+    /// and stall-detector observability on top: each server keeps a
+    /// bounded ring of recent trace events, watches for quiet periods
+    /// with work pending, and writes `sintra-dump-<party>-<reason>.json`
+    /// files on stalls, invariant violations and explicit
+    /// [`ServerHandle::request_dump`] calls.
+    pub fn spawn_observable(
+        party_keys: Vec<Arc<PartyKeys>>,
+        recorder: Option<Arc<dyn Recorder>>,
+        observability: Option<ObservabilityConfig>,
+    ) -> (ThreadedGroup, Vec<ServerHandle>) {
         let n = party_keys.len();
+        // One shared time zero for the whole group: trace stamps from
+        // different party threads must be comparable.
+        let run_start = std::time::Instant::now();
         // One inbox per party.
         let inboxes: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
         let mut handles = Vec::with_capacity(n);
@@ -128,11 +161,15 @@ impl ThreadedGroup {
                     .collect(),
             };
             let keys = Arc::clone(keys);
-            let recorder = recorder.clone();
+            let opts = ServerOpts {
+                recorder: recorder.clone(),
+                observability: observability.clone(),
+                run_start,
+            };
             let thread = std::thread::Builder::new()
                 .name(format!("sintra-p{i}"))
                 .spawn(move || {
-                    server_loop(i, keys, inbox_rx, transport, event_tx, recorder);
+                    server_loop(i, keys, inbox_rx, transport, event_tx, opts);
                 })
                 .expect("spawn server thread");
             threads.push(thread);

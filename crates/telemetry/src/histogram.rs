@@ -132,6 +132,16 @@ impl HistogramSnapshot {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Folds another snapshot's observations into this one (used by
+    /// report totals rows to combine per-scope distributions).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +210,21 @@ mod tests {
         assert_eq!(s.buckets[bucket_index(3)], 2);
         assert_eq!(s.buckets[bucket_index(100)], 1);
         assert_eq!(s.buckets[bucket_index(70_000)], 1);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_distributions() {
+        let a = Histogram::new();
+        a.observe(10);
+        let b = Histogram::new();
+        b.observe(10);
+        b.observe(5000);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count, 3);
+        assert_eq!(sa.sum, 5020);
+        assert_eq!(sa.buckets[bucket_index(10)], 2);
+        assert_eq!(sa.buckets[bucket_index(5000)], 1);
     }
 
     #[test]

@@ -22,17 +22,21 @@
 
 #![forbid(unsafe_code)]
 
+mod flight;
 mod histogram;
+mod json;
 mod recorder;
 mod registry;
 mod report;
 mod trace;
 
+pub use flight::{render_dump, FlightRecorder, SnapshotWriter, StateSnapshot, DUMP_SCHEMA};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{parse_json, JsonError, JsonValue};
 pub use recorder::{NoopRecorder, Recorder};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
-pub use report::{report_columns, ProtocolRow, RunReport};
-pub use trace::TraceEvent;
+pub use report::{report_columns, ProtocolRow, RunReport, DELIVERY_LATENCY};
+pub use trace::{json_escape, TraceEvent};
 
 /// Scale factor between floating-point crypto work units and the
 /// integer `crypto_work_milli` counter: 1 work unit = 1000 milliunits.

@@ -1,9 +1,14 @@
 //! Per-run rollup reports (JSON + pretty table).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::trace::json_string;
-use crate::{MetricsSnapshot, CRYPTO_WORK_MILLI};
+use crate::{HistogramSnapshot, MetricsSnapshot, CRYPTO_WORK_MILLI};
+
+/// Histogram name runtimes record end-to-end delivery latency under
+/// (microseconds from client send to local channel delivery).
+pub const DELIVERY_LATENCY: &str = "delivery_latency_us";
 
 /// Counter names the report treats as first-class columns; everything
 /// else a scope accumulated shows up in the row's `extra` map (per
@@ -40,7 +45,10 @@ pub struct ProtocolRow {
     /// modular exponentiation).
     pub crypto_work_milli: u64,
     /// Remaining counters for this scope, e.g. per message kind.
-    pub extra: std::collections::BTreeMap<String, u64>,
+    pub extra: BTreeMap<String, u64>,
+    /// End-to-end delivery latency distribution in microseconds
+    /// ([`DELIVERY_LATENCY`]), when the runtime recorded one.
+    pub latency: Option<HistogramSnapshot>,
 }
 
 impl ProtocolRow {
@@ -60,6 +68,12 @@ impl ProtocolRow {
         self.crypto_work_milli += other.crypto_work_milli;
         for (k, v) in &other.extra {
             *self.extra.entry(k.clone()).or_insert(0) += v;
+        }
+        if let Some(theirs) = &other.latency {
+            match &mut self.latency {
+                Some(mine) => mine.merge(theirs),
+                None => self.latency = Some(theirs.clone()),
+            }
         }
     }
 }
@@ -86,12 +100,16 @@ impl RunReport {
         duration_us: u64,
         snapshot: &MetricsSnapshot,
     ) -> Self {
-        let mut rows = Vec::new();
-        for (scope, counters) in &snapshot.counters {
-            let mut row = ProtocolRow {
+        let mut rows: BTreeMap<String, ProtocolRow> = BTreeMap::new();
+        let row_for = |rows: &mut BTreeMap<String, ProtocolRow>, scope: &String| {
+            rows.entry(scope.clone()).or_insert_with(|| ProtocolRow {
                 scope: scope.clone(),
                 ..ProtocolRow::default()
-            };
+            });
+        };
+        for (scope, counters) in &snapshot.counters {
+            row_for(&mut rows, scope);
+            let row = rows.get_mut(scope).expect("just inserted");
             for (name, &value) in counters {
                 match name.as_str() {
                     "msgs_sent" => row.msgs_sent = value,
@@ -106,13 +124,20 @@ impl RunReport {
                     }
                 }
             }
-            rows.push(row);
+        }
+        for (scope, hists) in &snapshot.histograms {
+            if let Some(h) = hists.get(DELIVERY_LATENCY) {
+                if !h.is_empty() {
+                    row_for(&mut rows, scope);
+                    rows.get_mut(scope).expect("just inserted").latency = Some(h.clone());
+                }
+            }
         }
         RunReport {
             label: label.into(),
             parties,
             duration_us,
-            rows,
+            rows: rows.into_values().collect(),
         }
     }
 
@@ -165,7 +190,18 @@ impl RunReport {
                 }
                 let _ = write!(out, "{}:{}", json_string(name), value);
             }
-            out.push_str("}}");
+            out.push('}');
+            if let Some(lat) = &row.latency {
+                let _ = write!(
+                    out,
+                    ",\"latency_us\":{{\"count\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                    lat.count,
+                    lat.quantile(0.5),
+                    lat.quantile(0.95),
+                    lat.quantile(1.0),
+                );
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -188,8 +224,15 @@ impl RunReport {
             "rounds",
             "deliv",
             "crypto",
+            "p50µs",
+            "p95µs",
+            "maxµs",
         ];
-        let mut table: Vec<[String; 8]> = Vec::with_capacity(self.rows.len() + 2);
+        let lat_cell = |row: &ProtocolRow, q: f64| match &row.latency {
+            Some(lat) => lat.quantile(q).to_string(),
+            None => "-".to_string(),
+        };
+        let mut table: Vec<[String; 11]> = Vec::with_capacity(self.rows.len() + 2);
         table.push(header.map(str::to_string));
         for row in self.rows.iter().chain(std::iter::once(&self.totals())) {
             table.push([
@@ -201,12 +244,16 @@ impl RunReport {
                 row.rounds.to_string(),
                 row.deliveries.to_string(),
                 format!("{:.3}", row.crypto_work()),
+                lat_cell(row, 0.5),
+                lat_cell(row, 0.95),
+                lat_cell(row, 1.0),
             ]);
         }
-        let mut widths = [0usize; 8];
+        let mut widths = [0usize; 11];
         for line in &table {
             for (w, cell) in widths.iter_mut().zip(line.iter()) {
-                *w = (*w).max(cell.len());
+                // Char count, not byte length: the header has a µ.
+                *w = (*w).max(cell.chars().count());
             }
         }
         for (i, line) in table.iter().enumerate() {
@@ -304,6 +351,39 @@ mod tests {
         assert_eq!(lines.len(), 6);
         assert!(lines[2].chars().all(|c| c == '-'));
         assert!(lines[5].starts_with("total"));
+    }
+
+    #[test]
+    fn latency_histograms_surface_in_table_and_json() {
+        let r = MetricsRegistry::new();
+        r.counter_add("atomic", "msgs_sent", 4);
+        r.counter_add("rc", "msgs_sent", 1);
+        for v in [900u64, 1000, 1100, 9000] {
+            r.observe("atomic", DELIVERY_LATENCY, v);
+        }
+        let report = RunReport::from_snapshot("lat", 4, 9000, &r.snapshot());
+        let atomic = report.row("atomic").expect("row");
+        let lat = atomic.latency.as_ref().expect("latency recorded");
+        assert_eq!(lat.count, 4);
+        // rc recorded no latency: its cells render as "-".
+        assert!(report.row("rc").expect("row").latency.is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"latency_us\":{\"count\":4,\"p50\":"));
+        let table = report.to_table();
+        let header = table.lines().nth(1).expect("header");
+        assert!(header.contains("p50µs") && header.contains("maxµs"));
+        let rc_line = table.lines().find(|l| l.starts_with("rc")).expect("rc row");
+        assert!(rc_line.trim_end().ends_with('-'));
+        // Totals row folds the single distribution in unchanged.
+        assert_eq!(report.totals().latency.as_ref().unwrap().count, 4);
+    }
+
+    #[test]
+    fn histogram_only_scope_still_gets_a_row() {
+        let r = MetricsRegistry::new();
+        r.observe("ghost", DELIVERY_LATENCY, 5);
+        let report = RunReport::from_snapshot("g", 1, 0, &r.snapshot());
+        assert!(report.row("ghost").expect("row").latency.is_some());
     }
 
     #[test]

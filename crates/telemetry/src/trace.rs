@@ -26,6 +26,11 @@ pub struct TraceEvent {
     pub round: u64,
     /// Payload bytes associated with the event (0 when not meaningful).
     pub bytes: u64,
+    /// Causal parent: the `(sender_party, send_seq)` of the network
+    /// message whose processing produced this event, when known. The
+    /// runtime stamps it at delivery time; locally-originated events
+    /// (client sends, timer expiries) have none.
+    pub cause: Option<(usize, u64)>,
 }
 
 impl TraceEvent {
@@ -39,6 +44,7 @@ impl TraceEvent {
             phase: "",
             round: 0,
             bytes: 0,
+            cause: None,
         }
     }
 
@@ -60,11 +66,18 @@ impl TraceEvent {
         self
     }
 
+    /// Sets the causal parent — the `(sender_party, send_seq)` origin of
+    /// the message that triggered this event.
+    pub fn caused_by(mut self, sender: usize, send_seq: u64) -> Self {
+        self.cause = Some((sender, send_seq));
+        self
+    }
+
     /// Renders the event as one JSON object (hand-rolled; the workspace
     /// has no serde).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"time_us\":{},\"party\":{},\"protocol\":{},\"family\":{},\"phase\":{},\"round\":{},\"bytes\":{}}}",
+        let mut out = format!(
+            "{{\"time_us\":{},\"party\":{},\"protocol\":{},\"family\":{},\"phase\":{},\"round\":{},\"bytes\":{}",
             self.time_us,
             self.party,
             json_string(&self.protocol),
@@ -72,7 +85,12 @@ impl TraceEvent {
             json_string(self.phase),
             self.round,
             self.bytes,
-        )
+        );
+        if let Some((sender, seq)) = self.cause {
+            out.push_str(&format!(",\"cause\":[{sender},{seq}]"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -90,6 +108,13 @@ impl fmt::Display for TraceEvent {
             self.bytes
         )
     }
+}
+
+/// Escapes a string as a JSON string literal — exported so snapshot and
+/// dump writers in other crates render strings exactly like the
+/// telemetry layer does.
+pub fn json_escape(s: &str) -> String {
+    json_string(s)
 }
 
 /// Escapes a string as a JSON string literal.
@@ -137,6 +162,15 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"protocol\":\"a\\\"b\""));
         assert!(j.contains("\"phase\":\"echo\""));
+    }
+
+    #[test]
+    fn cause_serializes_when_present() {
+        let e = TraceEvent::new(1, "rb", "rb").phase("echo");
+        assert!(!e.to_json().contains("cause"));
+        let e = e.caused_by(3, 42);
+        assert_eq!(e.cause, Some((3, 42)));
+        assert!(e.to_json().contains("\"cause\":[3,42]"));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Flight-recorder dump tooling.
+//!
+//! ```text
+//! trace export --chrome DUMP.json [DUMP.json ...] [--out trace.json]
+//! trace validate DUMP.json [DUMP.json ...]
+//! ```
+//!
+//! `export --chrome` merges one or more per-party dumps into a single
+//! Chrome `trace_event` file that `chrome://tracing` or Perfetto opens
+//! directly — per-party tracks and flow arrows from each message send to
+//! the work it triggered. `validate` checks dumps against the
+//! `sintra-dump-v1` schema and exits non-zero on the first violation.
+
+use std::process::ExitCode;
+
+use sintra_telemetry::{parse_json, JsonValue};
+use sintra_testbed::trace_export::{chrome_trace, validate_dump};
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace export --chrome DUMP.json [DUMP.json ...] [--out FILE]\n  \
+         trace validate DUMP.json [DUMP.json ...]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let mut chrome = false;
+            let mut out_path: Option<String> = None;
+            let mut inputs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--chrome" => chrome = true,
+                    "--out" => match it.next() {
+                        Some(path) => out_path = Some(path.clone()),
+                        None => return usage(),
+                    },
+                    path => inputs.push(path.to_string()),
+                }
+            }
+            if !chrome || inputs.is_empty() {
+                return usage();
+            }
+            let mut dumps = Vec::new();
+            for path in &inputs {
+                match load(path) {
+                    Ok(dump) => dumps.push(dump),
+                    Err(err) => {
+                        eprintln!("trace: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match chrome_trace(&dumps) {
+                Ok(trace) => match out_path {
+                    Some(path) => {
+                        if let Err(err) = std::fs::write(&path, trace) {
+                            eprintln!("trace: {path}: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("trace: wrote {path} ({} dump(s))", dumps.len());
+                    }
+                    None => println!("{trace}"),
+                },
+                Err(err) => {
+                    eprintln!("trace: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("validate") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            for path in &args[1..] {
+                let result = load(path).and_then(|dump| validate_dump(&dump));
+                match result {
+                    Ok(()) => eprintln!("trace: {path}: ok"),
+                    Err(err) => {
+                        eprintln!("trace: {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

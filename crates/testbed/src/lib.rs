@@ -28,5 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod inspect;
 pub mod setups;
 pub mod stats;
+pub mod trace_export;

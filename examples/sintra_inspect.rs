@@ -1,0 +1,56 @@
+//! Reads flight-recorder dumps and prints a "who is waiting on what"
+//! report for each: the stuck instances, the quorums they are missing,
+//! and any link-layer backlog — the first thing to look at when a live
+//! group stalls.
+//!
+//! Dumps (`sintra-dump-<party>-<reason>.json`) are written automatically
+//! by the stall detector when a server sits on pending work past its
+//! quiet period, on protocol invariant violations, and on explicit
+//! `request_dump` calls. See the "Debugging a stalled channel" section
+//! of DESIGN.md.
+//!
+//! Run with:
+//! `cargo run --release --example sintra_inspect -- sintra-dump-*.json`
+
+use std::process::ExitCode;
+
+use sintra::telemetry::parse_json;
+use sintra::testbed::inspect::report;
+use sintra::testbed::trace_export::validate_dump;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: sintra_inspect DUMP.json [DUMP.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("== {path}");
+        let dump = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|body| parse_json(&body).map_err(|e| e.to_string()))
+        {
+            Ok(dump) => dump,
+            Err(err) => {
+                eprintln!("  unreadable dump: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        if let Err(err) = validate_dump(&dump) {
+            eprintln!("  schema violation: {err}");
+            failed = true;
+            continue;
+        }
+        print!("{}", report(&dump));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

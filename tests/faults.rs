@@ -4,11 +4,59 @@
 
 mod common;
 
-use common::{delivered_data, lan_sim, wan_sim};
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::Duration;
+
+use common::{delivered_data, group_keys, lan_sim, wan_sim};
 use sintra::protocols::channel::AtomicChannelConfig;
 use sintra::runtime::sim::byzantine::{ByzantineActor, Reflector, Silent};
 use sintra::runtime::sim::{Fault, LinkDecision};
+use sintra::runtime::tcp::{TcpConfig, TcpGroup};
+use sintra::runtime::{ObservabilityConfig, PartyHandle};
+use sintra::telemetry::parse_json;
+use sintra::testbed::inspect::report;
+use sintra::testbed::trace_export::validate_dump;
 use sintra::{PartyId, ProtocolId, Recipient};
+
+/// Runs `f` on a worker thread and fails the test if it neither
+/// finishes nor panics within `secs` — a hard wall-clock bound so a
+/// wedged socket cannot hang the suite.
+fn with_deadline<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().expect("worker"),
+        Err(RecvTimeoutError::Disconnected) => worker.join().expect("worker"),
+        Err(RecvTimeoutError::Timeout) => panic!("test exceeded {secs}s wall-clock deadline"),
+    }
+}
+
+/// A fresh per-test dump directory under the system temp dir.
+fn dump_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sintra-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    dir
+}
+
+fn dump_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read dump dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .starts_with("sintra-dump-")
+        })
+        .collect();
+    files.sort();
+    files
+}
 
 fn open_atomic(sim: &mut sintra::runtime::sim::Simulation, pid: &ProtocolId, skip: &[usize]) {
     for p in 0..sim.n() {
@@ -129,6 +177,7 @@ impl ByzantineActor for EntryForger {
                     Recipient::All,
                     Envelope {
                         pid: self.pid.clone(),
+                        send_seq: 0,
                         body: Body::AcEntry { round: 0, entry },
                     },
                 )
@@ -217,4 +266,102 @@ fn safety_with_t_byzantine_and_slow_network() {
     for p in 1..5 {
         assert_eq!(delivered_data(&sim, p, &pid), reference, "party {p}");
     }
+}
+
+#[test]
+fn stall_past_fault_budget_produces_dump_naming_the_instance() {
+    // Crashing two of four servers exceeds the t = 1 budget: the
+    // survivors cannot assemble any n - t quorum and wedge. The stall
+    // detector must notice the quiet period and write a schema-valid
+    // dump that names the stuck channel and the quorum it is missing.
+    with_deadline(180, || {
+        let dir = dump_dir("stall-dump");
+        let config = TcpConfig {
+            observability: Some(ObservabilityConfig {
+                quiet: Duration::from_millis(300),
+                dump_dir: dir.clone(),
+                ..ObservabilityConfig::default()
+            }),
+            ..TcpConfig::default()
+        };
+        let (group, handles) =
+            TcpGroup::spawn_with(group_keys(4, 1, 2600), config, None).expect("bind loopback");
+        let pid = ProtocolId::new("f-stall");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        for h in &handles[2..] {
+            h.shutdown_server();
+            h.sever_links();
+        }
+        handles[0].send(&pid, b"wedged".to_vec());
+
+        let path = dir.join("sintra-dump-0-stall.json");
+        while !path.exists() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // The write is not atomic; retry until the file parses whole.
+        let dump = loop {
+            if let Ok(dump) = parse_json(&std::fs::read_to_string(&path).expect("read dump")) {
+                break dump;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        group.shutdown();
+
+        validate_dump(&dump).expect("dump is schema-valid");
+        let analysis = report(&dump);
+        assert!(
+            analysis.contains("f-stall"),
+            "names the instance: {analysis}"
+        );
+        assert!(
+            analysis.contains("waiting for round entries"),
+            "names the missing quorum: {analysis}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn healthy_run_produces_no_dumps() {
+    // No false positives: a group that delivers everything and then
+    // sits idle has no pending work, so the stall detector must stay
+    // quiet even long after the quiet period has elapsed.
+    with_deadline(180, || {
+        let dir = dump_dir("no-dump");
+        let quiet = Duration::from_millis(400);
+        let config = TcpConfig {
+            observability: Some(ObservabilityConfig {
+                quiet,
+                dump_dir: dir.clone(),
+                ..ObservabilityConfig::default()
+            }),
+            ..TcpConfig::default()
+        };
+        let (group, mut handles) =
+            TcpGroup::spawn_with(group_keys(4, 1, 2700), config, None).expect("bind loopback");
+        let pid = ProtocolId::new("f-healthy");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.send(&pid, format!("ok{i}").into_bytes());
+        }
+        for h in handles.iter_mut() {
+            for _ in 0..4 {
+                h.receive(&pid).expect("healthy delivery");
+            }
+        }
+        // Idle well past the quiet period: ample opportunity for a
+        // false positive before teardown.
+        std::thread::sleep(quiet * 3);
+        group.shutdown();
+        assert_eq!(
+            dump_files(&dir),
+            Vec::<std::path::PathBuf>::new(),
+            "healthy run wrote a dump"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    });
 }
