@@ -23,7 +23,7 @@
 //! the protocol always decides the preferred value when an honest party
 //! proposed it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sintra_crypto::coin::CoinShare;
 use sintra_crypto::thsig::{SigShare, ThresholdSignature};
@@ -31,6 +31,7 @@ use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant::OrInvariant;
 use crate::message::{
     coin_name, statement_main_vote, statement_pre_vote, Body, MainVote, MainVoteJust, PreVoteJust,
 };
@@ -55,26 +56,26 @@ enum Stage {
 #[derive(Debug, Default)]
 struct RoundState {
     /// Accepted pre-votes: party -> (value, signature share).
-    pre_votes: HashMap<PartyId, (bool, SigShare)>,
+    pre_votes: BTreeMap<PartyId, (bool, SigShare)>,
     /// First accepted pre-vote justification (+ proof) per bit, used as
     /// abstain evidence.
     pre_just: [Option<(PreVoteJust, Option<Vec<u8>>)>; 2],
     /// Whether the pre-vote quorum has already been evaluated.
     pre_evaluated: bool,
     /// Accepted main-votes: party -> (vote, share).
-    main_votes: HashMap<PartyId, (MainVote, SigShare)>,
+    main_votes: BTreeMap<PartyId, (MainVote, SigShare)>,
     /// First accepted value main-vote justification: the threshold
     /// signature on `pre(pid, round, b)`, reusable as the hard pre-vote
     /// justification for the next round.
     value_just: Option<(bool, ThresholdSignature)>,
     main_evaluated: bool,
     /// Verified coin shares by holder index.
-    coin_shares: HashMap<usize, CoinShare>,
+    coin_shares: BTreeMap<usize, CoinShare>,
     /// Received but not yet verified coin shares, keyed by *sender* so a
     /// forged share cannot displace an honest party's. Verification is
     /// deferred and batched: one combined DLEQ check replaces per-share
     /// checks once enough shares are queued to flip the coin.
-    pending_coin: HashMap<PartyId, CoinShare>,
+    pending_coin: BTreeMap<PartyId, CoinShare>,
 }
 
 /// A binary Byzantine agreement instance.
@@ -93,7 +94,7 @@ pub struct BinaryAgreement {
     stage: Stage,
     preference: bool,
     next_just: PreVoteJust,
-    rounds: HashMap<u32, RoundState>,
+    rounds: BTreeMap<u32, RoundState>,
     /// Cached external validation data per bit.
     proofs: [Option<Vec<u8>>; 2],
     decided: Option<(bool, Option<Vec<u8>>)>,
@@ -113,7 +114,7 @@ impl BinaryAgreement {
             stage: Stage::Idle,
             preference: false,
             next_just: PreVoteJust::Initial,
-            rounds: HashMap::new(),
+            rounds: BTreeMap::new(),
             proofs: [None, None],
             decided: None,
             decision_taken: false,
@@ -466,7 +467,9 @@ impl BinaryAgreement {
         if state.pending_coin.is_empty() {
             return;
         }
-        let pending: Vec<CoinShare> = state.pending_coin.drain().map(|(_, s)| s).collect();
+        let pending: Vec<CoinShare> = std::mem::take(&mut state.pending_coin)
+            .into_values()
+            .collect();
         let name = coin_name(&self.pid, round);
         let verdicts = self.ctx.keys().common.coin.verify_shares(&name, &pending);
         for (share, valid) in pending.into_iter().zip(verdicts) {
@@ -687,7 +690,10 @@ impl BinaryAgreement {
                     let coin_k = self.ctx.keys().common.coin.threshold();
                     let biased_round1 = round == 1 && self.bias.is_some();
                     let (coin, shares_used) = if biased_round1 {
-                        (self.bias.expect("bias set"), Vec::new())
+                        (
+                            self.bias.or_invariant("biased round without a bias value"),
+                            Vec::new(),
+                        )
                     } else {
                         let Some(state) = self.rounds.get(&round) else {
                             return;

@@ -21,7 +21,7 @@
 //!
 //! Expected `O(t)` loop iterations with a fixed or locally-random order.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sintra_crypto::hash::Sha256;
 use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
@@ -30,6 +30,8 @@ use crate::agreement::BinaryAgreement;
 use crate::broadcast::VerifiableConsistentBroadcast;
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant::OrInvariant;
+use crate::invariant_unwrap;
 use crate::message::Body;
 use crate::outgoing::Outgoing;
 use crate::validator::{ArrayValidator, BinaryValidator};
@@ -59,7 +61,7 @@ pub enum CandidateOrder {
 #[derive(Debug, Default)]
 struct IterationVotes {
     /// Parties whose vote has been counted.
-    voted: HashMap<PartyId, bool>,
+    voted: BTreeMap<PartyId, bool>,
     /// Number of proper votes (yes with valid closing, or no).
     proper: usize,
 }
@@ -83,17 +85,17 @@ pub struct MultiValuedAgreement {
     /// Current loop iteration (candidate index into the permutation);
     /// `None` until `n - t` proposals arrived.
     iteration: Option<u32>,
-    votes: HashMap<u32, IterationVotes>,
-    vote_sent: HashMap<u32, bool>,
+    votes: BTreeMap<u32, IterationVotes>,
+    vote_sent: BTreeMap<u32, bool>,
     /// Binary agreement per iteration, created lazily.
-    bas: HashMap<u32, BinaryAgreement>,
+    bas: BTreeMap<u32, BinaryAgreement>,
     /// The resolved permutation (immediate for `Fixed`/`LocalRandom`,
     /// coin-derived for `CommonCoin`).
     perm: Option<Vec<usize>>,
     /// Whether this party has released its permutation-coin share.
     perm_coin_sent: bool,
     /// Verified permutation-coin shares by holder.
-    perm_shares: HashMap<usize, sintra_crypto::coin::CoinShare>,
+    perm_shares: BTreeMap<usize, sintra_crypto::coin::CoinShare>,
     /// Vote / agreement messages parked until the permutation is known.
     deferred: Vec<(PartyId, ProtocolId, Body)>,
     decided: Option<Vec<u8>>,
@@ -149,7 +151,11 @@ impl MultiValuedAgreement {
                 let seed = Sha256::digest(pid.as_bytes());
                 Some(seeded_permutation(
                     n,
-                    u64::from_be_bytes(seed[..8].try_into().expect("8 bytes")),
+                    u64::from_be_bytes(
+                        seed[..8]
+                            .try_into()
+                            .or_invariant("digest shorter than 8 bytes"),
+                    ),
                 ))
             }
             CandidateOrder::CommonCoin => None,
@@ -165,12 +171,12 @@ impl MultiValuedAgreement {
             valid_count: 0,
             proposed: false,
             iteration: None,
-            votes: HashMap::new(),
-            vote_sent: HashMap::new(),
-            bas: HashMap::new(),
+            votes: BTreeMap::new(),
+            vote_sent: BTreeMap::new(),
+            bas: BTreeMap::new(),
             perm,
             perm_coin_sent: false,
-            perm_shares: HashMap::new(),
+            perm_shares: BTreeMap::new(),
             deferred: Vec::new(),
             decided: None,
             decision_taken: false,
@@ -273,7 +279,8 @@ impl MultiValuedAgreement {
                     self.try_advance(out);
                     return;
                 }
-                let iter = Self::parse_ba_child(&self.pid, msg_pid).expect("checked");
+                let iter = Self::parse_ba_child(&self.pid, msg_pid)
+                    .or_invariant("ba child pid unparseable after routing check");
                 let ba = self.ba_instance(iter);
                 ba.handle(from, body, out);
                 self.try_advance(out);
@@ -298,7 +305,11 @@ impl MultiValuedAgreement {
         if self.perm_shares.len() >= coin.threshold() {
             let shares: Vec<_> = self.perm_shares.values().cloned().collect();
             if let Ok(bytes) = coin.assemble(&name, &shares, 8) {
-                let seed = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+                let seed = u64::from_be_bytes(
+                    bytes[..8]
+                        .try_into()
+                        .or_invariant("coin value shorter than 8 bytes"),
+                );
                 self.perm = Some(seeded_permutation(self.ctx.n(), seed));
                 self.replay_deferred(out);
             }
@@ -326,7 +337,10 @@ impl MultiValuedAgreement {
     /// Panics if the permutation is not yet determined (callers gate on
     /// it).
     fn candidate(&self, iteration: u32) -> usize {
-        let perm = self.perm.as_ref().expect("permutation determined");
+        let perm = self
+            .perm
+            .as_ref()
+            .or_invariant("candidate loop entered before permutation was determined");
         perm[iteration as usize % perm.len()]
     }
 
@@ -458,7 +472,9 @@ impl MultiValuedAgreement {
             return;
         }
         loop {
-            let iteration = self.iteration.expect("loop started");
+            let iteration = self
+                .iteration
+                .or_invariant("vote handling before the candidate loop started");
             let candidate = self.candidate(iteration);
 
             // Step 2a: send our vote once.
@@ -489,7 +505,10 @@ impl MultiValuedAgreement {
                 let have = matches!(&self.proposals[candidate], Some(Some(_)))
                     && self.closings[candidate].is_some();
                 let proof = if have {
-                    self.closings[candidate].clone().expect("closing present")
+                    invariant_unwrap!(
+                        self.closings[candidate].clone(),
+                        "vote for candidate {candidate} sent without a closing"
+                    )
                 } else {
                     Vec::new()
                 };
@@ -718,7 +737,7 @@ mod tests {
             CandidateOrder::LocalRandom,
         );
         assert_eq!(a.permutation(), a2.permutation(), "same pid, same order");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..20 {
             let b = MultiValuedAgreement::new(
                 ProtocolId::new(format!("instance-{i}")),

@@ -10,7 +10,7 @@
 //! Only cheap hashing is used — no public-key operations — at the cost of
 //! `O(n²)` messages per broadcast.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
@@ -29,11 +29,11 @@ pub struct ReliableBroadcast {
     echoed: bool,
     ready_sent: bool,
     /// Payload bytes by digest (learned from send/echo messages).
-    payloads: HashMap<[u8; 32], Vec<u8>>,
+    payloads: BTreeMap<[u8; 32], Vec<u8>>,
     /// Echo voters per digest.
-    echoes: HashMap<[u8; 32], HashSet<PartyId>>,
+    echoes: BTreeMap<[u8; 32], BTreeSet<PartyId>>,
     /// Ready voters per digest.
-    readies: HashMap<[u8; 32], HashSet<PartyId>>,
+    readies: BTreeMap<[u8; 32], BTreeSet<PartyId>>,
     delivered: Option<Vec<u8>>,
     delivery_taken: bool,
 }
@@ -48,9 +48,9 @@ impl ReliableBroadcast {
             sent: false,
             echoed: false,
             ready_sent: false,
-            payloads: HashMap::new(),
-            echoes: HashMap::new(),
-            readies: HashMap::new(),
+            payloads: BTreeMap::new(),
+            echoes: BTreeMap::new(),
+            readies: BTreeMap::new(),
             delivered: None,
             delivery_taken: false,
         }
@@ -135,16 +135,18 @@ impl ReliableBroadcast {
     }
 
     fn check_progress(&mut self, digest: [u8; 32], out: &mut Outgoing) {
-        let echo_count = self.echoes.get(&digest).map_or(0, HashSet::len);
-        let ready_count = self.readies.get(&digest).map_or(0, HashSet::len);
-        if !self.ready_sent && (echo_count >= self.ctx.quorum() || ready_count > self.ctx.t()) {
+        let echo_count = self.echoes.get(&digest).map_or(0, BTreeSet::len);
+        let ready_count = self.readies.get(&digest).map_or(0, BTreeSet::len);
+        if !self.ready_sent
+            && (echo_count >= self.ctx.quorum() || ready_count > self.ctx.fault_budget())
+        {
             self.ready_sent = true;
             out.send_all(&self.pid, Body::RbReady(digest));
             out.trace_with(|| {
                 TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "rb").phase("ready")
             });
         }
-        if ready_count > 2 * self.ctx.t() {
+        if ready_count >= self.ctx.ready_quorum() {
             if let Some(payload) = self.payloads.get(&digest) {
                 self.delivered = Some(payload.clone());
                 out.trace_with(|| {
@@ -171,8 +173,8 @@ impl StateSnapshot for ReliableBroadcast {
     }
 
     fn snapshot_json(&self) -> String {
-        let echo_count = self.echoes.values().map(HashSet::len).max().unwrap_or(0);
-        let ready_count = self.readies.values().map(HashSet::len).max().unwrap_or(0);
+        let echo_count = self.echoes.values().map(BTreeSet::len).max().unwrap_or(0);
+        let ready_count = self.readies.values().map(BTreeSet::len).max().unwrap_or(0);
         SnapshotWriter::new(self.pid.as_str(), "rb")
             .num("sender", self.sender.0 as u64)
             .flag("sent", self.sent)
@@ -181,7 +183,7 @@ impl StateSnapshot for ReliableBroadcast {
             .num("echoes", echo_count as u64)
             .num("echo_quorum", self.ctx.quorum() as u64)
             .num("readies", ready_count as u64)
-            .num("ready_quorum", 2 * self.ctx.t() as u64 + 1)
+            .num("ready_quorum", self.ctx.ready_quorum() as u64)
             .flag("delivered", self.delivered.is_some())
             .finish()
     }

@@ -21,13 +21,15 @@
 //! payload; the channel terminates at the end of the round in which
 //! requests from `t + 1` distinct parties have been delivered.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
 
 use crate::agreement::{CandidateOrder, MultiValuedAgreement};
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant::OrInvariant;
+use crate::invariant_unwrap;
 use crate::message::{statement_entry, Body, Entry, Payload, PayloadKind};
 use crate::outgoing::Outgoing;
 use crate::validator::ArrayValidator;
@@ -65,21 +67,21 @@ pub struct AtomicChannel {
     queue: VecDeque<Payload>,
     next_seq: u64,
     /// Delivered payload identities (the integrity filter).
-    delivered: HashSet<(PartyId, u64)>,
+    delivered: BTreeSet<(PartyId, u64)>,
     /// Application deliveries not yet drained by the runtime.
     deliveries: VecDeque<Payload>,
     /// Valid entries by round, in arrival order (the paper: "the protocol
     /// considers the messages in the order in which they arrive in the
     /// current round"), at most one per signer.
-    entries: HashMap<u64, Vec<Entry>>,
+    entries: BTreeMap<u64, Vec<Entry>>,
     /// Whether we broadcast our own entry for a round.
-    sent_entry: HashSet<u64>,
+    sent_entry: BTreeSet<u64>,
     /// Whether we proposed a batch for a round.
-    proposed: HashSet<u64>,
-    vbas: HashMap<u64, MultiValuedAgreement>,
+    proposed: BTreeSet<u64>,
+    vbas: BTreeMap<u64, MultiValuedAgreement>,
     close_requested: bool,
     /// Origins whose termination requests have been delivered.
-    close_origins: HashSet<PartyId>,
+    close_origins: BTreeSet<PartyId>,
     closed: bool,
     closed_taken: bool,
 }
@@ -115,26 +117,28 @@ impl AtomicChannel {
     ///
     /// Panics if the fairness parameter is outside `t + 1 ..= n - t`.
     pub fn new(pid: ProtocolId, ctx: GroupContext, config: AtomicChannelConfig) -> Self {
-        let n = ctx.n();
-        let t = ctx.t();
-        let f = config.fairness.unwrap_or(n - t);
-        assert!(f > t && f <= n - t, "fairness must satisfy t+1 <= f <= n-t");
+        let f = config.fairness.unwrap_or(ctx.n_minus_t());
+        assert!(
+            f >= ctx.one_honest() && f <= ctx.n_minus_t(),
+            "fairness must satisfy t+1 <= f <= n-t"
+        );
+        let batch_size = ctx.fairness_batch(f);
         AtomicChannel {
             pid,
             ctx,
-            batch_size: n - f + 1,
+            batch_size,
             order: config.order,
             round: 0,
             queue: VecDeque::new(),
             next_seq: 0,
-            delivered: HashSet::new(),
+            delivered: BTreeSet::new(),
             deliveries: VecDeque::new(),
-            entries: HashMap::new(),
-            sent_entry: HashSet::new(),
-            proposed: HashSet::new(),
-            vbas: HashMap::new(),
+            entries: BTreeMap::new(),
+            sent_entry: BTreeSet::new(),
+            proposed: BTreeSet::new(),
+            vbas: BTreeMap::new(),
             close_requested: false,
-            close_origins: HashSet::new(),
+            close_origins: BTreeSet::new(),
             closed: false,
             closed_taken: false,
         }
@@ -238,7 +242,7 @@ impl AtomicChannel {
             if batch.0.len() != batch_size {
                 return false;
             }
-            let mut signers = HashSet::new();
+            let mut signers = BTreeSet::new();
             for entry in &batch.0 {
                 if entry.signer.0 >= keys.len() || !signers.insert(entry.signer) {
                     return false;
@@ -262,7 +266,10 @@ impl AtomicChannel {
             );
             self.vbas.insert(round, vba);
         }
-        self.vbas.get_mut(&round).expect("just inserted")
+        invariant_unwrap!(
+            self.vbas.get_mut(&round),
+            "vba for round {round} missing after insert"
+        )
     }
 
     /// Processes a protocol message addressed to this channel or one of
@@ -378,9 +385,12 @@ impl AtomicChannel {
                 // Prefer entries carrying distinct payloads (in arrival
                 // order) so a batch delivers as many new payloads as
                 // possible; pad with duplicates only if needed.
-                let all = self.entries.get(&round).expect("entries exist");
+                let all = invariant_unwrap!(
+                    self.entries.get(&round),
+                    "entry set for round {round} missing at proposal"
+                );
                 let mut batch_entries: Vec<Entry> = Vec::with_capacity(self.batch_size);
-                let mut seen_payloads = HashSet::new();
+                let mut seen_payloads = BTreeSet::new();
                 for entry in all {
                     if batch_entries.len() == self.batch_size {
                         break;
@@ -410,7 +420,8 @@ impl AtomicChannel {
             let Some(decided) = vba.take_decision() else {
                 return;
             };
-            let batch = Batch::from_bytes(&decided).expect("validated batches decode");
+            let batch = Batch::from_bytes(&decided)
+                .or_invariant("externally validated batch failed to decode");
             let mut batch_entries = batch.0;
             let batch_len = batch_entries.len() as u64;
             out.trace_with(|| {
@@ -437,7 +448,7 @@ impl AtomicChannel {
             self.vbas.remove(&round);
             self.entries.remove(&round);
 
-            if self.close_origins.len() > self.ctx.t() {
+            if self.close_origins.len() > self.ctx.fault_budget() {
                 self.closed = true;
                 return;
             }

@@ -25,7 +25,7 @@
 //! *fully* asynchronous — the complaint timeout is a partial-synchrony
 //! heuristic — but timeouts are confined to liveness; safety is untimed.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sintra_crypto::rsa::RsaSignature;
 use sintra_telemetry::{SnapshotWriter, StateSnapshot, TraceEvent};
@@ -34,6 +34,7 @@ use crate::agreement::{CandidateOrder, MultiValuedAgreement};
 use crate::broadcast::ReliableBroadcast;
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant::OrInvariant;
 use crate::message::{
     payload_digest, statement_opt_ack, statement_opt_state, Body, Payload, PayloadKind,
 };
@@ -193,7 +194,7 @@ fn validate_state(pid: &ProtocolId, ctx: &GroupContext, epoch: u64, state: &Epoc
         let payload_bytes = entry.payload.to_bytes();
         let d = payload_digest(&payload_bytes);
         let statement = statement_opt_ack(pid, 1, epoch, entry.seq, &d);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut valid = 0usize;
         for (idx, sig) in &entry.cert {
             let idx = *idx as usize;
@@ -216,7 +217,7 @@ fn validate_state(pid: &ProtocolId, ctx: &GroupContext, epoch: u64, state: &Epoc
 #[derive(Debug, Default)]
 struct SlotAcks {
     /// signer -> (digest, signature), per phase (index 0 = phase 1).
-    acks: [HashMap<usize, ([u8; 32], RsaSignature)>; 2],
+    acks: [BTreeMap<usize, ([u8; 32], RsaSignature)>; 2],
     ack_sent: [bool; 2],
 }
 
@@ -230,8 +231,8 @@ pub struct OptimisticChannel {
     /// Own payload counter.
     next_seq: u64,
     /// Submissions known (own and others'), undelivered.
-    known: HashMap<(PartyId, u64), Payload>,
-    delivered: HashSet<(PartyId, u64)>,
+    known: BTreeMap<(PartyId, u64), Payload>,
+    delivered: BTreeSet<(PartyId, u64)>,
     deliveries: VecDeque<Payload>,
     delivery_count: u64,
     /// Monotone counter of *any* fast-path advancement (orders, prepares,
@@ -241,22 +242,22 @@ pub struct OptimisticChannel {
     progress: u64,
     // --- fast path (current epoch) ---
     /// Leader role: payloads already assigned a slot this epoch.
-    assigned: HashSet<(PartyId, u64)>,
+    assigned: BTreeSet<(PartyId, u64)>,
     next_assign: u64,
     /// Order-dissemination broadcasts by slot.
-    rbs: HashMap<u64, ReliableBroadcast>,
+    rbs: BTreeMap<u64, ReliableBroadcast>,
     /// Reliable-broadcast-delivered orders by slot.
     orders: BTreeMap<u64, Payload>,
-    slots: HashMap<u64, SlotAcks>,
+    slots: BTreeMap<u64, SlotAcks>,
     prepared: BTreeMap<u64, PreparedEntry>,
     committed: BTreeMap<u64, Payload>,
     next_deliver: u64,
     // --- complaints & recovery ---
     complained: bool,
-    complainers: HashSet<PartyId>,
+    complainers: BTreeSet<PartyId>,
     in_recovery: bool,
     state_sent: bool,
-    states: HashMap<PartyId, EpochState>,
+    states: BTreeMap<PartyId, EpochState>,
     recovery: Option<MultiValuedAgreement>,
     recovery_proposed: bool,
     // --- timer ---
@@ -264,7 +265,7 @@ pub struct OptimisticChannel {
     progress_at_arm: u64,
     // --- close ---
     close_requested: bool,
-    close_origins: HashSet<PartyId>,
+    close_origins: BTreeSet<PartyId>,
     closed: bool,
     closed_taken: bool,
 }
@@ -278,30 +279,30 @@ impl OptimisticChannel {
             config,
             epoch: 0,
             next_seq: 0,
-            known: HashMap::new(),
-            delivered: HashSet::new(),
+            known: BTreeMap::new(),
+            delivered: BTreeSet::new(),
             deliveries: VecDeque::new(),
             delivery_count: 0,
             progress: 0,
-            assigned: HashSet::new(),
+            assigned: BTreeSet::new(),
             next_assign: 0,
-            rbs: HashMap::new(),
+            rbs: BTreeMap::new(),
             orders: BTreeMap::new(),
-            slots: HashMap::new(),
+            slots: BTreeMap::new(),
             prepared: BTreeMap::new(),
             committed: BTreeMap::new(),
             next_deliver: 0,
             complained: false,
-            complainers: HashSet::new(),
+            complainers: BTreeSet::new(),
             in_recovery: false,
             state_sent: false,
-            states: HashMap::new(),
+            states: BTreeMap::new(),
             recovery: None,
             recovery_proposed: false,
             timer_armed: false,
             progress_at_arm: 0,
             close_requested: false,
-            close_origins: HashSet::new(),
+            close_origins: BTreeSet::new(),
             closed: false,
             closed_taken: false,
         }
@@ -660,7 +661,7 @@ impl OptimisticChannel {
             self.next_deliver += 1;
             self.deliver(payload);
         }
-        if self.close_origins.len() > self.ctx.t() {
+        if self.close_origins.len() > self.ctx.fault_budget() {
             self.closed = true;
         } else if self.has_work() {
             self.arm_timer(out);
@@ -684,7 +685,7 @@ impl OptimisticChannel {
     }
 
     fn maybe_enter_recovery(&mut self, out: &mut Outgoing) {
-        if self.in_recovery || self.closed || self.complainers.len() <= self.ctx.t() {
+        if self.in_recovery || self.closed || self.complainers.len() <= self.ctx.fault_budget() {
             return;
         }
         self.in_recovery = true;
@@ -745,7 +746,7 @@ impl OptimisticChannel {
             if set.0.len() < quorum {
                 return false;
             }
-            let mut senders = HashSet::new();
+            let mut senders = BTreeSet::new();
             set.0
                 .iter()
                 .all(|s| senders.insert(s.sender) && validate_state(&vpid, &vctx, epoch, s))
@@ -781,7 +782,8 @@ impl OptimisticChannel {
         let Some(decided) = rec.take_decision() else {
             return;
         };
-        let set = RecoverySet::from_bytes(&decided).expect("validated recovery sets decode");
+        let set = RecoverySet::from_bytes(&decided)
+            .or_invariant("externally validated recovery set failed to decode");
         // The cut: every prepared entry exhibited by the decided set.
         let mut carried: BTreeMap<u64, Payload> = BTreeMap::new();
         for state in &set.0 {
@@ -817,7 +819,7 @@ impl OptimisticChannel {
         self.recovery = None;
         self.recovery_proposed = false;
         self.known.retain(|id, _| !self.delivered.contains(id));
-        if self.close_origins.len() > self.ctx.t() {
+        if self.close_origins.len() > self.ctx.fault_budget() {
             self.closed = true;
             return;
         }
@@ -863,7 +865,7 @@ impl StateSnapshot for OptimisticChannel {
             .num("progress", self.progress)
             .flag("complained", self.complained)
             .num("complainers", self.complainers.len() as u64)
-            .num("complaint_quorum", (self.ctx.t() + 1) as u64)
+            .num("complaint_quorum", self.ctx.one_honest() as u64)
             .flag("in_recovery", self.in_recovery)
             .flag("state_sent", self.state_sent)
             .num("epoch_states", self.states.len() as u64)

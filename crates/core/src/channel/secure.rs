@@ -11,7 +11,7 @@
 //! The threshold cryptosystem (Shoup–Gennaro TDH2) is CCA2-secure, which
 //! is what prevents mauling an observed ciphertext into a related one.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::Rng;
 use sintra_crypto::thenc::{Ciphertext, DecryptionShare};
@@ -20,6 +20,7 @@ use sintra_telemetry::{SnapshotWriter, StateSnapshot};
 use crate::channel::atomic::{AtomicChannel, AtomicChannelConfig};
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant::OrInvariant;
 use crate::message::{Body, Payload, PayloadKind};
 use crate::outgoing::Outgoing;
 use crate::wire::Wire;
@@ -30,7 +31,7 @@ struct PendingDecryption {
     payload_meta: (PartyId, u64),
     ciphertext: Option<Ciphertext>,
     /// Verified shares by holder index.
-    shares: HashMap<usize, DecryptionShare>,
+    shares: BTreeMap<usize, DecryptionShare>,
     plaintext: Option<Vec<u8>>,
     /// A ciphertext that failed validation is skipped (a Byzantine sender
     /// ordered garbage).
@@ -46,7 +47,7 @@ pub struct SecureAtomicChannel {
     /// Ordered ciphertexts in delivery order.
     pending: VecDeque<PendingDecryption>,
     /// Early decryption shares for ciphertexts we have not ordered yet.
-    early_shares: HashMap<(PartyId, u64), Vec<DecryptionShare>>,
+    early_shares: BTreeMap<(PartyId, u64), Vec<DecryptionShare>>,
     /// Ciphertext-ordered notifications not yet drained.
     ordered_events: VecDeque<(PartyId, u64, Vec<u8>)>,
     deliveries: VecDeque<Payload>,
@@ -63,7 +64,7 @@ impl SecureAtomicChannel {
             ctx,
             inner,
             pending: VecDeque::new(),
-            early_shares: HashMap::new(),
+            early_shares: BTreeMap::new(),
             ordered_events: VecDeque::new(),
             deliveries: VecDeque::new(),
             closed_taken: false,
@@ -197,6 +198,7 @@ impl SecureAtomicChannel {
             Some(_) => {}
             None => {
                 let parked = self.early_shares.entry((origin, seq)).or_default();
+                // lint:allow(quorum-arithmetic): buffer bound (2n parked shares), not a protocol threshold
                 if parked.len() < 2 * self.ctx.n() {
                     parked.push(share.clone());
                 }
@@ -218,7 +220,7 @@ impl SecureAtomicChannel {
             let mut pending = PendingDecryption {
                 payload_meta: meta,
                 ciphertext: ct,
-                shares: HashMap::new(),
+                shares: BTreeMap::new(),
                 plaintext: None,
                 skipped: false,
             };
@@ -263,7 +265,10 @@ impl SecureAtomicChannel {
                 continue;
             }
             if p.shares.len() >= k {
-                let ct = p.ciphertext.as_ref().expect("not skipped");
+                let ct = p
+                    .ciphertext
+                    .as_ref()
+                    .or_invariant("unskipped pending entry lost its ciphertext");
                 let shares: Vec<DecryptionShare> = p.shares.values().cloned().collect();
                 if let Ok(plain) = self.ctx.keys().common.enc.combine(ct, &shares) {
                     p.plaintext = Some(plain);
@@ -276,12 +281,17 @@ impl SecureAtomicChannel {
             if front.skipped {
                 self.pending.pop_front();
             } else if front.plaintext.is_some() {
-                let p = self.pending.pop_front().expect("front exists");
+                let p = self
+                    .pending
+                    .pop_front()
+                    .or_invariant("pending front vanished during release");
                 self.deliveries.push_back(Payload {
                     origin: p.payload_meta.0,
                     seq: p.payload_meta.1,
                     kind: PayloadKind::App,
-                    data: p.plaintext.expect("checked"),
+                    data: p
+                        .plaintext
+                        .or_invariant("released entry missing its plaintext"),
                 });
             } else {
                 break;

@@ -39,14 +39,52 @@ impl GroupContext {
 
     /// The Byzantine quorum `⌈(n + t + 1) / 2⌉` used by both broadcast
     /// primitives (any two quorums intersect in an honest party).
+    ///
+    /// All threshold arithmetic lives in this file so protocol code
+    /// never spells out `n`/`t` expressions inline — `sintra-lint`'s
+    /// `quorum-arithmetic` rule enforces that.
     pub fn quorum(&self) -> usize {
+        // lint:allow(quorum-arithmetic): definitional — this helper is where the bound lives
         (self.n() + self.t() + 1).div_ceil(2)
     }
 
     /// `n - t`: the number of messages a party can wait for without
-    /// risking deadlock.
+    /// risking deadlock (paper §2: up to `t` parties may never answer).
     pub fn n_minus_t(&self) -> usize {
+        // lint:allow(quorum-arithmetic): definitional — this helper is where the bound lives
         self.n() - self.t()
+    }
+
+    /// `t + 1`: the smallest set of parties guaranteed to contain at
+    /// least one honest member. Used wherever a single honest witness
+    /// suffices — echo amplification, close requests, complaints.
+    pub fn one_honest(&self) -> usize {
+        // lint:allow(quorum-arithmetic): definitional — this helper is where the bound lives
+        self.t() + 1
+    }
+
+    /// `t`: the corruption budget itself, for "strictly more than the
+    /// faulty parties could produce alone" comparisons
+    /// (`count > fault_budget()` is equivalent to `count >= one_honest()`).
+    pub fn fault_budget(&self) -> usize {
+        self.t()
+    }
+
+    /// `2t + 1`: Bracha's ready quorum. A set of `2t + 1` ready senders
+    /// contains `t + 1` honest ones, enough to make every honest party
+    /// eventually ready, so delivery at this bound is irrevocable.
+    pub fn ready_quorum(&self) -> usize {
+        // lint:allow(quorum-arithmetic): definitional — this helper is where the bound lives
+        2 * self.t() + 1
+    }
+
+    /// The atomic-channel batch size `n - f + 1` that guarantees
+    /// `f`-fairness for a fairness parameter `t + 1 <= f <= n - t`
+    /// (paper §2.6): any batch assembled from `n - t` received entry
+    /// sets intersects the queues of at least `f` honest parties.
+    pub fn fairness_batch(&self, f: usize) -> usize {
+        // lint:allow(quorum-arithmetic): definitional — this helper is where the bound lives
+        self.n() - f + 1
     }
 
     /// Access to this party's key material.
@@ -82,6 +120,11 @@ mod tests {
         assert_eq!(ctx.t(), 1);
         assert_eq!(ctx.quorum(), 3);
         assert_eq!(ctx.n_minus_t(), 3);
+        assert_eq!(ctx.one_honest(), 2);
+        assert_eq!(ctx.fault_budget(), 1);
+        assert_eq!(ctx.ready_quorum(), 3);
+        assert_eq!(ctx.fairness_batch(3), 2);
+        assert_eq!(ctx.fairness_batch(2), 3);
         assert_eq!(ctx.parties().count(), 4);
         assert!(ctx.is_valid_party(PartyId(3)));
         assert!(!ctx.is_valid_party(PartyId(4)));

@@ -35,6 +35,7 @@ pub mod broadcast;
 pub mod channel;
 mod config;
 mod ids;
+pub mod invariant;
 pub mod message;
 pub mod node;
 mod outgoing;

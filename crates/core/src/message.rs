@@ -324,12 +324,11 @@ pub fn statement_pre_vote(pid: &ProtocolId, round: u32, value: bool) -> Vec<u8> 
 
 /// Statement for a binary-agreement main-vote `main(pid, round, vote)`.
 pub fn statement_main_vote(pid: &ProtocolId, round: u32, vote: MainVote) -> Vec<u8> {
-    let code: u8 = match vote {
-        MainVote::Value(false) => 0,
-        MainVote::Value(true) => 1,
-        MainVote::Abstain => 2,
-    };
-    statement("ba-main", pid, &[&round.to_be_bytes(), &[code]])
+    statement(
+        "ba-main",
+        pid,
+        &[&round.to_be_bytes(), &[main_vote_code(vote)]],
+    )
 }
 
 /// The name of the round-`round` threshold coin of an agreement instance.
@@ -367,6 +366,54 @@ pub fn statement_opt_state(pid: &ProtocolId, epoch: u64, entries_digest: &[u8; 3
 }
 
 // --- wire impls ------------------------------------------------------------
+//
+// Wire discriminants. Explicit and append-only: renumbering or reusing a
+// tag byte is a wire-format break, so `sintra-lint`'s `wire-stability`
+// rule bans raw tag literals in encode/decode — every tag lives here,
+// under a name.
+
+const TAG_RB_SEND: u8 = 0;
+const TAG_RB_ECHO: u8 = 1;
+const TAG_RB_READY: u8 = 2;
+const TAG_CB_SEND: u8 = 3;
+const TAG_CB_ECHO: u8 = 4;
+const TAG_CB_FINAL: u8 = 5;
+const TAG_BA_PRE_VOTE: u8 = 6;
+const TAG_BA_MAIN_VOTE: u8 = 7;
+const TAG_BA_COIN_SHARE: u8 = 8;
+const TAG_BA_DECIDE: u8 = 9;
+const TAG_VBA_VOTE: u8 = 10;
+const TAG_AC_ENTRY: u8 = 11;
+const TAG_SC_SHARE: u8 = 12;
+const TAG_OPT_SUBMIT: u8 = 13;
+const TAG_OPT_ACK: u8 = 14;
+const TAG_OPT_COMPLAIN: u8 = 15;
+const TAG_OPT_STATE: u8 = 16;
+
+const TAG_PREVOTE_INITIAL: u8 = 0;
+const TAG_PREVOTE_HARD: u8 = 1;
+const TAG_PREVOTE_SOFT: u8 = 2;
+
+const TAG_MAINVOTE_VALUE: u8 = 0;
+const TAG_MAINVOTE_ABSTAIN: u8 = 1;
+
+const TAG_PAYLOAD_APP: u8 = 0;
+const TAG_PAYLOAD_CLOSE: u8 = 1;
+
+// Main-vote codes, shared between the `MainVote` wire encoding and the
+// signed main-vote statement (the threshold signature binds these bytes,
+// so they are as frozen as the wire tags).
+const CODE_MAIN_VOTE_ZERO: u8 = 0;
+const CODE_MAIN_VOTE_ONE: u8 = 1;
+const CODE_MAIN_VOTE_ABSTAIN: u8 = 2;
+
+fn main_vote_code(vote: MainVote) -> u8 {
+    match vote {
+        MainVote::Value(false) => CODE_MAIN_VOTE_ZERO,
+        MainVote::Value(true) => CODE_MAIN_VOTE_ONE,
+        MainVote::Abstain => CODE_MAIN_VOTE_ABSTAIN,
+    }
+}
 
 impl Wire for PartyId {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -379,18 +426,13 @@ impl Wire for PartyId {
 
 impl Wire for MainVote {
     fn encode(&self, buf: &mut Vec<u8>) {
-        let code: u8 = match self {
-            MainVote::Value(false) => 0,
-            MainVote::Value(true) => 1,
-            MainVote::Abstain => 2,
-        };
-        buf.push(code);
+        buf.push(main_vote_code(*self));
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(MainVote::Value(false)),
-            1 => Ok(MainVote::Value(true)),
-            2 => Ok(MainVote::Abstain),
+            CODE_MAIN_VOTE_ZERO => Ok(MainVote::Value(false)),
+            CODE_MAIN_VOTE_ONE => Ok(MainVote::Value(true)),
+            CODE_MAIN_VOTE_ABSTAIN => Ok(MainVote::Abstain),
             d => Err(WireError::BadDiscriminant(d)),
         }
     }
@@ -399,13 +441,13 @@ impl Wire for MainVote {
 impl Wire for PreVoteJust {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            PreVoteJust::Initial => buf.push(0),
+            PreVoteJust::Initial => buf.push(TAG_PREVOTE_INITIAL),
             PreVoteJust::Hard(sig) => {
-                buf.push(1);
+                buf.push(TAG_PREVOTE_HARD);
                 sig.encode(buf);
             }
             PreVoteJust::Soft { sig, coin_shares } => {
-                buf.push(2);
+                buf.push(TAG_PREVOTE_SOFT);
                 sig.encode(buf);
                 coin_shares.encode(buf);
             }
@@ -413,9 +455,9 @@ impl Wire for PreVoteJust {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(PreVoteJust::Initial),
-            1 => Ok(PreVoteJust::Hard(ThresholdSignature::decode(r)?)),
-            2 => Ok(PreVoteJust::Soft {
+            TAG_PREVOTE_INITIAL => Ok(PreVoteJust::Initial),
+            TAG_PREVOTE_HARD => Ok(PreVoteJust::Hard(ThresholdSignature::decode(r)?)),
+            TAG_PREVOTE_SOFT => Ok(PreVoteJust::Soft {
                 sig: ThresholdSignature::decode(r)?,
                 coin_shares: Vec::<CoinShare>::decode(r)?,
             }),
@@ -428,7 +470,7 @@ impl Wire for MainVoteJust {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             MainVoteJust::Value(sig) => {
-                buf.push(0);
+                buf.push(TAG_MAINVOTE_VALUE);
                 sig.encode(buf);
             }
             MainVoteJust::Abstain {
@@ -437,7 +479,7 @@ impl Wire for MainVoteJust {
                 proof0,
                 proof1,
             } => {
-                buf.push(1);
+                buf.push(TAG_MAINVOTE_ABSTAIN);
                 just0.encode(buf);
                 just1.encode(buf);
                 proof0.encode(buf);
@@ -447,8 +489,8 @@ impl Wire for MainVoteJust {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(MainVoteJust::Value(ThresholdSignature::decode(r)?)),
-            1 => Ok(MainVoteJust::Abstain {
+            TAG_MAINVOTE_VALUE => Ok(MainVoteJust::Value(ThresholdSignature::decode(r)?)),
+            TAG_MAINVOTE_ABSTAIN => Ok(MainVoteJust::Abstain {
                 just0: Box::<PreVoteJust>::decode(r)?,
                 just1: Box::<PreVoteJust>::decode(r)?,
                 proof0: Option::<Vec<u8>>::decode(r)?,
@@ -462,14 +504,14 @@ impl Wire for MainVoteJust {
 impl Wire for PayloadKind {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(match self {
-            PayloadKind::App => 0,
-            PayloadKind::Close => 1,
+            PayloadKind::App => TAG_PAYLOAD_APP,
+            PayloadKind::Close => TAG_PAYLOAD_CLOSE,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(PayloadKind::App),
-            1 => Ok(PayloadKind::Close),
+            TAG_PAYLOAD_APP => Ok(PayloadKind::App),
+            TAG_PAYLOAD_CLOSE => Ok(PayloadKind::Close),
             d => Err(WireError::BadDiscriminant(d)),
         }
     }
@@ -511,27 +553,27 @@ impl Wire for Body {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Body::RbSend(p) => {
-                buf.push(0);
+                buf.push(TAG_RB_SEND);
                 p.encode(buf);
             }
             Body::RbEcho(p) => {
-                buf.push(1);
+                buf.push(TAG_RB_ECHO);
                 p.encode(buf);
             }
             Body::RbReady(d) => {
-                buf.push(2);
+                buf.push(TAG_RB_READY);
                 d.encode(buf);
             }
             Body::CbSend(p) => {
-                buf.push(3);
+                buf.push(TAG_CB_SEND);
                 p.encode(buf);
             }
             Body::CbEcho(s) => {
-                buf.push(4);
+                buf.push(TAG_CB_ECHO);
                 s.encode(buf);
             }
             Body::CbFinal { payload, sig } => {
-                buf.push(5);
+                buf.push(TAG_CB_FINAL);
                 payload.encode(buf);
                 sig.encode(buf);
             }
@@ -542,7 +584,7 @@ impl Wire for Body {
                 share,
                 proof,
             } => {
-                buf.push(6);
+                buf.push(TAG_BA_PRE_VOTE);
                 round.encode(buf);
                 value.encode(buf);
                 just.encode(buf);
@@ -556,7 +598,7 @@ impl Wire for Body {
                 share,
                 proof,
             } => {
-                buf.push(7);
+                buf.push(TAG_BA_MAIN_VOTE);
                 round.encode(buf);
                 vote.encode(buf);
                 just.encode(buf);
@@ -564,7 +606,7 @@ impl Wire for Body {
                 proof.encode(buf);
             }
             Body::BaCoinShare { round, share } => {
-                buf.push(8);
+                buf.push(TAG_BA_COIN_SHARE);
                 round.encode(buf);
                 share.encode(buf);
             }
@@ -574,7 +616,7 @@ impl Wire for Body {
                 sig,
                 proof,
             } => {
-                buf.push(9);
+                buf.push(TAG_BA_DECIDE);
                 round.encode(buf);
                 value.encode(buf);
                 sig.encode(buf);
@@ -585,24 +627,24 @@ impl Wire for Body {
                 yes,
                 closing,
             } => {
-                buf.push(10);
+                buf.push(TAG_VBA_VOTE);
                 iteration.encode(buf);
                 yes.encode(buf);
                 closing.encode(buf);
             }
             Body::AcEntry { round, entry } => {
-                buf.push(11);
+                buf.push(TAG_AC_ENTRY);
                 round.encode(buf);
                 entry.encode(buf);
             }
             Body::ScShare { origin, seq, share } => {
-                buf.push(12);
+                buf.push(TAG_SC_SHARE);
                 origin.encode(buf);
                 seq.encode(buf);
                 share.encode(buf);
             }
             Body::OptSubmit { payload } => {
-                buf.push(13);
+                buf.push(TAG_OPT_SUBMIT);
                 payload.encode(buf);
             }
             Body::OptAck {
@@ -612,7 +654,7 @@ impl Wire for Body {
                 digest,
                 sig,
             } => {
-                buf.push(14);
+                buf.push(TAG_OPT_ACK);
                 buf.push(*phase);
                 epoch.encode(buf);
                 seq.encode(buf);
@@ -620,11 +662,11 @@ impl Wire for Body {
                 sig.encode(buf);
             }
             Body::OptComplain { epoch } => {
-                buf.push(15);
+                buf.push(TAG_OPT_COMPLAIN);
                 epoch.encode(buf);
             }
             Body::OptState { epoch, state } => {
-                buf.push(16);
+                buf.push(TAG_OPT_STATE);
                 epoch.encode(buf);
                 state.encode(buf);
             }
@@ -632,65 +674,65 @@ impl Wire for Body {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match r.u8()? {
-            0 => Body::RbSend(Vec::<u8>::decode(r)?),
-            1 => Body::RbEcho(Vec::<u8>::decode(r)?),
-            2 => Body::RbReady(<[u8; 32]>::decode(r)?),
-            3 => Body::CbSend(Vec::<u8>::decode(r)?),
-            4 => Body::CbEcho(SigShare::decode(r)?),
-            5 => Body::CbFinal {
+            TAG_RB_SEND => Body::RbSend(Vec::<u8>::decode(r)?),
+            TAG_RB_ECHO => Body::RbEcho(Vec::<u8>::decode(r)?),
+            TAG_RB_READY => Body::RbReady(<[u8; 32]>::decode(r)?),
+            TAG_CB_SEND => Body::CbSend(Vec::<u8>::decode(r)?),
+            TAG_CB_ECHO => Body::CbEcho(SigShare::decode(r)?),
+            TAG_CB_FINAL => Body::CbFinal {
                 payload: Vec::<u8>::decode(r)?,
                 sig: ThresholdSignature::decode(r)?,
             },
-            6 => Body::BaPreVote {
+            TAG_BA_PRE_VOTE => Body::BaPreVote {
                 round: r.u32()?,
                 value: bool::decode(r)?,
                 just: PreVoteJust::decode(r)?,
                 share: SigShare::decode(r)?,
                 proof: Option::<Vec<u8>>::decode(r)?,
             },
-            7 => Body::BaMainVote {
+            TAG_BA_MAIN_VOTE => Body::BaMainVote {
                 round: r.u32()?,
                 vote: MainVote::decode(r)?,
                 just: MainVoteJust::decode(r)?,
                 share: SigShare::decode(r)?,
                 proof: Option::<Vec<u8>>::decode(r)?,
             },
-            8 => Body::BaCoinShare {
+            TAG_BA_COIN_SHARE => Body::BaCoinShare {
                 round: r.u32()?,
                 share: CoinShare::decode(r)?,
             },
-            9 => Body::BaDecide {
+            TAG_BA_DECIDE => Body::BaDecide {
                 round: r.u32()?,
                 value: bool::decode(r)?,
                 sig: ThresholdSignature::decode(r)?,
                 proof: Option::<Vec<u8>>::decode(r)?,
             },
-            10 => Body::VbaVote {
+            TAG_VBA_VOTE => Body::VbaVote {
                 iteration: r.u32()?,
                 yes: bool::decode(r)?,
                 closing: Option::<Vec<u8>>::decode(r)?,
             },
-            11 => Body::AcEntry {
+            TAG_AC_ENTRY => Body::AcEntry {
                 round: r.u64()?,
                 entry: Entry::decode(r)?,
             },
-            12 => Body::ScShare {
+            TAG_SC_SHARE => Body::ScShare {
                 origin: PartyId::decode(r)?,
                 seq: r.u64()?,
                 share: DecryptionShare::decode(r)?,
             },
-            13 => Body::OptSubmit {
+            TAG_OPT_SUBMIT => Body::OptSubmit {
                 payload: Payload::decode(r)?,
             },
-            14 => Body::OptAck {
+            TAG_OPT_ACK => Body::OptAck {
                 phase: r.u8()?,
                 epoch: r.u64()?,
                 seq: r.u64()?,
                 digest: <[u8; 32]>::decode(r)?,
                 sig: RsaSignature::decode(r)?,
             },
-            15 => Body::OptComplain { epoch: r.u64()? },
-            16 => Body::OptState {
+            TAG_OPT_COMPLAIN => Body::OptComplain { epoch: r.u64()? },
+            TAG_OPT_STATE => Body::OptState {
                 epoch: r.u64()?,
                 state: Vec::<u8>::decode(r)?,
             },

@@ -6,7 +6,7 @@
 //! state changes into [`Event`]s for the runtime. It is still sans-IO —
 //! runtimes feed it envelopes and transmit what it emits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -23,6 +23,8 @@ use crate::channel::{
 };
 use crate::config::GroupContext;
 use crate::ids::{PartyId, ProtocolId};
+use crate::invariant_unwrap;
+use crate::invariant_violated;
 use crate::message::Envelope;
 use crate::outgoing::{Event, Outgoing};
 use crate::validator::{ArrayValidator, BinaryValidator};
@@ -58,7 +60,7 @@ impl fmt::Debug for RecorderSlot {
 #[derive(Debug)]
 pub struct Node {
     ctx: GroupContext,
-    instances: HashMap<ProtocolId, Instance>,
+    instances: BTreeMap<ProtocolId, Instance>,
     events: Vec<Event>,
     /// Randomness for payload encryption on secure channels.
     rng: StdRng,
@@ -73,7 +75,7 @@ impl Node {
     pub fn new(ctx: GroupContext, seed: u64) -> Self {
         Node {
             ctx,
-            instances: HashMap::new(),
+            instances: BTreeMap::new(),
             events: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             recorder: RecorderSlot(Arc::new(NoopRecorder)),
@@ -228,7 +230,7 @@ impl Node {
         match self.instances.get_mut(pid) {
             Some(Instance::ReliableBroadcast(b)) => b.send(payload, out),
             Some(Instance::ConsistentBroadcast(b)) => b.send(payload, out),
-            _ => panic!("no broadcast instance {pid}"),
+            _ => invariant_violated!("no broadcast instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -249,7 +251,7 @@ impl Node {
         let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::BinaryAgreement(a)) => a.propose(value, proof, out),
-            _ => panic!("no binary agreement instance {pid}"),
+            _ => invariant_violated!("no binary agreement instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -264,7 +266,7 @@ impl Node {
         let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::MultiValued(a)) => a.propose(value, out),
-            _ => panic!("no multi-valued agreement instance {pid}"),
+            _ => invariant_violated!("no multi-valued agreement instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -284,7 +286,7 @@ impl Node {
             Some(Instance::Optimistic(c)) => c.send(data, out),
             Some(Instance::ReliableChannel(c)) => c.send(data, out),
             Some(Instance::ConsistentChannel(c)) => c.send(data, out),
-            _ => panic!("no channel instance {pid}"),
+            _ => invariant_violated!("no channel instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -315,7 +317,7 @@ impl Node {
             Some(Instance::Optimistic(c)) => c.close(out),
             Some(Instance::ReliableChannel(c)) => c.close(out),
             Some(Instance::ConsistentChannel(c)) => c.close(out),
-            _ => panic!("no channel instance {pid}"),
+            _ => invariant_violated!("no channel instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -335,7 +337,7 @@ impl Node {
         let scope = self.crypto_scope();
         match self.instances.get_mut(pid) {
             Some(Instance::Secure(c)) => c.send_ciphertext(ciphertext, out),
-            _ => panic!("no secure channel instance {pid}"),
+            _ => invariant_violated!("no secure channel instance {pid}"),
         }
         self.attribute_crypto(pid, scope);
         self.harvest();
@@ -357,7 +359,10 @@ impl Node {
                 .counter_add(root_scope(root.as_str()), envelope.body.kind(), 1);
         }
         let scope = self.crypto_scope();
-        match self.instances.get_mut(&root).expect("key exists") {
+        match invariant_unwrap!(
+            self.instances.get_mut(&root),
+            "instance {root} vanished under its own key"
+        ) {
             Instance::ReliableBroadcast(b) => b.handle(from, &envelope.body, out),
             Instance::ConsistentBroadcast(b) => b.handle(from, &envelope.body, out),
             Instance::BinaryAgreement(a) => a.handle(from, &envelope.body, out),
@@ -382,7 +387,10 @@ impl Node {
             .cloned();
         let Some(root) = target else { return };
         let scope = self.crypto_scope();
-        if let Instance::Optimistic(c) = self.instances.get_mut(&root).expect("key exists") {
+        if let Instance::Optimistic(c) = invariant_unwrap!(
+            self.instances.get_mut(&root),
+            "instance {root} vanished under its own key"
+        ) {
             c.handle_timer(token, out);
         }
         self.attribute_crypto(&root, scope);

@@ -11,6 +11,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::invariant::OrInvariant;
+
 use sintra_bigint::Ubig;
 
 /// Maximum accepted length prefix (16 MiB), bounding allocation from
@@ -71,6 +73,20 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Takes exactly `N` raw bytes as an array.
+    pub fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
+    /// Takes every byte not yet consumed (cannot fail).
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let rest = self.data;
+        self.data = &[];
+        rest
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -78,16 +94,12 @@ impl<'a> Reader<'a> {
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_be_bytes(self.take_arr()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_be_bytes(self.take_arr()?))
     }
 
     /// Reads a length-prefixed byte string.
@@ -134,9 +146,17 @@ pub trait Wire: Sized {
     }
 }
 
+/// Writes a `u32` big-endian length prefix, checked rather than
+/// truncated: a length that does not fit the prefix is a protocol
+/// invariant violation, never a silent wrap-around.
+pub fn put_len(buf: &mut Vec<u8>, len: usize) {
+    let len32 = u32::try_from(len).or_invariant("length exceeds the u32 wire prefix");
+    buf.extend_from_slice(&len32.to_be_bytes());
+}
+
 /// Writes a length-prefixed byte string.
 pub fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
-    buf.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    put_len(buf, data.len());
     buf.extend_from_slice(data);
 }
 
@@ -167,14 +187,26 @@ impl Wire for u64 {
     }
 }
 
+/// Wire discriminants. Explicit and append-only: renumbering or reusing
+/// a tag byte is a wire-format break (`sintra-lint`'s `wire-stability`
+/// rule bans raw tag literals so every tag lives here, under a name).
+const TAG_FALSE: u8 = 0;
+const TAG_TRUE: u8 = 1;
+const TAG_NONE: u8 = 0;
+const TAG_SOME: u8 = 1;
+const TAG_SIGSHARE_SHOUP: u8 = 0;
+const TAG_SIGSHARE_MULTI: u8 = 1;
+const TAG_THSIG_SHOUP: u8 = 0;
+const TAG_THSIG_MULTI: u8 = 1;
+
 impl Wire for bool {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.push(*self as u8);
+        buf.push(if *self { TAG_TRUE } else { TAG_FALSE });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
+            TAG_FALSE => Ok(false),
+            TAG_TRUE => Ok(true),
             d => Err(WireError::BadDiscriminant(d)),
         }
     }
@@ -201,17 +233,17 @@ impl Wire for String {
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            None => buf.push(0),
+            None => buf.push(TAG_NONE),
             Some(v) => {
-                buf.push(1);
+                buf.push(TAG_SOME);
                 v.encode(buf);
             }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(T::decode(r)?)),
+            TAG_NONE => Ok(None),
+            TAG_SOME => Ok(Some(T::decode(r)?)),
             d => Err(WireError::BadDiscriminant(d)),
         }
     }
@@ -231,7 +263,7 @@ macro_rules! impl_wire_vec {
     ($($t:ty),*) => {$(
         impl Wire for Vec<$t> {
             fn encode(&self, buf: &mut Vec<u8>) {
-                buf.extend_from_slice(&(self.len() as u32).to_be_bytes());
+                put_len(buf, self.len());
                 for item in self {
                     item.encode(buf);
                 }
@@ -265,7 +297,7 @@ impl Wire for [u8; 32] {
         buf.extend_from_slice(self);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(r.take(32)?.try_into().expect("32 bytes"))
+        r.take_arr()
     }
 }
 
@@ -334,12 +366,12 @@ impl Wire for SigShare {
         (self.index as u32).encode(buf);
         match &self.body {
             SigShareBody::ShoupRsa { sigma, proof } => {
-                buf.push(0);
+                buf.push(TAG_SIGSHARE_SHOUP);
                 sigma.encode(buf);
                 proof.encode(buf);
             }
             SigShareBody::Multi { sig } => {
-                buf.push(1);
+                buf.push(TAG_SIGSHARE_MULTI);
                 sig.encode(buf);
             }
         }
@@ -347,11 +379,11 @@ impl Wire for SigShare {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let index = r.u32()? as usize;
         let body = match r.u8()? {
-            0 => SigShareBody::ShoupRsa {
+            TAG_SIGSHARE_SHOUP => SigShareBody::ShoupRsa {
                 sigma: Ubig::decode(r)?,
                 proof: ShoupShareProof::decode(r)?,
             },
-            1 => SigShareBody::Multi {
+            TAG_SIGSHARE_MULTI => SigShareBody::Multi {
                 sig: RsaSignature::decode(r)?,
             },
             d => return Err(WireError::BadDiscriminant(d)),
@@ -366,12 +398,12 @@ impl Wire for ThresholdSignature {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             ThresholdSignature::ShoupRsa(y) => {
-                buf.push(0);
+                buf.push(TAG_THSIG_SHOUP);
                 y.encode(buf);
             }
             ThresholdSignature::Multi(sigs) => {
-                buf.push(1);
-                buf.extend_from_slice(&(sigs.len() as u32).to_be_bytes());
+                buf.push(TAG_THSIG_MULTI);
+                put_len(buf, sigs.len());
                 for (index, sig) in sigs {
                     (*index as u32).encode(buf);
                     sig.encode(buf);
@@ -381,8 +413,8 @@ impl Wire for ThresholdSignature {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.u8()? {
-            0 => Ok(ThresholdSignature::ShoupRsa(Ubig::decode(r)?)),
-            1 => {
+            TAG_THSIG_SHOUP => Ok(ThresholdSignature::ShoupRsa(Ubig::decode(r)?)),
+            TAG_THSIG_MULTI => {
                 let len = r.u32()? as usize;
                 if len > MAX_LEN {
                     return Err(WireError::LengthOverflow);

@@ -1,0 +1,448 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The rules in this crate do not need a syntax tree: every property they
+//! check is visible in the token stream (an identifier appearing, a tag
+//! byte pushed as a literal, an arithmetic operator next to a threshold
+//! call). What they *do* need is for comments, string literals, character
+//! literals and lifetimes to be classified correctly — otherwise a doc
+//! comment mentioning `HashMap` or a test fixture embedded in a string
+//! would produce false findings. That classification is exactly what this
+//! hand-rolled lexer provides, in the same dependency-free spirit as the
+//! JSON parser in `sintra-telemetry`.
+
+/// The classes of token the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `match`, `u32`, ...).
+    Ident,
+    /// An integer or float literal (value not interpreted).
+    Num,
+    /// A string, raw string, byte string or char literal (contents dropped).
+    Lit,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token text (empty for [`TokenKind::Lit`]).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A comment (line or block) with the line it starts on. Line comments
+/// keep their text so `lint:allow` directives can be parsed from them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes Rust source into tokens and comments.
+///
+/// The lexer is deliberately forgiving: on input it does not understand
+/// it emits a `Punct` token and moves one character forward, so malformed
+/// source degrades to noise tokens rather than a panic or an error.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> char { *cs.get(i).unwrap_or(&'\0') };
+
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && at(i + 1) == '/' {
+            let start = i;
+            while i < cs.len() && cs[i] != '\n' {
+                i += 1;
+            }
+            let text: String = cs[start..i].iter().collect();
+            let text = text.trim_start_matches('/').trim_start_matches('!').trim();
+            out.comments.push(Comment {
+                text: text.to_string(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && at(i + 1) == '*' {
+            let start_line = line;
+            let start = i;
+            i += 2;
+            let mut depth = 1usize;
+            while i < cs.len() && depth > 0 {
+                if cs[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if cs[i] == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = cs[start..i].iter().collect();
+            out.comments.push(Comment {
+                text: text
+                    .trim_start_matches('/')
+                    .trim_matches(|c| c == '*' || c == '/' || c == ' ')
+                    .to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#, b'..'
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && at(j) == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while at(j) == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let raw = c == 'r' || (c == 'b' && at(i + 1) == 'r');
+            if at(j) == '"' && (raw || hashes == 0) {
+                // String body: for raw strings scan for `"` + hashes; for
+                // plain byte strings honor backslash escapes.
+                let tok_line = line;
+                i = j + 1;
+                loop {
+                    if i >= cs.len() {
+                        break;
+                    }
+                    if cs[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if !raw && cs[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if cs[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && at(i + 1 + k) == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lit,
+                    text: String::new(),
+                    line: tok_line,
+                    in_test: false,
+                });
+                continue;
+            }
+            if c == 'b' && hashes == 0 && at(i + 1) == '\'' {
+                // Byte char literal b'x' / b'\n'.
+                i += 2;
+                if at(i) == '\\' {
+                    i += 1;
+                }
+                while i < cs.len() && cs[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token {
+                    kind: TokenKind::Lit,
+                    text: String::new(),
+                    line,
+                    in_test: false,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: cs[start..i].iter().collect(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: cs[start..i].iter().collect(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            while i < cs.len() && cs[i] != '"' {
+                if cs[i] == '\\' {
+                    i += 1;
+                } else if cs[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.tokens.push(Token {
+                kind: TokenKind::Lit,
+                text: String::new(),
+                line: tok_line,
+                in_test: false,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Disambiguate char literal from lifetime: 'x' closes with a
+            // quote right after one character (or an escape); a lifetime
+            // is `'` + identifier with no closing quote.
+            if at(i + 1) == '\\' {
+                i += 2;
+                while i < cs.len() && cs[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token {
+                    kind: TokenKind::Lit,
+                    text: String::new(),
+                    line,
+                    in_test: false,
+                });
+            } else if is_ident_start(at(i + 1)) && at(i + 2) != '\'' {
+                let start = i + 1;
+                i += 1;
+                while i < cs.len() && is_ident_continue(cs[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: cs[start..i].iter().collect(),
+                    line,
+                    in_test: false,
+                });
+            } else {
+                // 'x' or '(' style char literal.
+                i += 2;
+                while i < cs.len() && cs[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Token {
+                    kind: TokenKind::Lit,
+                    text: String::new(),
+                    line,
+                    in_test: false,
+                });
+            }
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            in_test: false,
+        });
+        i += 1;
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+/// Marks tokens covered by `#[cfg(test)]` or `#[test]` items.
+///
+/// After either attribute, the region extends to the end of the item it
+/// annotates: through the matching close brace of the item's block, or to
+/// the terminating semicolon for brace-less items (`#[cfg(test)] use ..;`).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr = tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && (tokens.get(i + 2).is_some_and(|t| t.is_ident("test"))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct(']'))
+                || tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+                    && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+                    && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+                    && tokens.get(i + 6).is_some_and(|t| t.is_punct(']')));
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Find the end of the annotated item.
+        let mut j = i;
+        let mut end = tokens.len();
+        while j < tokens.len() {
+            if tokens[j].is_punct(';') {
+                end = j + 1;
+                break;
+            }
+            if tokens[j].is_punct('{') {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                end = (j + 1).min(tokens.len());
+                break;
+            }
+            j += 1;
+        }
+        for tok in &mut tokens[i..end] {
+            tok.in_test = true;
+        }
+        i = end.max(i + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw "string""#;
+            let c = b"HashMap bytes";
+            let d = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Lit));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            fn also_live() {}
+        ";
+        let toks = lex(src).tokens;
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        assert!(toks.iter().any(|t| t.is_ident("also_live") && !t.in_test));
+    }
+
+    #[test]
+    fn directive_comments_are_captured() {
+        let lexed = lex("// lint:allow(determinism): seeded map\nlet x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.starts_with("lint:allow"));
+    }
+}

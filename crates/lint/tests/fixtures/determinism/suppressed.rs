@@ -1,0 +1,6 @@
+// lint:allow(determinism): iteration order never observed; keyed lookups only
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, Vec<u8>>, // lint:allow(determinism): same as above
+}

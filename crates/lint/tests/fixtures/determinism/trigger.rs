@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub struct Tally {
+    votes: HashMap<u32, bool>,
+}
+
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,17 @@
+use sintra_core::invariant::OrInvariant;
+
+fn drain(queue: &mut Vec<u8>, shared: &Mutex<u8>) -> u8 {
+    let head = queue.pop().or_invariant("queue drained under us");
+    let guard = shared.lock().unwrap();
+    invariant!(*guard > 0, "guard must be positive, got {}", *guard);
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+fn sanctioned() -> ! {
+    // lint:allow(panic-policy): definitional — the one sanctioned panic site
+    panic!("protocol invariant violated");
+}

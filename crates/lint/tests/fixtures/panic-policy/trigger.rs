@@ -1,0 +1,8 @@
+fn drain(queue: &mut Vec<u8>, map: &Table) -> u8 {
+    let head = queue.pop().unwrap();
+    let row = map.get(&head).expect("row exists");
+    if *row == 0 {
+        panic!("zero row");
+    }
+    *row
+}

@@ -1,0 +1,17 @@
+impl Channel {
+    fn close_threshold(&self) -> usize {
+        self.ctx.n_minus_t()
+    }
+
+    fn complaint_bound(&self) -> usize {
+        self.ctx.one_honest()
+    }
+
+    fn leader(&self, epoch: u64) -> usize {
+        (epoch as usize) % self.ctx.n()
+    }
+
+    fn everyone(&self) -> impl Iterator<Item = usize> {
+        0..self.ctx.n()
+    }
+}

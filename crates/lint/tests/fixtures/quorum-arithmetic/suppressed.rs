@@ -1,0 +1,6 @@
+impl Channel {
+    fn parked_bound(&self) -> usize {
+        // lint:allow(quorum-arithmetic): buffer sizing, not a protocol threshold
+        2 * self.ctx.n()
+    }
+}

@@ -1,0 +1,11 @@
+impl Channel {
+    fn close_threshold(&self) -> usize {
+        self.ctx.n() - self.ctx.t()
+    }
+
+    fn echo_bound(&self) -> usize {
+        let n = self.ctx.n();
+        let t = self.ctx.t();
+        n - t + 1
+    }
+}

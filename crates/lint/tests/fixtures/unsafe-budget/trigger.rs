@@ -1,0 +1,3 @@
+pub fn reinterpret(bytes: &[u8]) -> u32 {
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast()) }
+}

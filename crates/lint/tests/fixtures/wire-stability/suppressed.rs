@@ -1,0 +1,5 @@
+impl Probe {
+    fn poison(buf: &mut Vec<u8>) {
+        buf.push(9); // lint:allow(wire-stability): deliberately malformed probe frame
+    }
+}

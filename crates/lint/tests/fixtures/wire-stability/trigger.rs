@@ -1,0 +1,17 @@
+impl Wire for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(3);
+        buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            3 => Ok(Frame::Data),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+    fn code(&self) -> u8 {
+        match self {
+            Frame::Data => 7,
+        }
+    }
+}

@@ -19,6 +19,7 @@ use sintra_core::PartyId;
 use sintra_crypto::hmac::HmacKey;
 
 use super::LinkError;
+use sintra_core::invariant::OrInvariant;
 
 /// Upper bound on one frame's `len` field (body + tag). Slightly above
 /// the 16 MiB wire-level payload bound so a maximal envelope still fits.
@@ -117,15 +118,12 @@ impl FrameKind {
         let mut r = Reader::new(body);
         let kind = r.u8().map_err(|_| LinkError::Truncated)?;
         let take_nonce = |r: &mut Reader<'_>| -> Result<[u8; NONCE_LEN], LinkError> {
-            Ok(r.take(NONCE_LEN)
-                .map_err(|_| LinkError::Truncated)?
-                .try_into()
-                .expect("fixed-width nonce"))
+            r.take_arr().map_err(|_| LinkError::Truncated)
         };
         let frame = match kind {
             KIND_DATA => {
                 let seq = r.u64().map_err(|_| LinkError::Truncated)?;
-                let payload = r.take(r.remaining()).expect("exact remainder").to_vec();
+                let payload = r.take_rest().to_vec();
                 return Ok(FrameKind::Data { seq, payload });
             }
             KIND_ACK => FrameKind::Ack {
@@ -197,8 +195,9 @@ impl LinkKey {
         kind.encode_body(&mut authed);
         let tag = self.key.sign(&authed);
         let len = authed.len() + tag.len();
+        let len32 = u32::try_from(len).or_invariant("frame length exceeds the u32 prefix");
         let mut frame = Vec::with_capacity(4 + len);
-        frame.extend_from_slice(&(len as u32).to_be_bytes());
+        frame.extend_from_slice(&len32.to_be_bytes());
         frame.extend_from_slice(&authed);
         frame.extend_from_slice(&tag);
         frame
@@ -212,7 +211,7 @@ impl LinkKey {
         if frame.len() < 4 {
             return Err(LinkError::Truncated);
         }
-        let declared = u32::from_be_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+        let declared = be_u32_prefix(frame) as usize;
         if declared > MAX_FRAME_LEN {
             return Err(LinkError::Oversized);
         }
@@ -224,12 +223,20 @@ impl LinkKey {
         if !self.key.verify(authed, tag) {
             return Err(LinkError::BadMac);
         }
-        let sender = u32::from_be_bytes(authed[..4].try_into().expect("4 bytes")) as usize;
+        let sender = be_u32_prefix(authed) as usize;
         if sender != self.peer.0 {
             return Err(LinkError::WrongSender);
         }
         FrameKind::decode_body(&authed[4..])
     }
+}
+
+/// Big-endian `u32` from the first four bytes of `bytes`, which every
+/// caller has already length-checked.
+fn be_u32_prefix(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_be_bytes(b)
 }
 
 /// Reads the claimed (still unauthenticated!) sender of a complete
@@ -238,9 +245,7 @@ pub fn frame_sender(frame: &[u8]) -> Option<PartyId> {
     if frame.len() < 8 {
         return None;
     }
-    Some(PartyId(
-        u32::from_be_bytes(frame[4..8].try_into().expect("4 bytes")) as usize,
-    ))
+    Some(PartyId(be_u32_prefix(&frame[4..]) as usize))
 }
 
 /// Reassembles length-prefixed frames out of an arbitrary byte stream.
@@ -285,7 +290,7 @@ impl FrameBuffer {
             self.compact();
             return Ok(None);
         }
-        let declared = u32::from_be_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        let declared = be_u32_prefix(avail) as usize;
         if declared > MAX_FRAME_LEN {
             self.poisoned = true;
             return Err(LinkError::Oversized);

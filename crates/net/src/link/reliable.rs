@@ -19,6 +19,7 @@ use sintra_telemetry::SnapshotWriter;
 
 use super::frame::{FrameKind, LinkKey, MAX_FRAME_LEN};
 use super::LinkError;
+use sintra_core::invariant::OrInvariant;
 
 /// Tunables for one reliable link endpoint.
 ///
@@ -269,7 +270,10 @@ impl ReliableLink {
     /// byte accounting in step.
     fn prune_acked(&mut self) {
         while matches!(self.unacked.front(), Some((seq, _)) if *seq <= self.peer_acked) {
-            let (_, frame) = self.unacked.pop_front().expect("matched front");
+            let (_, frame) = self
+                .unacked
+                .pop_front()
+                .or_invariant("unacked queue lost its matched front");
             self.unacked_bytes -= frame.len();
         }
     }

@@ -25,6 +25,7 @@ use sintra_crypto::dealer::PartyKeys;
 use sintra_telemetry::{root_scope, FlightRecorder, Recorder, TraceEvent, DELIVERY_LATENCY};
 
 use crate::observe::{write_dump, ObservabilityConfig};
+use sintra_core::invariant::OrInvariant;
 
 /// How a party's sealed envelopes reach its peers, and how inbound
 /// transport items turn back into authenticated envelopes.
@@ -612,7 +613,8 @@ pub(crate) fn server_loop<T: Transport>(
             if *deadline > now {
                 break;
             }
-            let std::cmp::Reverse((_, pid, token)) = timers.pop().expect("peeked");
+            let std::cmp::Reverse((_, pid, token)) =
+                timers.pop().or_invariant("timer heap drained after peek");
             let mut out = Outgoing::new();
             out.set_tracing(tracing);
             guarded_dispatch(

@@ -17,6 +17,7 @@ use sintra_telemetry::{root_scope, Recorder};
 use super::byzantine::ByzantineActor;
 use super::latency::LatencyModel;
 use super::machine::MachineProfile;
+use sintra_core::invariant_violated;
 
 /// Virtual time in microseconds since simulation start.
 pub type VirtualTime = u64;
@@ -268,7 +269,9 @@ impl Simulation {
     pub fn node_mut(&mut self, party: usize) -> &mut Node {
         match &mut self.actors[party] {
             Actor::Honest(node) => node,
-            Actor::Byzantine(_) => panic!("party {party} is Byzantine"),
+            Actor::Byzantine(_) => {
+                invariant_violated!("cannot drive party {party}: it is Byzantine")
+            }
         }
     }
 

@@ -27,6 +27,7 @@ use sintra_telemetry::Recorder;
 use crate::link::handshake::{self, fresh_nonce};
 use crate::link::{frame_sender, FrameBuffer, FrameKind, LinkEvent, LinkKey, ReliableLink};
 use crate::server::Input;
+use sintra_core::invariant::OrInvariant;
 
 /// Reconnection backoff policy: exponential growth from `initial_ms` to
 /// `max_ms` with up to `jitter_pct` percent randomization on each sleep
@@ -202,7 +203,7 @@ pub(crate) fn install_connection(
         let reader = std::thread::Builder::new()
             .name(format!("sintra-rx-{}-{}", net.me.0, peer.peer.0))
             .spawn(move || reader_loop(reader_stream, gen, net2, peer2, inbox2))
-            .expect("spawn reader thread");
+            .or_invariant("spawn reader thread");
         net.register_thread(reader);
     }
     let _ = peer.writer_tx.send(WriterMsg::Replay(peer_cum));
@@ -458,7 +459,7 @@ pub(crate) fn accept_supervisor(
 pub(crate) fn listener_loop(net: Arc<PartyNet>, listener: TcpListener) {
     listener
         .set_nonblocking(true)
-        .expect("listener nonblocking");
+        .or_invariant("set listener nonblocking");
     loop {
         if net.shutdown.load(Ordering::Relaxed) {
             return;
@@ -498,7 +499,7 @@ fn spawn_inbound(net: &Arc<PartyNet>, stream: TcpStream) {
     let handle = std::thread::Builder::new()
         .name(format!("sintra-hs-{}", net.me.0))
         .spawn(move || handle_inbound(&net2, stream))
-        .expect("spawn handshake thread");
+        .or_invariant("spawn handshake thread");
     slots.push(handle);
 }
 
@@ -582,7 +583,11 @@ struct Xorshift(u64);
 impl Xorshift {
     fn new() -> Self {
         let nonce = fresh_nonce();
-        let seed = u64::from_be_bytes(nonce[..8].try_into().expect("8 bytes"));
+        let seed = u64::from_be_bytes(
+            nonce[..8]
+                .try_into()
+                .or_invariant("nonce shorter than 8 bytes"),
+        );
         Xorshift(seed | 1)
     }
 

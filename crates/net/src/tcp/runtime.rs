@@ -22,6 +22,7 @@ use crate::tcp::conn::{
     PeerLink, SupEvent, WriterMsg,
 };
 use crate::{AsServer, Runtime};
+use sintra_core::invariant::OrInvariant;
 
 /// Configuration for a TCP group.
 #[derive(Debug, Clone)]
@@ -249,7 +250,7 @@ impl TcpGroup {
             });
 
             for (j, writer_rx, sup_rx) in pending {
-                let peer = Arc::clone(net.peers[j].as_ref().expect("peer link"));
+                let peer = Arc::clone(net.peers[j].as_ref().or_invariant("peer link"));
                 let writer = std::thread::Builder::new()
                     .name(format!("sintra-tx-{i}-{j}"))
                     .spawn({
@@ -257,7 +258,7 @@ impl TcpGroup {
                         let peer = Arc::clone(&peer);
                         move || writer_loop(net, peer, writer_rx)
                     })
-                    .expect("spawn writer thread");
+                    .or_invariant("spawn writer thread");
                 writer_threads.push(writer);
 
                 let sup = if i < j {
@@ -269,14 +270,14 @@ impl TcpGroup {
                     std::thread::Builder::new()
                         .name(format!("sintra-dial-{i}-{j}"))
                         .spawn(move || dial_supervisor(net2, peer, addr, backoff, sup_rx, inbox2))
-                        .expect("spawn dial supervisor")
+                        .or_invariant("spawn dial supervisor")
                 } else {
                     let net2 = Arc::clone(&net);
                     let inbox2 = inbox_tx.clone();
                     std::thread::Builder::new()
                         .name(format!("sintra-accept-{i}-{j}"))
                         .spawn(move || accept_supervisor(net2, peer, sup_rx, inbox2))
-                        .expect("spawn accept supervisor")
+                        .or_invariant("spawn accept supervisor")
                 };
                 net.register_thread(sup);
             }
@@ -287,7 +288,7 @@ impl TcpGroup {
                     let net = Arc::clone(&net);
                     move || listener_loop(net, listener)
                 })
-                .expect("spawn listener thread");
+                .or_invariant("spawn listener thread");
             net.register_thread(listener_thread);
 
             let (event_tx, event_rx) = unbounded();
@@ -306,7 +307,7 @@ impl TcpGroup {
             let server = std::thread::Builder::new()
                 .name(format!("sintra-p{i}"))
                 .spawn(move || server_loop(i, keys, inbox_rx, transport, event_tx, opts))
-                .expect("spawn server thread");
+                .or_invariant("spawn server thread");
 
             server_threads.push(server);
             shutdown_txs.push(inbox_tx.clone());

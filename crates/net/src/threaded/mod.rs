@@ -26,6 +26,7 @@ use crate::link::{FrameKind, LinkKey};
 use crate::observe::ObservabilityConfig;
 use crate::server::{server_loop, Command, Input, ServerOpts, Transport};
 use crate::Runtime;
+use sintra_core::invariant::OrInvariant;
 
 pub use crate::server::ServerHandle;
 
@@ -171,7 +172,7 @@ impl ThreadedGroup {
                 .spawn(move || {
                     server_loop(i, keys, inbox_rx, transport, event_tx, opts);
                 })
-                .expect("spawn server thread");
+                .or_invariant("spawn server thread");
             threads.push(thread);
             shutdown_txs.push(inboxes[i].0.clone());
             handles.push(ServerHandle::new(
