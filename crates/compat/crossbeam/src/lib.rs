@@ -168,6 +168,17 @@ pub mod channel {
             }
         }
 
+        /// Number of messages currently queued (a point-in-time reading;
+        /// mirrors `crossbeam_channel::Receiver::len`).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap();
@@ -192,9 +203,12 @@ mod tests {
         let (tx, rx) = unbounded();
         tx.send(1).unwrap();
         tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert!(!rx.is_empty());
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.try_recv(), Ok(2));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(rx.is_empty());
     }
 
     #[test]

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod metrics;
 pub mod observe;
 pub mod server;
 pub mod sim;
 pub mod tcp;
 pub mod threaded;
 
+pub use metrics::MetricsConfig;
 pub use observe::ObservabilityConfig;
 pub use server::{ServerHandle, Transport};
 

@@ -70,6 +70,10 @@ pub struct LinkStats {
     pub acks_sent: u64,
     /// Sends rejected because the retransmission queue was full.
     pub queue_full_drops: u64,
+    /// High-water mark of the retransmission queue in wire bytes — how
+    /// close the link has ever come to shedding under
+    /// [`LinkConfig::max_unacked_bytes`].
+    pub unacked_bytes_hwm: u64,
 }
 
 /// What processing one inbound frame produced.
@@ -179,6 +183,7 @@ impl ReliableLink {
         });
         self.next_seq += 1;
         self.unacked_bytes += frame.len();
+        self.stats.unacked_bytes_hwm = self.stats.unacked_bytes_hwm.max(self.unacked_bytes as u64);
         self.unacked.push_back((seq, frame.clone()));
         self.stats.frames_sent += 1;
         Ok(frame)
@@ -245,6 +250,7 @@ impl ReliableLink {
             .num("last_acked_out", self.last_acked_out)
             .num("unacked_frames", self.unacked.len() as u64)
             .num("unacked_bytes", self.unacked_bytes as u64)
+            .num("unacked_bytes_hwm", self.stats.unacked_bytes_hwm)
             .num("frames_sent", self.stats.frames_sent)
             .num("frames_retransmitted", self.stats.frames_retransmitted)
             .num("delivered", self.stats.delivered)
@@ -395,6 +401,9 @@ mod tests {
         a.on_frame(&ack).unwrap();
         assert_eq!(a.unacked_bytes(), 0);
         a.seal_data(b"fits again").unwrap();
+        // The high-water mark remembers the peak, not the drained state.
+        assert!(a.stats().unacked_bytes_hwm >= 200);
+        assert!(a.stats().unacked_bytes_hwm as usize > a.unacked_bytes());
     }
 
     #[test]

@@ -20,6 +20,8 @@ use std::time::Duration;
 
 use sintra_telemetry::{render_dump, TraceEvent};
 
+use crate::metrics::MetricsConfig;
+
 /// Tuning for the per-party flight recorder and stall detector.
 #[derive(Debug, Clone)]
 pub struct ObservabilityConfig {
@@ -35,6 +37,10 @@ pub struct ObservabilityConfig {
     pub check_interval: Option<Duration>,
     /// Directory dumps are written into.
     pub dump_dir: PathBuf,
+    /// When set, every party runs a live metrics scrape endpoint (its
+    /// own registry, an HTTP/1.0 listener) in addition to the flight
+    /// recorder; `None` keeps the metrics plane off.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Default for ObservabilityConfig {
@@ -44,6 +50,18 @@ impl Default for ObservabilityConfig {
             quiet: Duration::from_secs(2),
             check_interval: None,
             dump_dir: PathBuf::from("."),
+            metrics: None,
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    /// An observability config with the metrics plane on (ephemeral
+    /// loopback scrape ports) and everything else at defaults.
+    pub fn with_metrics() -> Self {
+        ObservabilityConfig {
+            metrics: Some(MetricsConfig::default()),
+            ..ObservabilityConfig::default()
         }
     }
 }

@@ -440,6 +440,10 @@ fn flush<T: Transport>(
 ) {
     // Wall-clock trace stamps: microseconds since the group spawned.
     let now_us = run_start.elapsed().as_micros() as u64;
+    let flush_start = recorder
+        .as_ref()
+        .is_some_and(|r| r.enabled())
+        .then(Instant::now);
     let cause = out.cause();
     for mut ev in out.drain_traces() {
         ev.time_us = now_us;
@@ -495,6 +499,11 @@ fn flush<T: Transport>(
                 }
             }
         }
+    }
+    // Wall time spent sealing and queueing outbound frames — part of
+    // the loop's phase breakdown in scrapes.
+    if let (Some(rec), Some(start)) = (recorder, flush_start) {
+        rec.counter_add("server", "flush_us", start.elapsed().as_micros() as u64);
     }
 }
 
@@ -590,6 +599,12 @@ pub(crate) fn server_loop<T: Transport>(
         node.set_recorder(rec.clone());
     }
     let tracing = recorder.as_ref().is_some_and(|r| r.enabled()) || observability.is_some();
+    let metered = recorder.as_ref().is_some_and(|r| r.enabled());
+    if let Some(rec) = &recorder {
+        // Publish the stalled gauge at 0 up front so the series exists
+        // in the first scrape, before any stall has happened.
+        rec.gauge_set("server", "stalled", 0);
+    }
     let flight = observability
         .as_ref()
         .map(|obs| FlightRecorder::new(obs.ring_capacity));
@@ -617,6 +632,7 @@ pub(crate) fn server_loop<T: Transport>(
                 timers.pop().or_invariant("timer heap drained after peek");
             let mut out = Outgoing::new();
             out.set_tracing(tracing);
+            let dispatch_start = metered.then(Instant::now);
             guarded_dispatch(
                 &mut node,
                 &mut out,
@@ -627,6 +643,11 @@ pub(crate) fn server_loop<T: Transport>(
                 run_start,
                 |node, out| node.handle_timer(&pid, token, out),
             );
+            if let (Some(rec), Some(start)) = (&recorder, dispatch_start) {
+                let us = start.elapsed().as_micros() as u64;
+                rec.counter_add(root_scope(pid.as_str()), "dispatch_us", us);
+                rec.counter_add("server", "timer_dispatch_us", us);
+            }
             for t in out.drain_timers() {
                 timers.push(std::cmp::Reverse((
                     Instant::now() + Duration::from_millis(t.delay_ms),
@@ -676,6 +697,9 @@ pub(crate) fn server_loop<T: Transport>(
                             dropped,
                         );
                         stall_dumped = true;
+                        if let Some(rec) = &recorder {
+                            rec.gauge_set("server", "stalled", 1);
+                        }
                     }
                     continue;
                 }
@@ -695,7 +719,19 @@ pub(crate) fn server_loop<T: Transport>(
             }
         };
         last_input = Instant::now();
+        if stall_dumped {
+            // Progress after a declared stall: flip the gauge back so
+            // scrapes see the recovery, not just the incident.
+            if let Some(rec) = &recorder {
+                rec.gauge_set("server", "stalled", 0);
+            }
+        }
         stall_dumped = false;
+        if let Some(rec) = &recorder {
+            if metered {
+                rec.gauge_set("server", "inbox_depth", inbox.len() as u64);
+            }
+        }
         let mut out = Outgoing::new();
         out.set_tracing(tracing);
         match input {
@@ -722,6 +758,7 @@ pub(crate) fn server_loop<T: Transport>(
                             .bytes(data.len() as u64),
                     );
                 }
+                let dispatch_start = metered.then(Instant::now);
                 guarded_dispatch(
                     &mut node,
                     &mut out,
@@ -732,68 +769,83 @@ pub(crate) fn server_loop<T: Transport>(
                     run_start,
                     |node, out| node.handle_envelope(from, &env, out),
                 );
+                if let (Some(rec), Some(start)) = (&recorder, dispatch_start) {
+                    let us = start.elapsed().as_micros() as u64;
+                    rec.counter_add(root_scope(env.pid.as_str()), "dispatch_us", us);
+                    rec.counter_add("server", "net_dispatch_us", us);
+                }
             }
-            Input::Cmd(cmd) => match cmd {
-                Command::CreateAtomic(pid, config) => node.create_atomic_channel(pid, config),
-                Command::CreateSecure(pid, config) => node.create_secure_channel(pid, config),
-                Command::CreateOptimistic(pid, config) => {
-                    node.create_optimistic_channel(pid, config)
-                }
-                Command::CreateReliableChannel(pid) => node.create_reliable_channel(pid),
-                Command::CreateConsistentChannel(pid) => node.create_consistent_channel(pid),
-                Command::CreateReliableBroadcast(pid, sender) => {
-                    node.create_reliable_broadcast(pid, sender)
-                }
-                Command::CreateConsistentBroadcast(pid, sender) => {
-                    node.create_consistent_broadcast(pid, sender)
-                }
-                Command::CreateBinaryAgreement(pid, validator, bias) => {
-                    node.create_binary_agreement(pid, validator, bias)
-                }
-                Command::CreateMultiValued(pid, validator, order) => {
-                    node.create_multi_valued(pid, validator, order)
-                }
-                Command::Send(pid, data) => {
-                    if recorder.as_ref().is_some_and(|r| r.enabled()) {
-                        send_times
-                            .entry(pid.as_str().to_string())
-                            .or_default()
-                            .push_back(Instant::now());
+            Input::Cmd(cmd) => {
+                let cmd_start = metered.then(Instant::now);
+                match cmd {
+                    Command::CreateAtomic(pid, config) => node.create_atomic_channel(pid, config),
+                    Command::CreateSecure(pid, config) => node.create_secure_channel(pid, config),
+                    Command::CreateOptimistic(pid, config) => {
+                        node.create_optimistic_channel(pid, config)
                     }
-                    node.channel_send(&pid, data, &mut out)
-                }
-                Command::SendCiphertext(pid, ct) => {
-                    node.channel_send_ciphertext(&pid, ct, &mut out)
-                }
-                Command::BroadcastSend(pid, payload) => {
-                    node.broadcast_send(&pid, payload, &mut out)
-                }
-                Command::ProposeBinary(pid, value, proof) => {
-                    node.propose_binary(&pid, value, proof, &mut out)
-                }
-                Command::ProposeMulti(pid, value) => node.propose_multi(&pid, value, &mut out),
-                Command::Close(pid) => node.channel_close(&pid, &mut out),
-                Command::DumpState(reason) => {
-                    if let Some(obs) = &observability {
-                        let (events, dropped) = flight
-                            .as_ref()
-                            .map(|flight| flight.drain())
-                            .unwrap_or_default();
-                        write_dump(
-                            obs,
-                            me,
-                            &reason,
-                            run_start.elapsed().as_micros() as u64,
-                            obs.quiet.as_micros() as u64,
-                            &node.snapshot_instances(),
-                            &transport.link_snapshots(),
-                            &events,
-                            dropped,
-                        );
+                    Command::CreateReliableChannel(pid) => node.create_reliable_channel(pid),
+                    Command::CreateConsistentChannel(pid) => node.create_consistent_channel(pid),
+                    Command::CreateReliableBroadcast(pid, sender) => {
+                        node.create_reliable_broadcast(pid, sender)
                     }
+                    Command::CreateConsistentBroadcast(pid, sender) => {
+                        node.create_consistent_broadcast(pid, sender)
+                    }
+                    Command::CreateBinaryAgreement(pid, validator, bias) => {
+                        node.create_binary_agreement(pid, validator, bias)
+                    }
+                    Command::CreateMultiValued(pid, validator, order) => {
+                        node.create_multi_valued(pid, validator, order)
+                    }
+                    Command::Send(pid, data) => {
+                        if recorder.as_ref().is_some_and(|r| r.enabled()) {
+                            send_times
+                                .entry(pid.as_str().to_string())
+                                .or_default()
+                                .push_back(Instant::now());
+                        }
+                        node.channel_send(&pid, data, &mut out)
+                    }
+                    Command::SendCiphertext(pid, ct) => {
+                        node.channel_send_ciphertext(&pid, ct, &mut out)
+                    }
+                    Command::BroadcastSend(pid, payload) => {
+                        node.broadcast_send(&pid, payload, &mut out)
+                    }
+                    Command::ProposeBinary(pid, value, proof) => {
+                        node.propose_binary(&pid, value, proof, &mut out)
+                    }
+                    Command::ProposeMulti(pid, value) => node.propose_multi(&pid, value, &mut out),
+                    Command::Close(pid) => node.channel_close(&pid, &mut out),
+                    Command::DumpState(reason) => {
+                        if let Some(obs) = &observability {
+                            let (events, dropped) = flight
+                                .as_ref()
+                                .map(|flight| flight.drain())
+                                .unwrap_or_default();
+                            write_dump(
+                                obs,
+                                me,
+                                &reason,
+                                run_start.elapsed().as_micros() as u64,
+                                obs.quiet.as_micros() as u64,
+                                &node.snapshot_instances(),
+                                &transport.link_snapshots(),
+                                &events,
+                                dropped,
+                            );
+                        }
+                    }
+                    Command::Shutdown => return,
                 }
-                Command::Shutdown => return,
-            },
+                if let (Some(rec), Some(start)) = (&recorder, cmd_start) {
+                    rec.counter_add(
+                        "server",
+                        "cmd_dispatch_us",
+                        start.elapsed().as_micros() as u64,
+                    );
+                }
+            }
         }
         for t in out.drain_timers() {
             timers.push(std::cmp::Reverse((

@@ -12,9 +12,10 @@ use sintra_core::message::Envelope;
 use sintra_core::wire::Wire;
 use sintra_core::PartyId;
 use sintra_crypto::dealer::PartyKeys;
-use sintra_telemetry::Recorder;
+use sintra_telemetry::{FanoutRecorder, MetricsRegistry, Recorder};
 
 use crate::link::{LinkConfig, LinkError, LinkKey, ReliableLink};
+use crate::metrics::{GaugeSampler, MetricsServer};
 use crate::observe::ObservabilityConfig;
 use crate::server::{server_loop, Command, Input, ServerHandle, ServerOpts, Transport};
 use crate::tcp::conn::{
@@ -172,6 +173,7 @@ pub struct TcpGroup {
     nets: Vec<Arc<PartyNet>>,
     writer_threads: Vec<JoinHandle<()>>,
     addrs: Vec<SocketAddr>,
+    metrics_servers: Vec<MetricsServer>,
 }
 
 impl TcpGroup {
@@ -210,10 +212,30 @@ impl TcpGroup {
         let mut shutdown_txs = Vec::with_capacity(n);
         let mut nets = Vec::with_capacity(n);
         let mut writer_threads = Vec::new();
+        let mut metrics_servers = Vec::new();
+        let metrics_config = config
+            .observability
+            .as_ref()
+            .and_then(|obs| obs.metrics.clone());
 
         for (i, (keys, listener)) in party_keys.iter().zip(listeners).enumerate() {
             let me = PartyId(i);
             let inbox_tx = inboxes[i].0.clone();
+
+            // With the metrics plane on, every party counts into its own
+            // registry (scrapes must not mix parties); a user-supplied
+            // recorder still sees everything through a fanout.
+            let registry = metrics_config
+                .as_ref()
+                .map(|_| Arc::new(MetricsRegistry::new()));
+            let party_recorder: Option<Arc<dyn Recorder>> = match (&registry, &recorder) {
+                (Some(registry), Some(user)) => Some(Arc::new(FanoutRecorder::new(vec![
+                    Arc::clone(registry) as Arc<dyn Recorder>,
+                    Arc::clone(user),
+                ]))),
+                (Some(registry), None) => Some(Arc::clone(registry) as Arc<dyn Recorder>),
+                (None, user) => user.clone(),
+            };
 
             // Per-peer link state and channels; thread spawns wait until
             // the PartyNet exists.
@@ -243,7 +265,7 @@ impl TcpGroup {
                 me,
                 peers,
                 shutdown: std::sync::atomic::AtomicBool::new(false),
-                recorder: recorder.clone(),
+                recorder: party_recorder.clone(),
                 threads: Mutex::new(Vec::new()),
                 handshake_threads: Mutex::new(Vec::new()),
                 handshake_timeout: config.handshake_timeout,
@@ -299,7 +321,7 @@ impl TcpGroup {
             };
             let keys = Arc::clone(keys);
             let opts = ServerOpts {
-                recorder: recorder.clone(),
+                recorder: party_recorder.clone(),
                 observability: config.observability.clone(),
                 run_start,
             };
@@ -315,6 +337,36 @@ impl TcpGroup {
                 inner: ServerHandle::new(me, inbox_tx, event_rx),
                 net: Arc::clone(&net),
             });
+
+            if let (Some(metrics), Some(registry)) = (&metrics_config, registry) {
+                // Retransmission-queue state lives inside the per-peer
+                // links; sample it at scrape time instead of pushing it
+                // through the recorder on the hot path.
+                let sampler_net = Arc::clone(&net);
+                let sampler: GaugeSampler = Box::new(move || {
+                    let mut queue_bytes = 0u64;
+                    let mut queue_frames = 0u64;
+                    let mut bytes_hwm = 0u64;
+                    for peer in sampler_net.peers.iter().flatten() {
+                        let link = peer.link.lock().unwrap();
+                        queue_bytes += link.unacked_bytes() as u64;
+                        queue_frames += link.unacked_len() as u64;
+                        bytes_hwm = bytes_hwm.max(link.stats().unacked_bytes_hwm);
+                    }
+                    vec![
+                        ("link".to_string(), "retransmit_queue_bytes", queue_bytes),
+                        ("link".to_string(), "retransmit_queue_frames", queue_frames),
+                        ("link".to_string(), "retransmit_queue_bytes_hwm", bytes_hwm),
+                    ]
+                });
+                metrics_servers.push(MetricsServer::spawn(
+                    i,
+                    metrics,
+                    registry as Arc<dyn Recorder>,
+                    sampler,
+                )?);
+            }
+
             nets.push(net);
         }
 
@@ -325,6 +377,7 @@ impl TcpGroup {
                 nets,
                 writer_threads,
                 addrs,
+                metrics_servers,
             },
             handles,
         ))
@@ -333,6 +386,12 @@ impl TcpGroup {
     /// The socket addresses the parties are listening on, by party id.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The live scrape addresses, by party id. Empty unless the group
+    /// was spawned with [`ObservabilityConfig::metrics`] set.
+    pub fn metrics_addrs(&self) -> Vec<SocketAddr> {
+        self.metrics_servers.iter().map(|s| s.addr()).collect()
     }
 
     /// Stops the group: server loops first (so final protocol messages
@@ -380,6 +439,12 @@ impl TcpGroup {
             for t in handshakes {
                 let _ = t.join();
             }
+        }
+        // Scrape endpoints go down last, after every counter writer has
+        // been joined — a scraper's next request fails cleanly instead
+        // of reading a half-torn-down group.
+        for server in self.metrics_servers {
+            server.stop();
         }
     }
 }

@@ -20,9 +20,10 @@ use sintra_core::message::Envelope;
 use sintra_core::wire::Wire;
 use sintra_core::PartyId;
 use sintra_crypto::dealer::PartyKeys;
-use sintra_telemetry::{Recorder, SnapshotWriter};
+use sintra_telemetry::{FanoutRecorder, MetricsRegistry, Recorder, SnapshotWriter};
 
 use crate::link::{FrameKind, LinkKey};
+use crate::metrics::MetricsServer;
 use crate::observe::ObservabilityConfig;
 use crate::server::{server_loop, Command, Input, ServerOpts, Transport};
 use crate::Runtime;
@@ -105,6 +106,7 @@ impl Transport for ThreadedTransport {
 pub struct ThreadedGroup {
     threads: Vec<JoinHandle<()>>,
     shutdown_txs: Vec<Sender<Input>>,
+    metrics_servers: Vec<MetricsServer>,
 }
 
 impl ThreadedGroup {
@@ -146,10 +148,42 @@ impl ThreadedGroup {
         let mut handles = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
         let mut shutdown_txs = Vec::with_capacity(n);
+        let mut metrics_servers = Vec::new();
+        let metrics_config = observability.as_ref().and_then(|obs| obs.metrics.clone());
 
         for (i, keys) in party_keys.iter().enumerate() {
             let (event_tx, event_rx) = unbounded();
             let inbox_rx = inboxes[i].1.clone();
+
+            // With the metrics plane on, every party counts into its own
+            // registry so scrapes stay per-party; a user-supplied
+            // recorder still sees everything through a fanout.
+            let party_recorder: Option<Arc<dyn Recorder>> = match &metrics_config {
+                Some(metrics) => {
+                    let registry = Arc::new(MetricsRegistry::new());
+                    // The in-process transport has no retransmission
+                    // queue to sample; link gauges are a TCP concern.
+                    match MetricsServer::spawn(
+                        i,
+                        metrics,
+                        Arc::clone(&registry) as Arc<dyn Recorder>,
+                        Box::new(Vec::new),
+                    ) {
+                        Ok(server) => metrics_servers.push(server),
+                        Err(err) => {
+                            eprintln!("sintra: party {i} failed to bind scrape endpoint: {err}")
+                        }
+                    }
+                    match &recorder {
+                        Some(user) => Some(Arc::new(FanoutRecorder::new(vec![
+                            registry as Arc<dyn Recorder>,
+                            Arc::clone(user),
+                        ]))),
+                        None => Some(registry as Arc<dyn Recorder>),
+                    }
+                }
+                None => recorder.clone(),
+            };
             let transport = ThreadedTransport {
                 me: PartyId(i),
                 peers: inboxes.iter().map(|(tx, _)| tx.clone()).collect(),
@@ -163,7 +197,7 @@ impl ThreadedGroup {
             };
             let keys = Arc::clone(keys);
             let opts = ServerOpts {
-                recorder: recorder.clone(),
+                recorder: party_recorder,
                 observability: observability.clone(),
                 run_start,
             };
@@ -185,9 +219,16 @@ impl ThreadedGroup {
             ThreadedGroup {
                 threads,
                 shutdown_txs,
+                metrics_servers,
             },
             handles,
         )
+    }
+
+    /// The live scrape addresses, by party id. Empty unless the group
+    /// was spawned with [`ObservabilityConfig::metrics`] set.
+    pub fn metrics_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.metrics_servers.iter().map(|s| s.addr()).collect()
     }
 
     /// Stops all server threads and waits for them.
@@ -197,6 +238,9 @@ impl ThreadedGroup {
         }
         for t in self.threads {
             let _ = t.join();
+        }
+        for server in self.metrics_servers {
+            server.stop();
         }
     }
 }

@@ -9,8 +9,13 @@
 //!   predictable branch when telemetry is off.
 //! * [`MetricsRegistry`] — a concrete `Recorder` built from atomics:
 //!   counters and gauges are `AtomicU64`s behind a sharded read-mostly
-//!   map, histograms use power-of-two buckets with relaxed atomic
+//!   map, histograms use log-linear buckets with relaxed atomic
 //!   increments.
+//! * [`render_exposition`] / [`Exposition`] — the live metrics plane's
+//!   wire format: a Prometheus-style text rendering of a
+//!   [`MetricsSnapshot`] with deterministic series ordering, a parser
+//!   for it, and windowed [`counter_rates`] between successive
+//!   snapshots.
 //! * [`TraceEvent`] — one structured record per interesting protocol
 //!   step (phase transitions, round advances, deliveries), stamped with
 //!   virtual time by the simulator or wall-clock micros by the threaded
@@ -22,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+mod exposition;
 mod flight;
 mod histogram;
 mod json;
@@ -30,10 +36,11 @@ mod registry;
 mod report;
 mod trace;
 
+pub use exposition::{counter_rates, render_exposition, Exposition, Series, SERIES_PREFIX};
 pub use flight::{render_dump, FlightRecorder, SnapshotWriter, StateSnapshot, DUMP_SCHEMA};
-pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS, SUB_BUCKETS};
 pub use json::{parse_json, JsonError, JsonValue};
-pub use recorder::{NoopRecorder, Recorder};
+pub use recorder::{FanoutRecorder, NoopRecorder, Recorder};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 pub use report::{report_columns, ProtocolRow, RunReport, DELIVERY_LATENCY};
 pub use trace::{json_escape, TraceEvent};

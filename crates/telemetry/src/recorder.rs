@@ -1,6 +1,8 @@
-//! The `Recorder` sink trait and its no-op default.
+//! The `Recorder` sink trait, its no-op default, and a fan-out adapter.
 
-use crate::TraceEvent;
+use std::sync::Arc;
+
+use crate::{MetricsSnapshot, TraceEvent};
 
 /// Object-safe sink for protocol telemetry.
 ///
@@ -35,6 +37,15 @@ pub trait Recorder: Send + Sync {
     /// Records a structured trace event (already stamped by the
     /// runtime).
     fn trace(&self, event: TraceEvent);
+
+    /// Point-in-time copy of everything this recorder has accumulated,
+    /// when it keeps state that can be snapshotted (a
+    /// [`MetricsRegistry`](crate::MetricsRegistry) does; sinks that
+    /// forward or drop return `None`). This is what a live scrape
+    /// endpoint reads — writers are never paused.
+    fn snapshot_metrics(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 /// Recorder that drops everything; [`Recorder::enabled`] is `false`.
@@ -53,6 +64,56 @@ impl Recorder for NoopRecorder {
     fn observe(&self, _scope: &str, _name: &'static str, _value: u64) {}
 
     fn trace(&self, _event: TraceEvent) {}
+}
+
+/// Forwards every record to each sink in turn, so one instrumented
+/// party can feed both its own scrape registry and a shared,
+/// test-provided recorder without either knowing about the other.
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Builds a fan-out over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn counter_add(&self, scope: &str, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(scope, name, delta);
+        }
+    }
+
+    fn gauge_set(&self, scope: &str, name: &'static str, value: u64) {
+        for s in &self.sinks {
+            s.gauge_set(scope, name, value);
+        }
+    }
+
+    fn observe(&self, scope: &str, name: &'static str, value: u64) {
+        for s in &self.sinks {
+            s.observe(scope, name, value);
+        }
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        for s in &self.sinks {
+            s.trace(event.clone());
+        }
+    }
+
+    /// The first sink that can snapshot answers — by convention the
+    /// party's own registry is sink 0.
+    fn snapshot_metrics(&self) -> Option<MetricsSnapshot> {
+        self.sinks.iter().find_map(|s| s.snapshot_metrics())
+    }
 }
 
 #[cfg(test)]

@@ -158,6 +158,10 @@ impl Recorder for MetricsRegistry {
             self.traces.lock().expect("trace lock poisoned").push(event);
         }
     }
+
+    fn snapshot_metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.snapshot())
+    }
 }
 
 /// Deterministically ordered copy of a [`MetricsRegistry`].
@@ -238,6 +242,63 @@ mod tests {
         assert_eq!(traces.len(), 1);
         assert_eq!(traces[0].party, 1);
         assert!(r.take_traces().is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    fn snapshot_ordering_is_deterministic_across_shards() {
+        // Scopes land on different shards (FNV over the scope), and the
+        // underlying maps are HashMaps — but a snapshot must list every
+        // scope and metric in lexicographic order regardless of which
+        // shard holds it or in what order metrics were first touched.
+        let scopes = ["atomic", "vcb", "sbc", "abba", "link", "server", "z9", "a0"];
+        let forward = MetricsRegistry::new();
+        for s in scopes {
+            forward.counter_add(s, "msgs_sent", 1);
+            forward.observe(s, "delivery_latency_us", 10);
+        }
+        let backward = MetricsRegistry::new();
+        for s in scopes.iter().rev() {
+            backward.observe(s, "delivery_latency_us", 10);
+            backward.counter_add(s, "msgs_sent", 1);
+        }
+        let fs = forward.snapshot();
+        let bs = backward.snapshot();
+        let f_order: Vec<_> = fs.counters.keys().cloned().collect();
+        let b_order: Vec<_> = bs.counters.keys().cloned().collect();
+        assert_eq!(f_order, b_order);
+        let mut sorted = f_order.clone();
+        sorted.sort();
+        assert_eq!(f_order, sorted, "scopes come out lexicographically");
+        assert_eq!(
+            fs.histograms.keys().collect::<Vec<_>>(),
+            bs.histograms.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn snapshot_metrics_exposes_registry_through_recorder_trait() {
+        let r: Arc<dyn Recorder> = Arc::new(MetricsRegistry::new());
+        r.counter_add("atomic", "msgs_sent", 3);
+        let snap = r.snapshot_metrics().expect("registry snapshots");
+        assert_eq!(snap.counter("atomic", "msgs_sent"), 3);
+        assert!(crate::NoopRecorder.snapshot_metrics().is_none());
+    }
+
+    #[test]
+    fn fanout_feeds_every_sink_and_snapshots_the_first() {
+        let own = Arc::new(MetricsRegistry::new());
+        let shared = Arc::new(MetricsRegistry::new());
+        let fan = crate::FanoutRecorder::new(vec![own.clone(), shared.clone()]);
+        assert!(fan.enabled());
+        fan.counter_add("atomic", "msgs_sent", 2);
+        fan.gauge_set("server", "stalled", 1);
+        fan.observe("atomic", "delivery_latency_us", 50);
+        assert_eq!(own.counter("atomic", "msgs_sent"), 2);
+        assert_eq!(shared.counter("atomic", "msgs_sent"), 2);
+        assert_eq!(shared.gauge("server", "stalled"), 1);
+        assert!(shared.histogram("atomic", "delivery_latency_us").is_some());
+        let snap = fan.snapshot_metrics().expect("fanout snapshots sink 0");
+        assert_eq!(snap.counter("atomic", "msgs_sent"), 2);
     }
 
     #[test]

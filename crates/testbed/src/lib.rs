@@ -29,6 +29,7 @@
 
 pub mod experiments;
 pub mod inspect;
+pub mod scrape;
 pub mod setups;
 pub mod stats;
 pub mod trace_export;

@@ -1,0 +1,117 @@
+//! A scrape client for the live metrics plane.
+//!
+//! The real runtimes expose one HTTP/1.0 endpoint per party (see
+//! `sintra_net::MetricsConfig`); this module is the other half — a
+//! dependency-free blocking client that fetches one exposition document,
+//! parses it with [`Exposition::parse`], and offers assertion helpers so
+//! integration tests and `sintra-top` can reason about live groups
+//! ("every party answers", "these series exist", "rates are sane")
+//! without hand-rolling HTTP in every call site.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sintra_telemetry::Exposition;
+
+/// Fetches one exposition document from a party's scrape endpoint.
+/// Returns the response body on a `200`, an error string otherwise.
+pub fn scrape_text(addr: SocketAddr, timeout: Duration) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("{addr}: connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: sintra\r\n\r\n")
+        .map_err(|e| format!("{addr}: send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed response (no header/body split)"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: scrape failed: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Fetches and parses one scrape.
+pub fn scrape(addr: SocketAddr, timeout: Duration) -> Result<Exposition, String> {
+    let body = scrape_text(addr, timeout)?;
+    Exposition::parse(&body).map_err(|e| format!("{addr}: {e}"))
+}
+
+/// Asserts that every named series family is present in a scrape.
+/// Returns the missing names so test failures show the full gap at once.
+pub fn missing_series(exposition: &Exposition, names: &[&str]) -> Vec<String> {
+    names
+        .iter()
+        .filter(|name| !exposition.series.iter().any(|s| &s.name == *name))
+        .map(|name| name.to_string())
+        .collect()
+}
+
+/// Checks that every counter-family rate between two scrapes of the same
+/// party is finite and non-negative; returns the offending series names.
+pub fn negative_rates(prev: &Exposition, next: &Exposition, elapsed: Duration) -> Vec<String> {
+    let mut bad = Vec::new();
+    for series in &next.series {
+        if !series.name.ends_with("_total") {
+            continue;
+        }
+        let want: Vec<(&str, &str)> = series
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        match next.rate_since(prev, &series.name, &want, elapsed) {
+            Some(rate) if rate.is_finite() && rate >= 0.0 => {}
+            _ => bad.push(series.name.clone()),
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_series_reports_the_gap() {
+        let exposition = Exposition::parse("sintra_msgs_sent_total{scope=\"atomic\"} 4\n")
+            .expect("parse exposition");
+        assert!(missing_series(&exposition, &["sintra_msgs_sent_total"]).is_empty());
+        assert_eq!(
+            missing_series(&exposition, &["sintra_msgs_sent_total", "sintra_stalled"]),
+            vec!["sintra_stalled".to_string()]
+        );
+    }
+
+    #[test]
+    fn negative_rates_flags_counter_resets_cleanly() {
+        let before = Exposition::parse("sintra_msgs_sent_total{scope=\"atomic\"} 10\n")
+            .expect("parse exposition");
+        let after = Exposition::parse("sintra_msgs_sent_total{scope=\"atomic\"} 14\n")
+            .expect("parse exposition");
+        // Forward progress: clean.
+        assert!(negative_rates(&before, &after, Duration::from_secs(1)).is_empty());
+        // A reset clamps to zero inside rate_since, which still counts
+        // as a sane (non-negative) rate.
+        assert!(negative_rates(&after, &before, Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn scrape_refuses_unreachable_endpoints() {
+        // A port nothing listens on: connect must fail, not hang.
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("parse addr");
+        let err = scrape(addr, Duration::from_millis(200)).expect_err("no listener");
+        assert!(err.contains("connect"), "{err}");
+    }
+}

@@ -30,9 +30,10 @@ use sintra::crypto::dealer::{deal, DealerConfig};
 use sintra::protocols::channel::AtomicChannelConfig;
 use sintra::runtime::sim::{byzantine::EquivocatingSender, Fault, LinkDecision, Simulation};
 use sintra::runtime::tcp::{TcpConfig, TcpGroup};
-use sintra::runtime::{ObservabilityConfig, PartyHandle};
+use sintra::runtime::{MetricsConfig, ObservabilityConfig, PartyHandle};
 use sintra::telemetry::parse_json;
 use sintra::testbed::inspect::report;
+use sintra::testbed::scrape::scrape;
 use sintra::testbed::setups::{build, Setup};
 use sintra::testbed::trace_export::validate_dump;
 use sintra::ProtocolId;
@@ -102,6 +103,7 @@ fn stall_drill(dump_dir: &std::path::Path) {
         observability: Some(ObservabilityConfig {
             quiet: Duration::from_millis(500),
             dump_dir: dump_dir.to_path_buf(),
+            metrics: Some(MetricsConfig::default()),
             ..ObservabilityConfig::default()
         }),
         ..TcpConfig::default()
@@ -130,9 +132,23 @@ fn stall_drill(dump_dir: &std::path::Path) {
         );
         std::thread::sleep(Duration::from_millis(50));
     }
+    // The metrics plane must keep answering while the protocol is
+    // wedged: the wedge is exactly when an operator reaches for it.
+    let scrape_addr = group.metrics_addrs()[0];
+    let exposition = scrape(scrape_addr, Duration::from_secs(5)).expect("scrape stalled party");
+    assert_eq!(
+        exposition.value("sintra_stalled", &[("party", "0")]),
+        Some(1.0),
+        "stall detector's verdict is visible in the scrape"
+    );
+    println!("  scrape endpoint answered mid-stall, stalled gauge = 1 ✓");
     // Let the other survivor finish its dump too before reading.
     std::thread::sleep(Duration::from_millis(300));
     group.shutdown();
+    assert!(
+        scrape(scrape_addr, Duration::from_secs(2)).is_err(),
+        "scrape endpoint closes with the group"
+    );
 
     let mut dumped = 0;
     for entry in std::fs::read_dir(dump_dir).expect("read dump dir") {

@@ -14,17 +14,21 @@
 //!
 //! Run with: `cargo run --release --example replicated_kv` (in-process
 //! links) or `cargo run --release --example replicated_kv -- --tcp`
-//! (real 127.0.0.1 sockets).
+//! (real 127.0.0.1 sockets). Add `--metrics` to serve a live
+//! Prometheus-style scrape endpoint per replica and keep the group up
+//! for a while after convergence — point `curl` or `sintra-top` at the
+//! printed addresses.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::SeedableRng;
 use sintra::crypto::dealer::{deal, DealerConfig, PartyKeys};
 use sintra::protocols::channel::AtomicChannelConfig;
-use sintra::runtime::tcp::TcpGroup;
+use sintra::runtime::tcp::{TcpConfig, TcpGroup};
 use sintra::runtime::threaded::ThreadedGroup;
-use sintra::runtime::{PartyHandle, Runtime};
+use sintra::runtime::{ObservabilityConfig, PartyHandle, Runtime};
 use sintra::ProtocolId;
 
 /// The replicated state machine: a sorted map plus a command log length.
@@ -69,7 +73,12 @@ fn drive_replica<H: PartyHandle>(
 /// The whole scenario, transport-agnostic: create the channel, submit
 /// commands through different servers, drive every replica to the same
 /// final state, shut the group down.
-fn run_scenario<R: Runtime>(group: R, mut servers: Vec<R::Handle>, n: usize) {
+fn run_scenario<R: Runtime>(
+    group: R,
+    mut servers: Vec<R::Handle>,
+    n: usize,
+    linger: Option<Duration>,
+) {
     let channel = ProtocolId::new("kv-store");
     for s in &servers {
         s.create_atomic_channel(channel.clone(), AtomicChannelConfig::default());
@@ -108,11 +117,19 @@ fn run_scenario<R: Runtime>(group: R, mut servers: Vec<R::Handle>, n: usize) {
         "(note: the motd and balance:alice keys were written through different\n servers — atomic broadcast decided one winner for every replica)"
     );
 
+    if let Some(window) = linger {
+        println!(
+            "\nserving metrics for another {}s — scrape the addresses above",
+            window.as_secs()
+        );
+        std::thread::sleep(window);
+    }
     group.shutdown();
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let use_tcp = std::env::args().any(|a| a == "--tcp");
+    let use_metrics = std::env::args().any(|a| a == "--metrics");
     let (n, t) = (4, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let keys: Vec<Arc<PartyKeys>> = deal(&DealerConfig::small(n, t), &mut rng)?
@@ -120,17 +137,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(Arc::new)
         .collect();
 
+    // With --metrics the group stays up after convergence so there is
+    // time to point curl or sintra-top at the scrape endpoints.
+    let linger = use_metrics.then(|| Duration::from_secs(15));
     if use_tcp {
-        let (group, servers) = TcpGroup::spawn(keys)?;
+        let config = TcpConfig {
+            observability: use_metrics.then(ObservabilityConfig::with_metrics),
+            ..TcpConfig::default()
+        };
+        let (group, servers) = TcpGroup::spawn_with(keys, config, None)?;
         println!("replicas listening on real loopback sockets:");
         for (i, addr) in group.addrs().iter().enumerate() {
             println!("  replica {i}: {addr}");
         }
+        for (i, addr) in group.metrics_addrs().iter().enumerate() {
+            println!("  replica {i} metrics: http://{addr}/metrics");
+        }
         println!();
-        run_scenario(group, servers, n);
+        run_scenario(group, servers, n, linger);
     } else {
-        let (group, servers) = ThreadedGroup::spawn(keys);
-        run_scenario(group, servers, n);
+        let observability = use_metrics.then(ObservabilityConfig::with_metrics);
+        let (group, servers) = ThreadedGroup::spawn_observable(keys, None, observability);
+        for (i, addr) in group.metrics_addrs().iter().enumerate() {
+            println!("  replica {i} metrics: http://{addr}/metrics");
+        }
+        run_scenario(group, servers, n, linger);
     }
     Ok(())
 }
