@@ -1,0 +1,202 @@
+//! Staged-verification pipeline throughput: atomic broadcast at n = 4
+//! over loopback TCP, inline verification vs the off-thread crypto
+//! worker pool (`TcpConfig.pipeline`).
+//!
+//! Keys are 512-bit Shoup RSA threshold signatures, the flavor whose
+//! share verification is a full-width exponentiation — so verifying the
+//! other parties' shares dominates the server loop, which is exactly the
+//! workload the pipeline exists for. `SINTRA_CHANNELS` (default 4)
+//! atomic channels run concurrently so the loop is saturated with
+//! verification work rather than idling on round latency; one measured
+//! batch has every party send `SINTRA_MESSAGES` payloads (default 2) on
+//! every channel and block until all deliveries arrive everywhere.
+//!
+//! The worker pool's win is parallelism: on a single-core host the
+//! staged numbers bound the pipeline's overhead (expect ~1×), while on a
+//! multicore host (the CI `pipeline-smoke` runner) the pool verifies on
+//! the other cores and throughput multiplies. The run prints the host's
+//! available parallelism so a reader can tell which regime a committed
+//! `BENCH_pipeline.json` measured.
+//!
+//! Run with: `cargo bench -p sintra-bench --bench pipeline`
+//! Environment: `SINTRA_BENCH_QUICK`, `SINTRA_BENCH_JSON` (see
+//! `crates/compat/criterion`), `SINTRA_MESSAGES`, `SINTRA_CHANNELS`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sintra_core::channel::AtomicChannelConfig;
+use sintra_core::message::{statement_pre_vote, Body, Envelope, PreVoteJust};
+use sintra_core::preverify::PreVerifier;
+use sintra_core::{GroupContext, PartyId, ProtocolId};
+use sintra_crypto::dealer::{deal, DealerConfig, PartyKeys};
+use sintra_crypto::thsig::SigFlavor;
+use sintra_net::tcp::{TcpConfig, TcpGroup, TcpHandle};
+use sintra_net::{PartyHandle, PipelineConfig};
+
+fn keys() -> Vec<Arc<PartyKeys>> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let config = DealerConfig::new(4, 1)
+        .key_bits(512, 512)
+        .flavor(SigFlavor::ShoupRsa);
+    deal(&config, &mut rng)
+        .expect("dealer")
+        .into_iter()
+        .map(Arc::new)
+        .collect()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// One throughput batch: every party sends `per_party` payloads on every
+/// channel, then drains all `n × per_party` deliveries per channel
+/// (round-robin `try_receive`, since the blocking `receive` pends on one
+/// channel at a time). The concurrent channels are what keep the verify
+/// queue nonempty instead of idling on a single channel's round latency.
+fn batch(handles: &mut [TcpHandle], channels: &[ProtocolId], per_party: usize) {
+    let n = handles.len();
+    std::thread::scope(|scope| {
+        for (i, handle) in handles.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for m in 0..per_party {
+                    for pid in channels {
+                        handle.send(pid, format!("p{i}-m{m}").into_bytes());
+                    }
+                }
+                let mut remaining = vec![n * per_party; channels.len()];
+                while remaining.iter().any(|&r| r > 0) {
+                    let mut progressed = false;
+                    for (k, pid) in channels.iter().enumerate() {
+                        while remaining[k] > 0 && handle.try_receive(pid).is_some() {
+                            remaining[k] -= 1;
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_variant(c: &mut Criterion, id: &str, keys: &[Arc<PartyKeys>], pipeline: PipelineConfig) {
+    let per_party = env_usize("SINTRA_MESSAGES", 2);
+    let n_channels = env_usize("SINTRA_CHANNELS", 4);
+    let config = TcpConfig {
+        pipeline,
+        ..TcpConfig::default()
+    };
+    let (group, mut handles) =
+        TcpGroup::spawn_with(keys.to_vec(), config, None).expect("spawn tcp group");
+    let channels: Vec<ProtocolId> = (0..n_channels)
+        .map(|k| ProtocolId::new(format!("pipeline-bench-{k}")))
+        .collect();
+    for handle in &handles {
+        for pid in &channels {
+            handle.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+    }
+    // Establish every session (and fill the admission machinery's caches)
+    // before the clock starts.
+    batch(&mut handles, &channels, 1);
+    c.bench_function(id, |b| b.iter(|| batch(&mut handles, &channels, per_party)));
+    group.shutdown();
+}
+
+/// One party's verification-stage throughput: the same mix of envelopes
+/// through the inline path (one thread, envelope at a time — the
+/// no-pipeline server loop) vs the pool's worker geometry (4 threads,
+/// batches of 16 through `pre_verify_batch`). This pair isolates the
+/// quantity the pipeline exists to scale — a single party's verify
+/// throughput — from group-level effects: the end-to-end pair above
+/// shares the host's cores across all four parties, so it only shows
+/// the pool's win with several cores *per party*, while this pair
+/// needs just a few cores total.
+fn bench_verify_stage(c: &mut Criterion, keys: &[Arc<PartyKeys>]) {
+    let pid = ProtocolId::new("verify-bench");
+    let envelopes: Vec<(PartyId, Envelope)> = (0..64u64)
+        .map(|i| {
+            let sender = (i % 3 + 1) as usize; // peers of party 0
+            let round = (i / 3 + 1) as u32;
+            let share = keys[sender]
+                .thsig_agreement
+                .sign_share(&statement_pre_vote(&pid, round, true));
+            let env = Envelope {
+                pid: pid.clone(),
+                send_seq: i,
+                body: Body::BaPreVote {
+                    round,
+                    value: true,
+                    just: PreVoteJust::Initial,
+                    share,
+                    proof: None,
+                },
+            };
+            (PartyId(sender), env)
+        })
+        .collect();
+    let verifier = PreVerifier::new(GroupContext::new(Arc::clone(&keys[0])));
+
+    c.bench_function("verify-n4-512/inline-thread", |b| {
+        b.iter(|| {
+            for (from, env) in &envelopes {
+                black_box(verifier.pre_verify(*from, env));
+            }
+        })
+    });
+    c.bench_function("verify-n4-512/offload-4w", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for worker_chunk in envelopes.chunks(envelopes.len().div_ceil(4)) {
+                    let verifier = &verifier;
+                    scope.spawn(move || {
+                        for batch in worker_chunk.chunks(16) {
+                            let refs: Vec<(PartyId, &Envelope)> =
+                                batch.iter().map(|(f, e)| (*f, e)).collect();
+                            black_box(verifier.pre_verify_batch(&refs));
+                        }
+                    });
+                }
+            });
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let keys = keys();
+    bench_variant(
+        c,
+        "pipeline-n4-512/inline",
+        &keys,
+        PipelineConfig::default(),
+    );
+    bench_variant(
+        c,
+        "pipeline-n4-512/staged-4w",
+        &keys,
+        PipelineConfig::with_workers(4),
+    );
+    bench_verify_stage(c, &keys);
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!(
+        "pipeline bench: available parallelism = {cores} \
+         (the staged/inline ratio only exceeds 1 with cores to verify on)"
+    );
+    let mut criterion = Criterion::default();
+    bench_pipeline(&mut criterion);
+    criterion::finalize();
+}

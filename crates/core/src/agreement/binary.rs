@@ -361,10 +361,7 @@ impl BinaryAgreement {
         let statement = statement_pre_vote(&self.pid, round, value);
         if !self
             .ctx
-            .keys()
-            .common
-            .thsig_agreement
-            .verify_share(&statement, share)
+            .verify_share_cached(&self.ctx.keys().common.thsig_agreement, &statement, share)
         {
             return;
         }
@@ -428,10 +425,7 @@ impl BinaryAgreement {
         let statement = statement_main_vote(&self.pid, round, vote);
         if !self
             .ctx
-            .keys()
-            .common
-            .thsig_agreement
-            .verify_share(&statement, share)
+            .verify_share_cached(&self.ctx.keys().common.thsig_agreement, &statement, share)
         {
             return;
         }
@@ -471,8 +465,29 @@ impl BinaryAgreement {
             .into_values()
             .collect();
         let name = coin_name(&self.pid, round);
-        let verdicts = self.ctx.keys().common.coin.verify_shares(&name, &pending);
-        for (share, valid) in pending.into_iter().zip(verdicts) {
+        // Shares the verify stage already checked skip straight in; the
+        // rest go through one batched verification.
+        let mut unverified: Vec<CoinShare> = Vec::new();
+        for share in pending {
+            if self
+                .ctx
+                .consume_preverified(&crate::preverify::coin_token(&name, &share))
+            {
+                state.coin_shares.entry(share.index).or_insert(share);
+            } else {
+                unverified.push(share);
+            }
+        }
+        if unverified.is_empty() {
+            return;
+        }
+        let verdicts = self
+            .ctx
+            .keys()
+            .common
+            .coin
+            .verify_shares(&name, &unverified);
+        for (share, valid) in unverified.into_iter().zip(verdicts) {
             if valid {
                 state.coin_shares.entry(share.index).or_insert(share);
             }
@@ -491,13 +506,11 @@ impl BinaryAgreement {
             return;
         }
         let statement = statement_main_vote(&self.pid, round, MainVote::Value(value));
-        if !self
-            .ctx
-            .keys()
-            .common
-            .thsig_agreement
-            .verify(&statement, sig)
-        {
+        if !self.ctx.verify_threshold_cached(
+            &self.ctx.keys().common.thsig_agreement,
+            &statement,
+            sig,
+        ) {
             return;
         }
         self.note_proof(value, proof);

@@ -160,13 +160,11 @@ impl ConsistentBroadcast {
                     return;
                 }
                 let statement = statement_cb(&self.pid, payload);
-                if self
-                    .ctx
-                    .keys()
-                    .common
-                    .thsig_broadcast
-                    .verify(&statement, sig)
-                {
+                if self.ctx.verify_threshold_cached(
+                    &self.ctx.keys().common.thsig_broadcast,
+                    &statement,
+                    sig,
+                ) {
                     self.delivered = Some((payload.clone(), sig.clone()));
                     out.trace_with(|| {
                         TraceEvent::new(self.ctx.me().0, self.pid.as_str(), "vcb")

@@ -317,7 +317,10 @@ impl AtomicChannel {
             return;
         }
         let statement = statement_entry(&self.pid, round, &entry.payload);
-        if !self.ctx.keys().common.sig_publics[from.0].verify(&statement, &entry.sig) {
+        if !self
+            .ctx
+            .verify_party_sig_cached(from, &statement, &entry.sig)
+        {
             return;
         }
         round_entries.push(entry.clone());

@@ -597,7 +597,7 @@ impl OptimisticChannel {
             return;
         }
         let statement = statement_opt_ack(&self.pid, phase, epoch, seq, digest);
-        if !self.ctx.keys().common.sig_publics[from.0].verify(&statement, sig) {
+        if !self.ctx.verify_party_sig_cached(from, &statement, sig) {
             return;
         }
         self.progress += 1;

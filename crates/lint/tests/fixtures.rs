@@ -98,6 +98,60 @@ fn wire_fixture_also_fires_under_link_paths() {
 }
 
 #[test]
+fn verify_stage_modules_carry_determinism_anywhere() {
+    // The staged pipeline's verify stage must be a pure function of the
+    // envelope bytes, so the determinism bans (wall clock included) follow
+    // `preverify` modules out of crates/core.
+    let src = fixture(rules::DETERMINISM, "verify-stage.rs");
+    for vpath in [
+        "crates/net/src/preverify.rs",
+        "crates/pipeline/src/preverify/batch.rs",
+    ] {
+        assert!(
+            analyze_source(vpath, &src)
+                .iter()
+                .any(|f| f.rule == rules::DETERMINISM),
+            "determinism silent for verify stage under {vpath}"
+        );
+    }
+    // The same text elsewhere in a non-core crate is out of scope.
+    assert!(
+        analyze_source("crates/telemetry/src/report.rs", &src).is_empty(),
+        "determinism fired outside core/verify-stage scope"
+    );
+}
+
+#[test]
+fn pipeline_modules_carry_panic_policy_anywhere() {
+    // A worker that dies on a bare unwrap wedges the admission reorder
+    // buffer, so the panic policy follows `pipeline` modules out of
+    // crates/net.
+    let src = fixture(rules::PANIC_POLICY, "pipeline-worker.rs");
+    for vpath in [
+        "crates/testbed/src/pipeline.rs",
+        "crates/runtime/src/pipeline/worker.rs",
+    ] {
+        assert!(
+            analyze_source(vpath, &src)
+                .iter()
+                .any(|f| f.rule == rules::PANIC_POLICY),
+            "panic-policy silent for pipeline module under {vpath}"
+        );
+    }
+    assert!(
+        analyze_source("crates/telemetry/src/report.rs", &src).is_empty(),
+        "panic-policy fired outside core/net/pipeline scope"
+    );
+    // The worker loop's metering clock is sanctioned: determinism binds to
+    // the verify stage (`preverify`), not to pipeline worker modules.
+    let metering = "fn meter() { let t = std::time::Instant::now(); drop(t); }\n";
+    assert!(
+        analyze_source("crates/net/src/pipeline.rs", metering).is_empty(),
+        "determinism must not ban the worker loop's metering Instant"
+    );
+}
+
+#[test]
 fn core_rules_do_not_fire_outside_core() {
     let det = fixture(rules::DETERMINISM, "trigger.rs");
     let quo = fixture(rules::QUORUM, "trigger.rs");

@@ -1,0 +1,10 @@
+// A verify stage that consults the wall clock: its verdict is no longer a
+// pure function of the envelope bytes, so replaying the same envelope on
+// another replica (or rerunning the batch after a worker restart) can
+// produce a different answer. Fed through a `preverify` virtual path
+// *outside* crates/core to prove the scope follows the module.
+pub fn pre_verify(envelope: &[u8]) -> bool {
+    let started = std::time::Instant::now();
+    let fresh = started.elapsed().as_millis() < 5;
+    !envelope.is_empty() && fresh
+}

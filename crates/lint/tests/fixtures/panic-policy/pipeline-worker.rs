@@ -1,0 +1,11 @@
+// A crypto-worker loop that unwraps: if the channel side dies first, the
+// worker panics without a flight-recorder dump and its in-flight admission
+// sequence number is never re-injected, wedging the server loop's reorder
+// buffer. Fed through a `pipeline` virtual path *outside* crates/net to
+// prove the panic policy follows the module.
+fn worker_loop(rx: &Receiver<Job>, tx: &Sender<Verdict>) {
+    loop {
+        let job = rx.recv().unwrap();
+        tx.send(verify(job)).expect("loop alive");
+    }
+}

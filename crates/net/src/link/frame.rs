@@ -305,6 +305,34 @@ impl FrameBuffer {
         Ok(Some(frame))
     }
 
+    /// Like [`FrameBuffer::next_frame`], but borrows the frame out of the
+    /// internal buffer instead of allocating a fresh `Vec` per frame —
+    /// the hot-path variant for readers that consume the frame before
+    /// touching the buffer again. Compaction happens at entry (never
+    /// while a frame is borrowed), so memory stays bounded exactly as
+    /// with the owning variant.
+    pub fn next_frame_ref(&mut self) -> Result<Option<&[u8]>, LinkError> {
+        if self.poisoned {
+            return Err(LinkError::Oversized);
+        }
+        self.compact();
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let declared = be_u32_prefix(&self.buf[self.start..]) as usize;
+        if declared > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(LinkError::Oversized);
+        }
+        if avail < 4 + declared {
+            return Ok(None);
+        }
+        let frame_start = self.start;
+        self.start += 4 + declared;
+        Ok(Some(&self.buf[frame_start..frame_start + 4 + declared]))
+    }
+
     /// Reclaims consumed prefix space once it dominates the buffer.
     fn compact(&mut self) {
         if self.start > 4096 && self.start * 2 >= self.buf.len() {
@@ -433,6 +461,44 @@ mod tests {
         }
         assert_eq!(got, sent);
         assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_ref_variant_matches_owning_variant() {
+        let (a, b) = key_pair();
+        let mut wire = Vec::new();
+        let sent: Vec<FrameKind> = (0..64)
+            .map(|i| FrameKind::Data {
+                seq: i + 1,
+                payload: vec![i as u8; (i * 13 % 97) as usize],
+            })
+            .collect();
+        for kind in &sent {
+            wire.extend_from_slice(&a.seal(kind));
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(7) {
+            fb.extend(chunk);
+            while let Some(frame) = fb.next_frame_ref().unwrap() {
+                got.push(b.open(frame).unwrap());
+            }
+        }
+        assert_eq!(got, sent);
+        assert_eq!(fb.pending(), 0);
+        // Long streams of complete frames must not grow the buffer
+        // without bound: compaction runs even when no partial frame
+        // forces the `Ok(None)` path.
+        assert!(fb.buf.len() < 2 * wire.len());
+    }
+
+    #[test]
+    fn frame_buffer_ref_variant_poisons_on_oversized_prefix() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_be_bytes());
+        assert_eq!(fb.next_frame_ref(), Err(LinkError::Oversized));
+        fb.extend(b"more");
+        assert_eq!(fb.next_frame_ref(), Err(LinkError::Oversized));
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Off-thread staged verification: the crypto worker pool.
+//!
+//! The server loop stamps every admitted network envelope with a
+//! monotone **admission sequence** and hands it to a [`VerifyPool`]
+//! instead of verifying inline. A capped set of worker threads pulls
+//! jobs off the shared queue in small batches, runs the pure
+//! [`PreVerifier`] stage (no protocol state, no locks against the server
+//! loop), and re-injects each envelope into the server inbox as an
+//! [`Input::Verified`] tagged with its admission sequence. The loop's
+//! reorder buffer then dispatches strictly in admission order, which is
+//! a superset of the per-sender FIFO the link layer guarantees — so
+//! delivery order is exactly what inline verification would produce.
+//!
+//! Byzantine-invalid envelopes come back with a blame reason
+//! ([`PreVerdict::Invalid`](sintra_core::preverify::PreVerdict)); the
+//! loop counts them per sender and drops them — never silently.
+//!
+//! Telemetry (scope `pipeline`): `verify_queue_depth` gauge,
+//! `verify_batch` batch-size histogram, `verify_busy_us` worker wall
+//! time, `crypto_work_milli` metered crypto cost, and the loop-side
+//! `verify_rejected` counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sintra_core::invariant::OrInvariant;
+use sintra_core::message::Envelope;
+use sintra_core::preverify::PreVerifier;
+use sintra_core::{GroupContext, PartyId};
+use sintra_crypto::cost::CostScope;
+use sintra_telemetry::{Recorder, CRYPTO_WORK_MILLI};
+
+use crate::server::{Input, VerifiedEnvelope};
+
+/// Telemetry scope for every pipeline series.
+pub(crate) const PIPELINE_SCOPE: &str = "pipeline";
+
+/// Staged-verification configuration, shared by both runtimes.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of verification worker threads. `0` disables the pipeline:
+    /// envelopes verify inline on the server loop, exactly as before.
+    pub workers: usize,
+    /// Largest batch one worker pulls per wakeup. Batching amortizes the
+    /// queue round-trip and lets same-coin shares verify through one
+    /// batched multi-exponentiation.
+    pub max_batch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 0,
+            max_batch: 16,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A pipeline with `workers` threads and the default batch cap.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the staged pipeline is on.
+    pub fn is_enabled(&self) -> bool {
+        self.workers > 0
+    }
+}
+
+/// One queued verification job.
+struct Job {
+    admit_seq: u64,
+    from: PartyId,
+    env: Envelope,
+    wire_len: u64,
+}
+
+/// The worker pool: a shared job queue, worker threads, and a depth
+/// counter the server loop exposes as a gauge and consults for stall
+/// accounting.
+pub(crate) struct VerifyPool {
+    job_tx: Option<Sender<Job>>,
+    depth: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VerifyPool {
+    /// Spawns `config.workers` verification threads feeding `inbox`.
+    pub(crate) fn spawn(
+        ctx: GroupContext,
+        config: &PipelineConfig,
+        inbox: Sender<Input>,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> VerifyPool {
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let depth = Arc::new(AtomicU64::new(0));
+        let max_batch = config.max_batch.max(1);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = job_rx.clone();
+                let tx = inbox.clone();
+                let verifier = PreVerifier::new(ctx.clone());
+                let rec = recorder.clone();
+                std::thread::Builder::new()
+                    .name(format!("sintra-verify-{}-{i}", ctx.me().0))
+                    .spawn(move || worker_loop(&rx, &tx, &verifier, rec.as_deref(), max_batch))
+                    .or_invariant("spawn verify worker")
+            })
+            .collect();
+        VerifyPool {
+            job_tx: Some(job_tx),
+            depth,
+            workers,
+        }
+    }
+
+    /// Queues an admitted envelope for off-thread verification.
+    pub(crate) fn submit(&self, admit_seq: u64, from: PartyId, env: Envelope, wire_len: u64) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = &self.job_tx {
+            let _ = tx.send(Job {
+                admit_seq,
+                from,
+                env,
+                wire_len,
+            });
+        }
+    }
+
+    /// The server loop acknowledges one completed job (called per
+    /// received [`Input::Verified`]).
+    pub(crate) fn complete_one(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Envelopes submitted but not yet re-injected.
+    pub(crate) fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Disconnects the job queue and joins the workers. In-flight
+    /// results land in the (possibly already dropped) inbox harmlessly.
+    pub(crate) fn shutdown(&mut self) {
+        drop(self.job_tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: block on the queue, opportunistically batch, verify, and
+/// re-inject tagged results. Exits when the pool disconnects the queue.
+fn worker_loop(
+    rx: &Receiver<Job>,
+    tx: &Sender<Input>,
+    verifier: &PreVerifier,
+    recorder: Option<&dyn Recorder>,
+    max_batch: usize,
+) {
+    let metered = recorder.is_some_and(Recorder::enabled);
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let busy_start = metered.then(Instant::now);
+        let scope = metered.then(CostScope::enter);
+        let batch: Vec<(PartyId, &Envelope)> = jobs.iter().map(|j| (j.from, &j.env)).collect();
+        let results = verifier.pre_verify_batch(&batch);
+        if let (Some(rec), Some(start)) = (recorder, busy_start) {
+            rec.counter_add(
+                PIPELINE_SCOPE,
+                "verify_busy_us",
+                start.elapsed().as_micros() as u64,
+            );
+            rec.observe(PIPELINE_SCOPE, "verify_batch", jobs.len() as u64);
+            if let Some(scope) = scope {
+                let milli = (scope.elapsed() * CRYPTO_WORK_MILLI).round() as u64;
+                if milli > 0 {
+                    rec.counter_add(PIPELINE_SCOPE, "crypto_work_milli", milli);
+                }
+            }
+        }
+        for (job, result) in jobs.into_iter().zip(results) {
+            let _ = tx.send(Input::Verified(Box::new(VerifiedEnvelope {
+                admit_seq: job.admit_seq,
+                from: job.from,
+                env: job.env,
+                wire_len: job.wire_len,
+                result,
+            })));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::VerifiedEnvelope;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_core::message::{statement_pre_vote, Body, PreVoteJust};
+    use sintra_core::preverify::PreVerdict;
+    use sintra_core::ProtocolId;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+    use std::collections::BTreeMap;
+
+    /// The per-sender FIFO property, pool-level: envelopes submitted in
+    /// admission order come back taggable into exactly that order, for
+    /// every worker count, with Byzantine-invalid envelopes flagged in
+    /// place rather than reordered or dropped. The verdicts must match
+    /// what inline verification (the no-pipeline baseline) produces.
+    #[test]
+    fn offload_preserves_admission_order_with_mixed_verdicts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let keys: Vec<Arc<sintra_crypto::dealer::PartyKeys>> =
+            deal(&DealerConfig::small(4, 1), &mut rng)
+                .unwrap()
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+        let ctx = GroupContext::new(Arc::clone(&keys[0]));
+        let pid = ProtocolId::new("ba");
+
+        // Adversarial interleaving: bursty, uneven sender pattern, with
+        // every (sender + round) % 3 == 0 envelope corrupted (the share
+        // is transplanted onto the flipped value).
+        let pattern = [1usize, 1, 2, 3, 3, 3, 2, 1, 2, 3, 1, 2];
+        let mut submissions = Vec::new(); // (from, envelope, expect_valid)
+        let mut per_sender_round = BTreeMap::new();
+        for (i, &sender) in pattern.iter().cycle().take(48).enumerate() {
+            let round = per_sender_round
+                .entry(sender)
+                .and_modify(|r| *r += 1)
+                .or_insert(1u32);
+            let share = keys[sender]
+                .thsig_agreement
+                .sign_share(&statement_pre_vote(&pid, *round, true));
+            let corrupt = (sender + *round as usize).is_multiple_of(3);
+            let env = Envelope {
+                pid: pid.clone(),
+                send_seq: i as u64,
+                body: Body::BaPreVote {
+                    round: *round,
+                    value: !corrupt, // corrupted: share signed the other value
+                    just: PreVoteJust::Initial,
+                    share,
+                    proof: None,
+                },
+            };
+            submissions.push((PartyId(sender), env, !corrupt));
+        }
+
+        // Inline baseline: verdicts with no pipeline at all.
+        let verifier = PreVerifier::new(ctx.clone());
+        let baseline: Vec<bool> = submissions
+            .iter()
+            .map(|(from, env, _)| verifier.pre_verify(*from, env).verdict == PreVerdict::Valid)
+            .collect();
+
+        for workers in [1usize, 2, 8] {
+            let (inbox_tx, inbox_rx) = unbounded::<Input>();
+            let config = PipelineConfig {
+                workers,
+                max_batch: 4,
+            };
+            let pool = VerifyPool::spawn(ctx.clone(), &config, inbox_tx, None);
+            for (i, (from, env, _)) in submissions.iter().enumerate() {
+                pool.submit(i as u64, *from, env.clone(), 0);
+            }
+            let mut reorder: BTreeMap<u64, VerifiedEnvelope> = BTreeMap::new();
+            for _ in 0..submissions.len() {
+                match inbox_rx.recv().unwrap() {
+                    Input::Verified(v) => {
+                        pool.complete_one();
+                        reorder.insert(v.admit_seq, *v);
+                    }
+                    _ => panic!("pool re-injects only Input::Verified"),
+                }
+            }
+            assert_eq!(pool.depth(), 0, "workers={workers}");
+            // Drain exactly as the server loop does and check the
+            // dispatch order against the submission order.
+            let mut next_dispatch = 0u64;
+            while let Some(v) = reorder.remove(&next_dispatch) {
+                let slot = next_dispatch as usize;
+                next_dispatch += 1;
+                let (from, env, expect_valid) = &submissions[slot];
+                assert_eq!(v.from, *from, "workers={workers} slot={slot}");
+                assert_eq!(
+                    v.env.send_seq, env.send_seq,
+                    "workers={workers} slot={slot}"
+                );
+                let got_valid = v.result.verdict == PreVerdict::Valid;
+                assert_eq!(got_valid, *expect_valid, "workers={workers} slot={slot}");
+                assert_eq!(got_valid, baseline[slot], "workers={workers} slot={slot}");
+            }
+            assert_eq!(next_dispatch, submissions.len() as u64, "workers={workers}");
+        }
+    }
+}

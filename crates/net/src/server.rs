@@ -9,7 +9,7 @@
 //! blocking `send`/`receive`/`close`/`close_wait` API mirrors the Java
 //! `Channel` interface of the paper (§3.4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,12 +19,14 @@ use sintra_core::agreement::CandidateOrder;
 use sintra_core::channel::{AtomicChannelConfig, OptimisticChannelConfig};
 use sintra_core::message::{Envelope, Payload, PayloadKind};
 use sintra_core::node::Node;
+use sintra_core::preverify::{PreVerdict, PreVerified};
 use sintra_core::validator::{ArrayValidator, BinaryValidator};
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
 use sintra_crypto::dealer::PartyKeys;
 use sintra_telemetry::{root_scope, FlightRecorder, Recorder, TraceEvent, DELIVERY_LATENCY};
 
 use crate::observe::{write_dump, ObservabilityConfig};
+use crate::pipeline::{VerifyPool, PIPELINE_SCOPE};
 use sintra_core::invariant::OrInvariant;
 
 /// How a party's sealed envelopes reach its peers, and how inbound
@@ -79,8 +81,23 @@ pub(crate) enum Command {
     Shutdown,
 }
 
-/// One item in a server's inbox: either bytes from the network or an
-/// application command.
+/// An envelope coming back from the verify pool, tagged with the
+/// admission sequence the loop stamped when it was offloaded.
+pub(crate) struct VerifiedEnvelope {
+    /// Admission stamp; the loop dispatches strictly in this order.
+    pub admit_seq: u64,
+    /// Authenticated origin.
+    pub from: PartyId,
+    /// The decoded envelope.
+    pub env: Envelope,
+    /// Wire size of the frame it arrived in (for the recv trace).
+    pub wire_len: u64,
+    /// The verify stage's verdict plus the receipt to deposit.
+    pub result: PreVerified,
+}
+
+/// One item in a server's inbox: bytes from the network, a verified
+/// envelope re-injected by the worker pool, or an application command.
 pub(crate) enum Input {
     /// A transport item from `from`; `data` is transport-defined (a
     /// sealed frame for the threaded runtime, an already-authenticated
@@ -91,6 +108,9 @@ pub(crate) enum Input {
         /// Transport-defined bytes, resolved by [`Transport::open`].
         data: Vec<u8>,
     },
+    /// A pre-verified envelope from the worker pool. Boxed so the
+    /// common `Net`/`Cmd` items stay small on the inbox channel.
+    Verified(Box<VerifiedEnvelope>),
     /// An application command from the [`ServerHandle`].
     Cmd(Command),
 }
@@ -418,6 +438,9 @@ pub(crate) struct ServerOpts {
     /// anchor, so trace stamps from different server threads are directly
     /// comparable (and causal arrows in exported traces point forward).
     pub run_start: Instant,
+    /// Staged-verification worker pool. `None` verifies inline. The loop
+    /// owns the pool, so returning from the loop joins the workers.
+    pub pipeline: Option<VerifyPool>,
 }
 
 /// Drains one step's outgoing messages/traces into the transport.
@@ -578,6 +601,57 @@ fn guarded_dispatch<T: Transport>(
     }
 }
 
+/// Dispatches one authenticated envelope into the node: recv trace,
+/// cause attribution, guarded `handle_envelope`, phase metering. Shared
+/// by the inline path and the pipeline's in-order re-injection path.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_net<T: Transport>(
+    me: usize,
+    from: PartyId,
+    env: &Envelope,
+    wire_len: u64,
+    node: &mut Node,
+    out: &mut Outgoing,
+    transport: &T,
+    recorder: &Option<Arc<dyn Recorder>>,
+    observability: &Option<ObservabilityConfig>,
+    flight: &Option<FlightRecorder>,
+    run_start: Instant,
+    tracing: bool,
+    metered: bool,
+) {
+    if let Some(rec) = recorder {
+        rec.counter_add(root_scope(env.pid.as_str()), "msgs_delivered", 1);
+    }
+    // Everything this step emits — messages and trace events alike —
+    // descends from this exact transmission.
+    out.set_cause(Some((from.0, env.send_seq)));
+    if tracing {
+        out.trace(
+            TraceEvent::new(me, env.pid.as_str(), "net")
+                .phase("recv")
+                .round(env.send_seq)
+                .bytes(wire_len),
+        );
+    }
+    let dispatch_start = metered.then(Instant::now);
+    guarded_dispatch(
+        node,
+        out,
+        transport,
+        observability,
+        flight,
+        me,
+        run_start,
+        |node, out| node.handle_envelope(from, env, out),
+    );
+    if let (Some(rec), Some(start)) = (recorder, dispatch_start) {
+        let us = start.elapsed().as_micros() as u64;
+        rec.counter_add(root_scope(env.pid.as_str()), "dispatch_us", us);
+        rec.counter_add("server", "net_dispatch_us", us);
+    }
+}
+
 /// Runs one party's server loop until shutdown. Spawned on its own
 /// thread by each runtime.
 pub(crate) fn server_loop<T: Transport>(
@@ -592,6 +666,7 @@ pub(crate) fn server_loop<T: Transport>(
         recorder,
         observability,
         run_start,
+        pipeline,
     } = opts;
     let ctx = GroupContext::new(keys);
     let mut node = Node::new(ctx, me as u64 ^ 0x7EAD_ED01);
@@ -618,6 +693,15 @@ pub(crate) fn server_loop<T: Transport>(
     // is exactly the situation worth dumping.
     let mut last_input = Instant::now();
     let mut stall_dumped = false;
+    // Staged verification: every admitted network envelope gets the next
+    // admission stamp; verified results re-enter through the reorder
+    // buffer and dispatch strictly in stamp order (a superset of the
+    // per-sender FIFO the links guarantee). `next_admit - next_dispatch`
+    // is the queued-but-unverified backlog — it counts as pending work
+    // for the stall detector.
+    let mut next_admit: u64 = 0;
+    let mut next_dispatch: u64 = 0;
+    let mut reorder: BTreeMap<u64, VerifiedEnvelope> = BTreeMap::new();
     // Pending timers: (deadline, pid, token), earliest first.
     let mut timers: std::collections::BinaryHeap<std::cmp::Reverse<(Instant, ProtocolId, u64)>> =
         std::collections::BinaryHeap::new();
@@ -679,7 +763,16 @@ pub(crate) fn server_loop<T: Transport>(
             match inbox.recv_timeout(wait) {
                 Ok(input) => input,
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if !stall_dumped && last_input.elapsed() >= obs.quiet && node.has_pending_work()
+                    // Queued-but-unverified envelopes are pending work:
+                    // either the node is waiting on them (so idling here
+                    // is a stall worth dumping) or the pool itself has
+                    // wedged. A deep-but-flowing verify queue never gets
+                    // here falsely, because every re-injected result
+                    // resets `last_input` like any other input.
+                    let pipeline_backlog = next_admit != next_dispatch;
+                    if !stall_dumped
+                        && last_input.elapsed() >= obs.quiet
+                        && (node.has_pending_work() || pipeline_backlog)
                     {
                         let (events, dropped) = flight
                             .as_ref()
@@ -730,12 +823,18 @@ pub(crate) fn server_loop<T: Transport>(
         if let Some(rec) = &recorder {
             if metered {
                 rec.gauge_set("server", "inbox_depth", inbox.len() as u64);
+                if let Some(pool) = &pipeline {
+                    rec.gauge_set(PIPELINE_SCOPE, "verify_queue_depth", pool.depth());
+                }
             }
         }
         let mut out = Outgoing::new();
         out.set_tracing(tracing);
         match input {
             Input::Net { from, data } => {
+                // Opening stays on the loop thread: the threaded
+                // transport's open is stateful (MAC check plus duplicate
+                // suppression against the cumulative receive counter).
                 let Some(env) = transport.open(from, &data) else {
                     // An unauthenticated frame carries no trustworthy
                     // protocol id; account it against the link itself.
@@ -744,35 +843,79 @@ pub(crate) fn server_loop<T: Transport>(
                     }
                     continue;
                 };
-                if let Some(rec) = &recorder {
-                    rec.counter_add(root_scope(env.pid.as_str()), "msgs_delivered", 1);
-                }
-                // Everything this step emits — messages and trace events
-                // alike — descends from this exact transmission.
-                out.set_cause(Some((from.0, env.send_seq)));
-                if tracing {
-                    out.trace(
-                        TraceEvent::new(me, env.pid.as_str(), "net")
-                            .phase("recv")
-                            .round(env.send_seq)
-                            .bytes(data.len() as u64),
+                if let Some(pool) = &pipeline {
+                    // Staged path: stamp with the admission sequence and
+                    // hand the decoded envelope to the worker pool. The
+                    // verified result re-enters as `Input::Verified` and
+                    // dispatches in admission order below.
+                    let admit_seq = next_admit;
+                    next_admit += 1;
+                    pool.submit(admit_seq, from, env, data.len() as u64);
+                } else {
+                    dispatch_net(
+                        me,
+                        from,
+                        &env,
+                        data.len() as u64,
+                        &mut node,
+                        &mut out,
+                        &transport,
+                        &recorder,
+                        &observability,
+                        &flight,
+                        run_start,
+                        tracing,
+                        metered,
                     );
                 }
-                let dispatch_start = metered.then(Instant::now);
-                guarded_dispatch(
-                    &mut node,
-                    &mut out,
-                    &transport,
-                    &observability,
-                    &flight,
-                    me,
-                    run_start,
-                    |node, out| node.handle_envelope(from, &env, out),
-                );
-                if let (Some(rec), Some(start)) = (&recorder, dispatch_start) {
-                    let us = start.elapsed().as_micros() as u64;
-                    rec.counter_add(root_scope(env.pid.as_str()), "dispatch_us", us);
-                    rec.counter_add("server", "net_dispatch_us", us);
+            }
+            Input::Verified(verified) => {
+                if let Some(pool) = &pipeline {
+                    pool.complete_one();
+                }
+                reorder.insert(verified.admit_seq, *verified);
+                // Dispatch every envelope that is now contiguous with the
+                // admission frontier; later arrivals wait in the reorder
+                // buffer so delivery order matches inline verification.
+                while let Some(v) = reorder.remove(&next_dispatch) {
+                    next_dispatch += 1;
+                    if let PreVerdict::Invalid(_) = v.result.verdict {
+                        // Byzantine-invalid: blame the sender, never
+                        // silently drop.
+                        if let Some(rec) = &recorder {
+                            rec.counter_add(&format!("from-p{}", v.from.0), "verify_rejected", 1);
+                        }
+                        if tracing {
+                            out.trace(
+                                TraceEvent::new(me, v.env.pid.as_str(), "net")
+                                    .phase("verify-reject")
+                                    .round(v.env.send_seq)
+                                    .caused_by(v.from.0, v.env.send_seq),
+                            );
+                        }
+                        continue;
+                    }
+                    if let Some(token) = v.result.token {
+                        // Deposit the pre-verification token right before
+                        // dispatch; the handler's own verify site consumes
+                        // it and skips the redundant crypto.
+                        node.context().note_preverified([token]);
+                    }
+                    dispatch_net(
+                        me,
+                        v.from,
+                        &v.env,
+                        v.wire_len,
+                        &mut node,
+                        &mut out,
+                        &transport,
+                        &recorder,
+                        &observability,
+                        &flight,
+                        run_start,
+                        tracing,
+                        metered,
+                    );
                 }
             }
             Input::Cmd(cmd) => {

@@ -1,13 +1,18 @@
 //! Per-peer TCP connection management: dialing, accepting, handshakes,
-//! reader/writer threads, and reconnection with jittered exponential
-//! backoff.
+//! the readiness-driven read loop, writer threads, and reconnection with
+//! jittered exponential backoff.
 //!
 //! Topology per party: one listener thread accepts connections from
 //! every *lower-id* peer (the deterministic dial rule: the lower id
-//! dials, so exactly one connection exists per pair), and per peer there
-//! is one supervisor thread (dialing or installing accepted sockets),
-//! one writer thread draining an outbound frame queue, and one reader
-//! thread per live socket. All link state — sequence numbers, the
+//! dials, so exactly one connection exists per pair); per peer there is
+//! one supervisor thread (dialing or installing accepted sockets) and
+//! one writer thread draining an outbound frame queue; and one **poll
+//! thread** for the whole party services every live inbound socket.
+//! Handshaken sockets are switched to nonblocking mode and registered
+//! with the poll thread, which sweeps them for readable bytes through
+//! one reused scratch buffer and reassembles frames in place
+//! ([`FrameBuffer::next_frame_ref`]) — no thread per connection and no
+//! per-frame allocation. All link state — sequence numbers, the
 //! retransmission queue, delivery watermarks — lives in the shared
 //! [`ReliableLink`]; connections are disposable carriers that resume the
 //! link via the [`handshake`](crate::link::handshake) and a replay of
@@ -137,6 +142,9 @@ pub(crate) struct PartyNet {
     pub(crate) peers: Vec<Option<Arc<PeerLink>>>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
+    /// Registration channel to the party's poll thread: handshaken
+    /// nonblocking sockets enter the readiness sweep through here.
+    pub(crate) poll_tx: Sender<PollConn>,
     pub(crate) threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Short-lived threads running inbound handshakes, one per
     /// connection attempt (reaped as they finish, capped at
@@ -171,14 +179,14 @@ impl PartyNet {
 }
 
 /// Installs a handshaken socket as the peer's current connection:
-/// replaces (and closes) any previous socket, spawns a reader for the
-/// new one, and queues the replay of unacknowledged frames.
+/// replaces (and closes) any previous socket, switches the socket to
+/// nonblocking mode, registers its read side with the party's poll
+/// thread, and queues the replay of unacknowledged frames.
 pub(crate) fn install_connection(
     net: &Arc<PartyNet>,
     peer: &Arc<PeerLink>,
     stream: TcpStream,
     peer_cum: u64,
-    inbox: &Sender<Input>,
 ) {
     let gen = net_install_gen(peer);
     // Tear down the previous carrier, if any.
@@ -195,16 +203,17 @@ pub(crate) fn install_connection(
             Ok(s) => s,
             Err(_) => return,
         };
+        // Clones share the socket's file-status flags, so this makes the
+        // write side nonblocking too; the writer compensates by spinning
+        // through `WouldBlock` (see `write_all_nb`).
+        if reader_stream.set_nonblocking(true).is_err() {
+            return;
+        }
         *peer.wstream.lock().unwrap() = Some((gen, writer_stream));
         *control = Some(stream);
-        let net2 = Arc::clone(net);
-        let peer2 = Arc::clone(peer);
-        let inbox2 = inbox.clone();
-        let reader = std::thread::Builder::new()
-            .name(format!("sintra-rx-{}-{}", net.me.0, peer.peer.0))
-            .spawn(move || reader_loop(reader_stream, gen, net2, peer2, inbox2))
-            .or_invariant("spawn reader thread");
-        net.register_thread(reader);
+        let _ = net
+            .poll_tx
+            .send(PollConn::new(peer.peer.0, gen, reader_stream));
     }
     let _ = peer.writer_tx.send(WriterMsg::Replay(peer_cum));
     if peer.sessions.fetch_add(1, Ordering::Relaxed) > 0 {
@@ -227,87 +236,174 @@ enum FrameOutcome {
     AuthFailure,
 }
 
-/// The per-socket read loop: reassemble frames, run them through the
-/// reliable link, forward deliveries to the server inbox, request acks.
-fn reader_loop(
-    mut stream: TcpStream,
+/// One nonblocking socket registered with the party's poll thread,
+/// carrying its own frame-reassembly state across sweeps.
+pub(crate) struct PollConn {
+    peer_idx: usize,
     gen: u64,
-    net: Arc<PartyNet>,
-    peer: Arc<PeerLink>,
-    inbox: Sender<Input>,
-) {
-    let mut fb = FrameBuffer::new();
+    stream: TcpStream,
+    fb: FrameBuffer,
+}
+
+impl PollConn {
+    pub(crate) fn new(peer_idx: usize, gen: u64, stream: TcpStream) -> Self {
+        PollConn {
+            peer_idx,
+            gen,
+            stream,
+            fb: FrameBuffer::new(),
+        }
+    }
+}
+
+/// What one readiness sweep of a single connection produced.
+enum Pump {
+    /// Nothing readable right now.
+    Idle,
+    /// At least one chunk of bytes was consumed.
+    Progress,
+    /// The connection died (EOF, I/O error, unframeable or
+    /// unauthenticated stream); deregister it.
+    Broken,
+}
+
+/// The party's readiness-driven read loop: sweeps every registered
+/// nonblocking socket for readable bytes, reassembles and processes
+/// frames through the owning peer's reliable link, and forwards
+/// deliveries to the server inbox. Replaces the thread-per-connection
+/// blocking readers: one thread, one reused 64 KiB scratch buffer, and
+/// in-place framing serve every inbound connection of this party.
+///
+/// With no readable socket the loop parks briefly on the registration
+/// channel, so a fresh connection wakes it immediately and idle cost
+/// stays one syscall per connection per ~500 µs.
+pub(crate) fn poll_loop(net: Arc<PartyNet>, reg_rx: Receiver<PollConn>, inbox: Sender<Input>) {
+    let mut conns: Vec<PollConn> = Vec::new();
     let mut buf = vec![0u8; 64 * 1024];
-    'conn: loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break 'conn,
-            Ok(n) => n,
-        };
-        net.count("bytes_received", n as u64);
-        fb.extend(&buf[..n]);
-        let mut delivered = false;
+    loop {
+        if net.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
         loop {
-            let frame = match fb.next_frame() {
-                Ok(Some(frame)) => frame,
-                Ok(None) => break,
-                Err(_) => {
-                    // Unframeable stream: drop the carrier, the link
-                    // state survives and replay recovers.
-                    net.count("stream_errors", 1);
-                    break 'conn;
+            match reg_rx.try_recv() {
+                Ok(conn) => conns.push(conn),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => return,
+            }
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match pump_conn(&net, &mut conns[i], &mut buf, &inbox) {
+                Pump::Idle => i += 1,
+                Pump::Progress => {
+                    progressed = true;
+                    i += 1;
                 }
-            };
-            // Advancing the link watermark and enqueueing the payload
-            // must be one atomic step: a reader from a superseded
-            // connection generation may still be draining its buffer
-            // concurrently with this one (install_connection does not
-            // join the old reader), and if the inbox send happened
-            // outside the link lock, the two readers could enqueue
-            // in-order deliveries out of order. The inbox is unbounded,
-            // so the send never blocks while the lock is held.
-            let outcome = {
-                let mut link = peer.link.lock().unwrap();
-                match link.on_frame(&frame) {
-                    Ok(LinkEvent::Deliver(payload)) => {
-                        let _ = inbox.send(Input::Net {
-                            from: peer.peer,
-                            data: payload,
-                        });
-                        FrameOutcome::Delivered
+                Pump::Broken => {
+                    let conn = conns.swap_remove(i);
+                    if let Some(peer) = net.peers.get(conn.peer_idx).and_then(|p| p.as_ref()) {
+                        peer.clear_if_gen(conn.gen);
+                        let _ = peer.sup_tx.send(SupEvent::Broken(conn.gen));
                     }
-                    Ok(LinkEvent::Duplicate) => FrameOutcome::Duplicate,
-                    Ok(LinkEvent::Acked) => FrameOutcome::Acked,
-                    Ok(LinkEvent::Handshake(_)) => FrameOutcome::StrayHandshake,
-                    Err(_) => FrameOutcome::AuthFailure,
-                }
-            };
-            match outcome {
-                FrameOutcome::Delivered => {
-                    delivered = true;
-                    net.count("frames_delivered", 1);
-                }
-                FrameOutcome::Duplicate => net.count("dup_frames", 1),
-                FrameOutcome::Acked => {}
-                FrameOutcome::StrayHandshake => {
-                    // Handshake frames are consumed before the reader
-                    // starts; mid-stream ones are stray replays.
-                    net.count("stray_handshake_frames", 1);
-                }
-                FrameOutcome::AuthFailure => {
-                    // A frame that fails authentication inside an
-                    // established TCP stream means corruption or an
-                    // attack; the carrier is untrustworthy.
-                    net.count("auth_failures", 1);
-                    break 'conn;
                 }
             }
         }
-        if delivered {
-            let _ = peer.writer_tx.send(WriterMsg::Ack);
+        if !progressed {
+            match reg_rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(conn) => conns.push(conn),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
         }
     }
-    peer.clear_if_gen(gen);
-    let _ = peer.sup_tx.send(SupEvent::Broken(gen));
+}
+
+/// Reads one chunk from a registered socket (if ready) and runs every
+/// complete frame through the peer's reliable link.
+fn pump_conn(
+    net: &Arc<PartyNet>,
+    conn: &mut PollConn,
+    buf: &mut [u8],
+    inbox: &Sender<Input>,
+) -> Pump {
+    let n = match conn.stream.read(buf) {
+        Ok(0) => return Pump::Broken,
+        Ok(n) => n,
+        Err(ref e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::Interrupted =>
+        {
+            return Pump::Idle
+        }
+        Err(_) => return Pump::Broken,
+    };
+    let Some(peer) = net.peers.get(conn.peer_idx).and_then(|p| p.as_ref()) else {
+        return Pump::Broken;
+    };
+    let peer = Arc::clone(peer);
+    net.count("bytes_received", n as u64);
+    conn.fb.extend(&buf[..n]);
+    let mut delivered = false;
+    loop {
+        let frame = match conn.fb.next_frame_ref() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(_) => {
+                // Unframeable stream: drop the carrier, the link state
+                // survives and replay recovers.
+                net.count("stream_errors", 1);
+                return Pump::Broken;
+            }
+        };
+        // Advancing the link watermark and enqueueing the payload must
+        // be one atomic step: a socket from a superseded connection
+        // generation may still have buffered bytes swept concurrently
+        // with its replacement's, and if the inbox send happened outside
+        // the link lock, in-order deliveries could enqueue out of order.
+        // The inbox is unbounded, so the send never blocks while the
+        // lock is held.
+        let outcome = {
+            let mut link = peer.link.lock().unwrap();
+            match link.on_frame(frame) {
+                Ok(LinkEvent::Deliver(payload)) => {
+                    let _ = inbox.send(Input::Net {
+                        from: peer.peer,
+                        data: payload,
+                    });
+                    FrameOutcome::Delivered
+                }
+                Ok(LinkEvent::Duplicate) => FrameOutcome::Duplicate,
+                Ok(LinkEvent::Acked) => FrameOutcome::Acked,
+                Ok(LinkEvent::Handshake(_)) => FrameOutcome::StrayHandshake,
+                Err(_) => FrameOutcome::AuthFailure,
+            }
+        };
+        match outcome {
+            FrameOutcome::Delivered => {
+                delivered = true;
+                net.count("frames_delivered", 1);
+            }
+            FrameOutcome::Duplicate => net.count("dup_frames", 1),
+            FrameOutcome::Acked => {}
+            FrameOutcome::StrayHandshake => {
+                // Handshake frames are consumed before the socket is
+                // registered; mid-stream ones are stray replays.
+                net.count("stray_handshake_frames", 1);
+            }
+            FrameOutcome::AuthFailure => {
+                // A frame that fails authentication inside an
+                // established TCP stream means corruption or an attack;
+                // the carrier is untrustworthy.
+                net.count("auth_failures", 1);
+                return Pump::Broken;
+            }
+        }
+    }
+    if delivered {
+        let _ = peer.writer_tx.send(WriterMsg::Ack);
+    }
+    Pump::Progress
 }
 
 /// The per-peer write loop: drains the outbound queue onto whatever
@@ -317,7 +413,7 @@ pub(crate) fn writer_loop(net: Arc<PartyNet>, peer: Arc<PeerLink>, rx: Receiver<
     let write_frame = |bytes: &[u8], counter: &'static str| {
         let mut slot = peer.wstream.lock().unwrap();
         if let Some((gen, stream)) = slot.as_mut() {
-            if stream.write_all(bytes).is_err() {
+            if write_all_nb(stream, bytes).is_err() {
                 let gen = *gen;
                 *slot = None;
                 let _ = peer.sup_tx.send(SupEvent::Broken(gen));
@@ -367,6 +463,25 @@ pub(crate) fn writer_loop(net: Arc<PartyNet>, peer: Arc<PeerLink>, rx: Receiver<
     }
 }
 
+/// `write_all` for a socket that shares its file-status flags with the
+/// nonblocking read side: partial writes continue from the written
+/// prefix, and a full send buffer is waited out in short naps — the same
+/// backpressure a blocking `write_all` exerted, made explicit.
+fn write_all_nb(stream: &mut TcpStream, mut bytes: &[u8]) -> std::io::Result<()> {
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => bytes = &bytes[n..],
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// The dialing supervisor for a higher-id peer: connect, handshake,
 /// install, wait for the connection to break, back off, repeat.
 pub(crate) fn dial_supervisor(
@@ -375,7 +490,6 @@ pub(crate) fn dial_supervisor(
     addr: SocketAddr,
     backoff: BackoffConfig,
     sup_rx: Receiver<SupEvent>,
-    inbox: Sender<Input>,
 ) {
     let mut delay_ms = backoff.initial_ms;
     let mut jitter = Xorshift::new();
@@ -419,7 +533,7 @@ pub(crate) fn dial_supervisor(
             }
         };
         let _ = stream.set_read_timeout(None);
-        install_connection(&net, &peer, stream, peer_cum, &inbox);
+        install_connection(&net, &peer, stream, peer_cum);
         delay_ms = backoff.initial_ms;
         let current = peer.generation.load(Ordering::Relaxed);
         // Wait for this connection (or the whole party) to go down.
@@ -440,12 +554,11 @@ pub(crate) fn accept_supervisor(
     net: Arc<PartyNet>,
     peer: Arc<PeerLink>,
     sup_rx: Receiver<SupEvent>,
-    inbox: Sender<Input>,
 ) {
     loop {
         match sup_rx.recv() {
             Ok(SupEvent::Accepted(stream, peer_cum)) => {
-                install_connection(&net, &peer, stream, peer_cum, &inbox);
+                install_connection(&net, &peer, stream, peer_cum);
             }
             Ok(SupEvent::Broken(gen)) => peer.clear_if_gen(gen),
             Ok(SupEvent::Shutdown) | Err(_) => return,

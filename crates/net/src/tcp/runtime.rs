@@ -17,10 +17,11 @@ use sintra_telemetry::{FanoutRecorder, MetricsRegistry, Recorder};
 use crate::link::{LinkConfig, LinkError, LinkKey, ReliableLink};
 use crate::metrics::{GaugeSampler, MetricsServer};
 use crate::observe::ObservabilityConfig;
+use crate::pipeline::{PipelineConfig, VerifyPool};
 use crate::server::{server_loop, Command, Input, ServerHandle, ServerOpts, Transport};
 use crate::tcp::conn::{
-    accept_supervisor, dial_supervisor, listener_loop, writer_loop, BackoffConfig, PartyNet,
-    PeerLink, SupEvent, WriterMsg,
+    accept_supervisor, dial_supervisor, listener_loop, poll_loop, writer_loop, BackoffConfig,
+    PartyNet, PeerLink, SupEvent, WriterMsg,
 };
 use crate::{AsServer, Runtime};
 use sintra_core::invariant::OrInvariant;
@@ -38,6 +39,9 @@ pub struct TcpConfig {
     /// Flight-recorder and stall-detector settings; `None` disables both
     /// (no per-event overhead beyond one branch).
     pub observability: Option<ObservabilityConfig>,
+    /// Staged-verification pipeline settings; zero workers (the default)
+    /// keeps envelope verification inline on the server loop.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for TcpConfig {
@@ -47,6 +51,7 @@ impl Default for TcpConfig {
             link: LinkConfig::default(),
             handshake_timeout: Duration::from_secs(2),
             observability: None,
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -261,15 +266,29 @@ impl TcpGroup {
                 pending.push((j, writer_rx, sup_rx));
             }
 
+            let (poll_tx, poll_rx) = unbounded();
             let net = Arc::new(PartyNet {
                 me,
                 peers,
                 shutdown: std::sync::atomic::AtomicBool::new(false),
                 recorder: party_recorder.clone(),
+                poll_tx,
                 threads: Mutex::new(Vec::new()),
                 handshake_threads: Mutex::new(Vec::new()),
                 handshake_timeout: config.handshake_timeout,
             });
+
+            // One readiness-driven read loop services every inbound
+            // socket of this party.
+            let poll_thread = std::thread::Builder::new()
+                .name(format!("sintra-poll-{i}"))
+                .spawn({
+                    let net = Arc::clone(&net);
+                    let inbox = inbox_tx.clone();
+                    move || poll_loop(net, poll_rx, inbox)
+                })
+                .or_invariant("spawn poll thread");
+            net.register_thread(poll_thread);
 
             for (j, writer_rx, sup_rx) in pending {
                 let peer = Arc::clone(net.peers[j].as_ref().or_invariant("peer link"));
@@ -288,17 +307,15 @@ impl TcpGroup {
                     let addr = addrs[j];
                     let backoff = config.backoff.clone();
                     let net2 = Arc::clone(&net);
-                    let inbox2 = inbox_tx.clone();
                     std::thread::Builder::new()
                         .name(format!("sintra-dial-{i}-{j}"))
-                        .spawn(move || dial_supervisor(net2, peer, addr, backoff, sup_rx, inbox2))
+                        .spawn(move || dial_supervisor(net2, peer, addr, backoff, sup_rx))
                         .or_invariant("spawn dial supervisor")
                 } else {
                     let net2 = Arc::clone(&net);
-                    let inbox2 = inbox_tx.clone();
                     std::thread::Builder::new()
                         .name(format!("sintra-accept-{i}-{j}"))
-                        .spawn(move || accept_supervisor(net2, peer, sup_rx, inbox2))
+                        .spawn(move || accept_supervisor(net2, peer, sup_rx))
                         .or_invariant("spawn accept supervisor")
                 };
                 net.register_thread(sup);
@@ -320,10 +337,22 @@ impl TcpGroup {
                 self_tx: inbox_tx.clone(),
             };
             let keys = Arc::clone(keys);
+            // The pool gets its own GroupContext: workers only need key
+            // material (verification is stateless); receipts are
+            // deposited loop-side into the node's own context.
+            let pool = config.pipeline.is_enabled().then(|| {
+                VerifyPool::spawn(
+                    sintra_core::GroupContext::new(Arc::clone(&keys)),
+                    &config.pipeline,
+                    inbox_tx.clone(),
+                    party_recorder.clone(),
+                )
+            });
             let opts = ServerOpts {
                 recorder: party_recorder.clone(),
                 observability: config.observability.clone(),
                 run_start,
+                pipeline: pool,
             };
             let inbox_rx = inboxes[i].1.clone();
             let server = std::thread::Builder::new()
@@ -454,5 +483,129 @@ impl Runtime for TcpGroup {
 
     fn shutdown(self) {
         TcpGroup::shutdown(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartyHandle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sintra_core::channel::AtomicChannelConfig;
+    use sintra_core::ProtocolId;
+    use sintra_crypto::dealer::{deal, DealerConfig};
+
+    fn keys(n: usize, t: usize) -> Vec<Arc<PartyKeys>> {
+        let mut rng = StdRng::seed_from_u64(71);
+        deal(&DealerConfig::small(n, t), &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
+    fn total_order_roundtrip(config: TcpConfig) {
+        let (group, mut handles) = TcpGroup::spawn_with(keys(4, 1), config, None).unwrap();
+        let pid = ProtocolId::new("tcp-smoke");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        for (i, h) in handles.iter().enumerate() {
+            h.send(&pid, format!("tcp-{i}").into_bytes());
+        }
+        let mut sequences = Vec::new();
+        for h in handles.iter_mut() {
+            let seq: Vec<Vec<u8>> = (0..4).map(|_| h.receive(&pid).unwrap().data).collect();
+            sequences.push(seq);
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "total order over real sockets");
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn atomic_channel_over_sockets_inline() {
+        total_order_roundtrip(TcpConfig::default());
+    }
+
+    #[test]
+    fn atomic_channel_over_sockets_staged() {
+        let config = TcpConfig {
+            pipeline: PipelineConfig::with_workers(2),
+            ..TcpConfig::default()
+        };
+        total_order_roundtrip(config);
+    }
+
+    /// The per-sender FIFO property over real sockets, for every worker
+    /// count (0 = the inline baseline): one total order everywhere, each
+    /// sender's messages in send order within it.
+    #[test]
+    fn staged_pipeline_preserves_per_sender_fifo_over_sockets() {
+        for workers in [0usize, 1, 2, 8] {
+            let config = TcpConfig {
+                pipeline: PipelineConfig::with_workers(workers),
+                ..TcpConfig::default()
+            };
+            let (group, mut handles) = TcpGroup::spawn_with(keys(4, 1), config, None).unwrap();
+            let pid = ProtocolId::new("tcp-staged-fifo");
+            for h in &handles {
+                h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+            }
+            let per_sender = 4usize;
+            for m in 0..per_sender {
+                for (i, h) in handles.iter().enumerate() {
+                    h.send(&pid, format!("s{i}-m{m}").into_bytes());
+                }
+            }
+            let total = handles.len() * per_sender;
+            let mut sequences = Vec::new();
+            for h in handles.iter_mut() {
+                let seq: Vec<Vec<u8>> = (0..total).map(|_| h.receive(&pid).unwrap().data).collect();
+                sequences.push(seq);
+            }
+            for s in &sequences[1..] {
+                assert_eq!(s, &sequences[0], "total order, workers={workers}");
+            }
+            for i in 0..handles.len() {
+                let prefix = format!("s{i}-");
+                let mine: Vec<&Vec<u8>> = sequences[0]
+                    .iter()
+                    .filter(|d| d.starts_with(prefix.as_bytes()))
+                    .collect();
+                assert_eq!(mine.len(), per_sender, "workers={workers} sender={i}");
+                for (m, got) in mine.iter().enumerate() {
+                    assert_eq!(
+                        **got,
+                        format!("s{i}-m{m}").into_bytes(),
+                        "per-sender FIFO, workers={workers} sender={i}"
+                    );
+                }
+            }
+            group.shutdown();
+        }
+    }
+
+    #[test]
+    fn reconnect_after_severed_sockets() {
+        let (group, mut handles) = TcpGroup::spawn(keys(4, 1)).unwrap();
+        let pid = ProtocolId::new("tcp-sever");
+        for h in &handles {
+            h.create_atomic_channel(pid.clone(), AtomicChannelConfig::default());
+        }
+        handles[0].send(&pid, b"before".to_vec());
+        for h in handles.iter_mut() {
+            assert_eq!(h.receive(&pid).unwrap().data, b"before");
+        }
+        // Kill every live connection; supervisors must redial and the
+        // poll thread must pick up the replacement sockets.
+        handles[0].sever_links();
+        handles[1].send(&pid, b"after".to_vec());
+        for h in handles.iter_mut() {
+            assert_eq!(h.receive(&pid).unwrap().data, b"after");
+        }
+        group.shutdown();
     }
 }
