@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use sintra_telemetry::{render_dump, TraceEvent};
+use sintra_telemetry::{render_dump, TraceEvent, TraceStream, TraceStreamConfig};
 
 use crate::metrics::MetricsConfig;
 
@@ -41,6 +41,12 @@ pub struct ObservabilityConfig {
     /// own registry, an HTTP/1.0 listener) in addition to the flight
     /// recorder; `None` keeps the metrics plane off.
     pub metrics: Option<MetricsConfig>,
+    /// When set, every party continuously streams its trace events to
+    /// rotating `sintra-trace-<party>-<seg>.jsonl` files in the
+    /// configured directory (see
+    /// [`TraceStream`](sintra_telemetry::TraceStream)) — so healthy
+    /// runs leave a causal record for `sintra-prof`, not just stalls.
+    pub trace: Option<TraceStreamConfig>,
 }
 
 impl Default for ObservabilityConfig {
@@ -51,6 +57,7 @@ impl Default for ObservabilityConfig {
             check_interval: None,
             dump_dir: PathBuf::from("."),
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -61,6 +68,15 @@ impl ObservabilityConfig {
     pub fn with_metrics() -> Self {
         ObservabilityConfig {
             metrics: Some(MetricsConfig::default()),
+            ..ObservabilityConfig::default()
+        }
+    }
+
+    /// An observability config with the streaming trace sink writing
+    /// into `dir` and everything else at defaults.
+    pub fn with_trace_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        ObservabilityConfig {
+            trace: Some(TraceStreamConfig::into_dir(dir)),
             ..ObservabilityConfig::default()
         }
     }
@@ -78,6 +94,24 @@ impl ObservabilityConfig {
     pub fn dump_path(&self, party: usize, reason: &str) -> PathBuf {
         self.dump_dir
             .join(format!("sintra-dump-{party}-{reason}.json"))
+    }
+}
+
+/// Spawns one party's streaming trace sink when the observability config
+/// asks for one. A sink that fails to open (unwritable directory) is
+/// reported and skipped rather than propagated — tracing must never
+/// prevent a group from spawning.
+pub(crate) fn spawn_trace_stream(
+    party: usize,
+    observability: Option<&ObservabilityConfig>,
+) -> Option<TraceStream> {
+    let config = observability?.trace.clone()?;
+    match TraceStream::spawn(party, config) {
+        Ok(stream) => Some(stream),
+        Err(err) => {
+            eprintln!("sintra: party {party} failed to open trace stream: {err}");
+            None
+        }
     }
 }
 

@@ -81,6 +81,7 @@ struct Job {
     from: PartyId,
     env: Envelope,
     wire_len: u64,
+    admit_at: Instant,
 }
 
 /// The worker pool: a shared job queue, worker threads, and a depth
@@ -122,7 +123,9 @@ impl VerifyPool {
         }
     }
 
-    /// Queues an admitted envelope for off-thread verification.
+    /// Queues an admitted envelope for off-thread verification. The
+    /// admission instant rides along so the recv trace can report the
+    /// admit-to-dispatch wait (the verify-queue latency).
     pub(crate) fn submit(&self, admit_seq: u64, from: PartyId, env: Envelope, wire_len: u64) {
         self.depth.fetch_add(1, Ordering::Relaxed);
         if let Some(tx) = &self.job_tx {
@@ -131,6 +134,7 @@ impl VerifyPool {
                 from,
                 env,
                 wire_len,
+                admit_at: Instant::now(),
             });
         }
     }
@@ -204,6 +208,7 @@ fn worker_loop(
                 from: job.from,
                 env: job.env,
                 wire_len: job.wire_len,
+                admit_at: job.admit_at,
                 result,
             })));
         }

@@ -23,7 +23,9 @@ use sintra_core::preverify::{PreVerdict, PreVerified};
 use sintra_core::validator::{ArrayValidator, BinaryValidator};
 use sintra_core::{Event, GroupContext, Outgoing, PartyId, ProtocolId, Recipient};
 use sintra_crypto::dealer::PartyKeys;
-use sintra_telemetry::{root_scope, FlightRecorder, Recorder, TraceEvent, DELIVERY_LATENCY};
+use sintra_telemetry::{
+    root_scope, FlightRecorder, Recorder, TraceEvent, TraceStream, DELIVERY_LATENCY,
+};
 
 use crate::observe::{write_dump, ObservabilityConfig};
 use crate::pipeline::{VerifyPool, PIPELINE_SCOPE};
@@ -92,6 +94,10 @@ pub(crate) struct VerifiedEnvelope {
     pub env: Envelope,
     /// Wire size of the frame it arrived in (for the recv trace).
     pub wire_len: u64,
+    /// When the loop admitted the envelope (stamped at `submit`); the
+    /// recv trace reports `admit_at → dispatch` as the verify-queue
+    /// wait, so the profiler can separate queueing from crypto+compute.
+    pub admit_at: Instant,
     /// The verify stage's verdict plus the receipt to deposit.
     pub result: PreVerified,
 }
@@ -441,6 +447,10 @@ pub(crate) struct ServerOpts {
     /// Staged-verification worker pool. `None` verifies inline. The loop
     /// owns the pool, so returning from the loop joins the workers.
     pub pipeline: Option<VerifyPool>,
+    /// Streaming trace sink. The loop owns it, so returning from the
+    /// loop (any shutdown path) drains the buffered tail to disk before
+    /// the runtime can join this thread — flush-on-shutdown ordering.
+    pub trace_stream: Option<TraceStream>,
 }
 
 /// Drains one step's outgoing messages/traces into the transport.
@@ -457,11 +467,16 @@ fn flush<T: Transport>(
     transport: &mut T,
     recorder: &Option<Arc<dyn Recorder>>,
     flight: &Option<FlightRecorder>,
+    stream: &Option<TraceStream>,
     run_start: Instant,
     next_send_seq: &mut u64,
     tracing: bool,
 ) {
     // Wall-clock trace stamps: microseconds since the group spawned.
+    // Events the loop pre-stamped (the dispatch-start `net:recv`) keep
+    // their earlier stamp, so a dispatch's recv and its produced events
+    // bracket the actual compute interval instead of collapsing onto
+    // one flush instant.
     let now_us = run_start.elapsed().as_micros() as u64;
     let flush_start = recorder
         .as_ref()
@@ -469,7 +484,12 @@ fn flush<T: Transport>(
         .then(Instant::now);
     let cause = out.cause();
     for mut ev in out.drain_traces() {
-        ev.time_us = now_us;
+        if ev.time_us == 0 {
+            ev.time_us = now_us;
+        }
+        if let Some(stream) = stream {
+            stream.record(ev.clone());
+        }
         if let Some(rec) = recorder {
             let scope = root_scope(&ev.protocol);
             match ev.phase {
@@ -513,6 +533,9 @@ fn flush<T: Transport>(
                 .bytes(wire_total);
             ev.time_us = now_us;
             ev.cause = cause;
+            if let Some(stream) = stream {
+                stream.record(ev.clone());
+            }
             if let Some(flight) = flight {
                 flight.record(ev.clone());
             }
@@ -603,13 +626,15 @@ fn guarded_dispatch<T: Transport>(
 
 /// Dispatches one authenticated envelope into the node: recv trace,
 /// cause attribution, guarded `handle_envelope`, phase metering. Shared
-/// by the inline path and the pipeline's in-order re-injection path.
+/// by the inline path and the pipeline's in-order re-injection path
+/// (which passes the verify-queue wait as `wait_us`).
 #[allow(clippy::too_many_arguments)]
 fn dispatch_net<T: Transport>(
     me: usize,
     from: PartyId,
     env: &Envelope,
     wire_len: u64,
+    wait_us: u64,
     node: &mut Node,
     out: &mut Outgoing,
     transport: &T,
@@ -627,12 +652,16 @@ fn dispatch_net<T: Transport>(
     // descends from this exact transmission.
     out.set_cause(Some((from.0, env.send_seq)));
     if tracing {
-        out.trace(
-            TraceEvent::new(me, env.pid.as_str(), "net")
-                .phase("recv")
-                .round(env.send_seq)
-                .bytes(wire_len),
-        );
+        // Pre-stamped at dispatch start (flush leaves nonzero stamps
+        // alone): with the produced events stamped at flush time, the
+        // recv/produced pair brackets this dispatch's compute interval.
+        let mut ev = TraceEvent::new(me, env.pid.as_str(), "net")
+            .phase("recv")
+            .round(env.send_seq)
+            .bytes(wire_len)
+            .waited(wait_us);
+        ev.time_us = run_start.elapsed().as_micros() as u64;
+        out.trace(ev);
     }
     let dispatch_start = metered.then(Instant::now);
     guarded_dispatch(
@@ -667,6 +696,7 @@ pub(crate) fn server_loop<T: Transport>(
         observability,
         run_start,
         pipeline,
+        trace_stream,
     } = opts;
     let ctx = GroupContext::new(keys);
     let mut node = Node::new(ctx, me as u64 ^ 0x7EAD_ED01);
@@ -745,6 +775,7 @@ pub(crate) fn server_loop<T: Transport>(
                 &mut transport,
                 &recorder,
                 &flight,
+                &trace_stream,
                 run_start,
                 &mut next_send_seq,
                 tracing,
@@ -857,6 +888,7 @@ pub(crate) fn server_loop<T: Transport>(
                         from,
                         &env,
                         data.len() as u64,
+                        0,
                         &mut node,
                         &mut out,
                         &transport,
@@ -906,6 +938,7 @@ pub(crate) fn server_loop<T: Transport>(
                         v.from,
                         &v.env,
                         v.wire_len,
+                        v.admit_at.elapsed().as_micros() as u64,
                         &mut node,
                         &mut out,
                         &transport,
@@ -1003,6 +1036,7 @@ pub(crate) fn server_loop<T: Transport>(
             &mut transport,
             &recorder,
             &flight,
+            &trace_stream,
             run_start,
             &mut next_send_seq,
             tracing,

@@ -353,6 +353,7 @@ impl TcpGroup {
                 observability: config.observability.clone(),
                 run_start,
                 pipeline: pool,
+                trace_stream: crate::observe::spawn_trace_stream(i, config.observability.as_ref()),
             };
             let inbox_rx = inboxes[i].1.clone();
             let server = std::thread::Builder::new()

@@ -228,11 +228,13 @@ impl ThreadedGroup {
                     party_recorder.clone(),
                 )
             });
+            let trace_stream = crate::observe::spawn_trace_stream(i, observability.as_ref());
             let opts = ServerOpts {
                 recorder: party_recorder,
                 observability: observability.clone(),
                 run_start,
                 pipeline: pool,
+                trace_stream,
             };
             let thread = std::thread::Builder::new()
                 .name(format!("sintra-p{i}"))

@@ -20,6 +20,10 @@
 //!   step (phase transitions, round advances, deliveries), stamped with
 //!   virtual time by the simulator or wall-clock micros by the threaded
 //!   runtime.
+//! * [`TraceStream`] — the streaming trace sink: a double-buffered,
+//!   off-thread writer spilling events to rotating per-party `.jsonl`
+//!   segments (schema [`TRACE_SCHEMA`]), so healthy runs leave a causal
+//!   trace behind, not just stalled ones.
 //! * [`RunReport`] — a per-protocol-instance rollup of a finished run
 //!   (message/byte/round/crypto-work totals) that renders as both JSON
 //!   and a human-readable table, mirroring the per-channel breakdowns of
@@ -34,6 +38,7 @@ mod json;
 mod recorder;
 mod registry;
 mod report;
+mod stream;
 mod trace;
 
 pub use exposition::{counter_rates, render_exposition, Exposition, Series, SERIES_PREFIX};
@@ -43,6 +48,7 @@ pub use json::{parse_json, JsonError, JsonValue};
 pub use recorder::{FanoutRecorder, NoopRecorder, Recorder};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 pub use report::{report_columns, ProtocolRow, RunReport, DELIVERY_LATENCY};
+pub use stream::{segment_file_name, TraceStream, TraceStreamConfig, TRACE_SCHEMA};
 pub use trace::{json_escape, TraceEvent};
 
 /// Scale factor between floating-point crypto work units and the

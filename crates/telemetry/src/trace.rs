@@ -31,6 +31,11 @@ pub struct TraceEvent {
     /// runtime stamps it at delivery time; locally-originated events
     /// (client sends, timer expiries) have none.
     pub cause: Option<(usize, u64)>,
+    /// Microseconds the event's trigger spent queued before processing
+    /// began — for a `net:recv` event, the verify-queue wait between
+    /// admission and dispatch under the staged pipeline. Zero (and
+    /// omitted from JSON) when nothing waited.
+    pub wait_us: u64,
 }
 
 impl TraceEvent {
@@ -45,6 +50,7 @@ impl TraceEvent {
             round: 0,
             bytes: 0,
             cause: None,
+            wait_us: 0,
         }
     }
 
@@ -73,6 +79,12 @@ impl TraceEvent {
         self
     }
 
+    /// Sets the queued-before-processing wait time.
+    pub fn waited(mut self, wait_us: u64) -> Self {
+        self.wait_us = wait_us;
+        self
+    }
+
     /// Renders the event as one JSON object (hand-rolled; the workspace
     /// has no serde).
     pub fn to_json(&self) -> String {
@@ -88,6 +100,9 @@ impl TraceEvent {
         );
         if let Some((sender, seq)) = self.cause {
             out.push_str(&format!(",\"cause\":[{sender},{seq}]"));
+        }
+        if self.wait_us > 0 {
+            out.push_str(&format!(",\"wait_us\":{}", self.wait_us));
         }
         out.push('}');
         out
@@ -171,6 +186,15 @@ mod tests {
         let e = e.caused_by(3, 42);
         assert_eq!(e.cause, Some((3, 42)));
         assert!(e.to_json().contains("\"cause\":[3,42]"));
+    }
+
+    #[test]
+    fn wait_us_serializes_only_when_nonzero() {
+        let e = TraceEvent::new(0, "net", "net").phase("recv");
+        assert!(!e.to_json().contains("wait_us"));
+        let e = e.waited(137);
+        assert_eq!(e.wait_us, 137);
+        assert!(e.to_json().contains("\"wait_us\":137"));
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! `--demo` spawns its own 4-party loopback-TCP group with background
 //! traffic, so the tool can be tried without a running deployment:
 //! `cargo run --release -p sintra-testbed --bin sintra-top -- --demo`.
+//!
+//! `--once` is the scripting mode: scrape every endpoint a single time,
+//! print one table, and exit non-zero when any party is unreachable or
+//! its stall detector reports `sintra_stalled 1` — usable directly as a
+//! health check in CI or a deploy gate.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -166,10 +171,40 @@ fn render(samples: &[(SocketAddr, Option<Sample>, Option<Sample>)]) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sintra-top [--interval-ms N] [--iterations N] ADDR [ADDR ...]\n  \
-         sintra-top --demo [--interval-ms N] [--iterations N]"
+        "usage:\n  sintra-top [--interval-ms N] [--iterations N] [--once] ADDR [ADDR ...]\n  \
+         sintra-top --demo [--interval-ms N] [--iterations N]\n\
+         (--once: scrape each endpoint once; exit non-zero if any party is\n  \
+         unreachable or stalled — for scripts and CI health checks)"
     );
     ExitCode::FAILURE
+}
+
+/// The `--once` health verdict over a finished round of scrapes:
+/// `Err` lists every party that is unreachable or reports a stall.
+fn health_check(
+    samples: &[(SocketAddr, Option<Sample>, Option<Sample>)],
+) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    for (addr, _, next) in samples {
+        match next {
+            None => failures.push(format!("{addr}: unreachable")),
+            Some(sample) => {
+                if sample
+                    .exposition
+                    .value("sintra_stalled", &[])
+                    .unwrap_or(0.0)
+                    > 0.0
+                {
+                    failures.push(format!("{addr}: stalled"));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
 }
 
 /// A self-contained 4-party loopback-TCP group with background traffic,
@@ -252,11 +287,13 @@ fn main() -> ExitCode {
     let mut interval = Duration::from_millis(1000);
     let mut iterations: usize = 0;
     let mut demo = false;
+    let mut once = false;
     let mut addrs: Vec<SocketAddr> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--once" => once = true,
             "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => interval = Duration::from_millis(ms),
                 None => return usage(),
@@ -275,6 +312,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if once {
+        iterations = 1;
+    }
     let demo_group = if demo {
         if iterations == 0 {
             iterations = 10;
@@ -320,6 +360,15 @@ fn main() -> ExitCode {
     }
     if let Some(demo) = demo_group {
         demo.stop();
+    }
+    if once {
+        if let Err(failures) = health_check(&samples) {
+            for failure in &failures {
+                eprintln!("sintra-top: FAIL: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sintra-top: all {} part(y/ies) healthy", samples.len());
     }
     ExitCode::SUCCESS
 }

@@ -29,6 +29,7 @@
 
 pub mod experiments;
 pub mod inspect;
+pub mod profile;
 pub mod scrape;
 pub mod setups;
 pub mod stats;

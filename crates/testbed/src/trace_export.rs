@@ -57,23 +57,35 @@ pub fn validate_dump(dump: &JsonValue) -> Result<(), String> {
         .and_then(JsonValue::as_array)
         .ok_or("missing \"events\" array")?;
     for (i, ev) in events.iter().enumerate() {
-        for field in ["time_us", "party", "round", "bytes"] {
-            ev.get(field)
-                .and_then(JsonValue::as_u64)
-                .ok_or(format!("event {i} lacks numeric {field:?}"))?;
+        validate_event(ev).map_err(|err| format!("event {i} {err}"))?;
+    }
+    Ok(())
+}
+
+/// Checks one trace-event object against the shared event schema (used
+/// by both the dump `events` array and the streaming `.jsonl` lines).
+pub fn validate_event(ev: &JsonValue) -> Result<(), String> {
+    for field in ["time_us", "party", "round", "bytes"] {
+        ev.get(field)
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("lacks numeric {field:?}"))?;
+    }
+    for field in ["protocol", "family", "phase"] {
+        ev.get(field)
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("lacks string {field:?}"))?;
+    }
+    if let Some(cause) = ev.get("cause") {
+        let ok = cause
+            .as_array()
+            .is_some_and(|c| c.len() == 2 && c.iter().all(|v| v.as_u64().is_some()));
+        if !ok {
+            return Err("has malformed \"cause\"".to_string());
         }
-        for field in ["protocol", "family", "phase"] {
-            ev.get(field)
-                .and_then(JsonValue::as_str)
-                .ok_or(format!("event {i} lacks string {field:?}"))?;
-        }
-        if let Some(cause) = ev.get("cause") {
-            let ok = cause
-                .as_array()
-                .is_some_and(|c| c.len() == 2 && c.iter().all(|v| v.as_u64().is_some()));
-            if !ok {
-                return Err(format!("event {i} has malformed \"cause\""));
-            }
+    }
+    if let Some(wait) = ev.get("wait_us") {
+        if wait.as_u64().is_none() {
+            return Err("has non-numeric \"wait_us\"".to_string());
         }
     }
     Ok(())

@@ -95,7 +95,7 @@ fn assert_identical(seqs: &[Vec<String>], scenario: &str) {
 /// Crashing two of four servers leaves the survivors short of every
 /// `n - t = 3` quorum; the stall detector notices the quiet period and
 /// dumps their state, which we then read back and analyse.
-fn stall_drill(dump_dir: &std::path::Path) {
+fn stall_drill(dump_dir: &std::path::Path, trace_dir: Option<&std::path::Path>) {
     std::fs::create_dir_all(dump_dir).expect("create dump dir");
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let keys = deal(&DealerConfig::small(4, 1), &mut rng).expect("dealer");
@@ -104,6 +104,9 @@ fn stall_drill(dump_dir: &std::path::Path) {
             quiet: Duration::from_millis(500),
             dump_dir: dump_dir.to_path_buf(),
             metrics: Some(MetricsConfig::default()),
+            // The streaming sink coexists with the stall-dump plane:
+            // the wedge shows up in the dump *and* in the causal trace.
+            trace: trace_dir.map(sintra::telemetry::TraceStreamConfig::into_dir),
             ..ObservabilityConfig::default()
         }),
         ..TcpConfig::default()
@@ -134,13 +137,21 @@ fn stall_drill(dump_dir: &std::path::Path) {
     }
     // The metrics plane must keep answering while the protocol is
     // wedged: the wedge is exactly when an operator reaches for it.
+    // Poll rather than assert one scrape — a survivor's retransmit can
+    // briefly flip the gauge back before the quiet period re-expires.
     let scrape_addr = group.metrics_addrs()[0];
-    let exposition = scrape(scrape_addr, Duration::from_secs(5)).expect("scrape stalled party");
-    assert_eq!(
-        exposition.value("sintra_stalled", &[("party", "0")]),
-        Some(1.0),
-        "stall detector's verdict is visible in the scrape"
-    );
+    let gauge_deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let exposition = scrape(scrape_addr, Duration::from_secs(5)).expect("scrape stalled party");
+        if exposition.value("sintra_stalled", &[("party", "0")]) == Some(1.0) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < gauge_deadline,
+            "stall detector's verdict never became visible in the scrape"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
     println!("  scrape endpoint answered mid-stall, stalled gauge = 1 ✓");
     // Let the other survivor finish its dump too before reading.
     std::thread::sleep(Duration::from_millis(300));
@@ -174,6 +185,11 @@ fn main() {
         .iter()
         .position(|a| a == "--dumps")
         .map(|i| args.get(i + 1).expect("--dumps needs a directory").clone());
+    let trace_dir = args.iter().position(|a| a == "--trace-dir").map(|i| {
+        args.get(i + 1)
+            .expect("--trace-dir needs a directory")
+            .clone()
+    });
 
     println!("scenario 1: all honest (Zürich + Tokyo + NY sending)");
     let (mut sim, pid) = fresh_sim(1);
@@ -233,7 +249,15 @@ fn main() {
 
     if let Some(dir) = dump_dir {
         println!("\nscenario 4: TCP group crashed past its fault budget (2 of 4 down)");
-        stall_drill(std::path::Path::new(&dir));
+        stall_drill(
+            std::path::Path::new(&dir),
+            trace_dir.as_deref().map(std::path::Path::new),
+        );
+        if let Some(traces) = &trace_dir {
+            println!(
+                "  streaming traces in {traces}/ — inspect with: sintra-prof profile {traces}"
+            );
+        }
         println!("\nall four drills passed — safety held in every scenario.");
     } else {
         println!("\nall three drills passed — safety held in every scenario.");

@@ -17,7 +17,9 @@
 //! (real 127.0.0.1 sockets). Add `--metrics` to serve a live
 //! Prometheus-style scrape endpoint per replica and keep the group up
 //! for a while after convergence — point `curl` or `sintra-top` at the
-//! printed addresses.
+//! printed addresses. Add `--trace-dir DIR` to stream every party's
+//! causal trace into rotating `sintra-trace-*.jsonl` files there, ready
+//! for `sintra-prof profile DIR`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -127,9 +129,19 @@ fn run_scenario<R: Runtime>(
     group.shutdown();
 }
 
+/// The value following `flag` on the command line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let use_tcp = std::env::args().any(|a| a == "--tcp");
     let use_metrics = std::env::args().any(|a| a == "--metrics");
+    let trace_dir = flag_value("--trace-dir");
     let (n, t) = (4, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let keys: Vec<Arc<PartyKeys>> = deal(&DealerConfig::small(n, t), &mut rng)?
@@ -140,9 +152,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // With --metrics the group stays up after convergence so there is
     // time to point curl or sintra-top at the scrape endpoints.
     let linger = use_metrics.then(|| Duration::from_secs(15));
+    // Observability config: metrics and/or streaming traces, composable.
+    let observability = if use_metrics || trace_dir.is_some() {
+        let mut obs = if use_metrics {
+            ObservabilityConfig::with_metrics()
+        } else {
+            ObservabilityConfig::default()
+        };
+        if let Some(dir) = &trace_dir {
+            obs.trace = Some(sintra::telemetry::TraceStreamConfig::into_dir(dir));
+        }
+        Some(obs)
+    } else {
+        None
+    };
     if use_tcp {
         let config = TcpConfig {
-            observability: use_metrics.then(ObservabilityConfig::with_metrics),
+            observability,
             ..TcpConfig::default()
         };
         let (group, servers) = TcpGroup::spawn_with(keys, config, None)?;
@@ -156,12 +182,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
         run_scenario(group, servers, n, linger);
     } else {
-        let observability = use_metrics.then(ObservabilityConfig::with_metrics);
         let (group, servers) = ThreadedGroup::spawn_observable(keys, None, observability);
         for (i, addr) in group.metrics_addrs().iter().enumerate() {
             println!("  replica {i} metrics: http://{addr}/metrics");
         }
         run_scenario(group, servers, n, linger);
+    }
+    if let Some(dir) = &trace_dir {
+        println!(
+            "\nstreaming traces written to {dir}/ — analyze with:\n  sintra-prof profile {dir}"
+        );
     }
     Ok(())
 }
