@@ -347,7 +347,6 @@ impl BinaryAgreement {
         if round == 0 || share.index != from.0 {
             return;
         }
-        self.note_proof(value, proof);
         if self
             .rounds
             .get(&round)
@@ -365,6 +364,9 @@ impl BinaryAgreement {
         {
             return;
         }
+        // Only cache the carried proof once the whole message checked out:
+        // an unverified sender must not seed the proof cache.
+        self.note_proof(value, proof);
         let state = self.rounds.entry(round).or_default();
         state.pre_votes.insert(from, (value, share.clone()));
         if state.pre_just[value as usize].is_none() {
@@ -409,9 +411,6 @@ impl BinaryAgreement {
         if round == 0 || share.index != from.0 {
             return;
         }
-        if let MainVote::Value(b) = vote {
-            self.note_proof(b, proof);
-        }
         if self
             .rounds
             .get(&round)
@@ -428,6 +427,11 @@ impl BinaryAgreement {
             .verify_share_cached(&self.ctx.keys().common.thsig_agreement, &statement, share)
         {
             return;
+        }
+        // Only cache the carried proof once the whole message checked out:
+        // an unverified sender must not seed the proof cache.
+        if let MainVote::Value(b) = vote {
+            self.note_proof(b, proof);
         }
         let state = self.rounds.entry(round).or_default();
         state.main_votes.insert(from, (vote, share.clone()));

@@ -306,8 +306,11 @@ impl AtomicChannel {
         if entry.signer != from || round < self.round {
             return;
         }
-        let round_entries = self.entries.entry(round).or_default();
-        if round_entries.iter().any(|e| e.signer == from) {
+        if self
+            .entries
+            .get(&round)
+            .is_some_and(|es| es.iter().any(|e| e.signer == from))
+        {
             return;
         }
         if self
@@ -323,7 +326,9 @@ impl AtomicChannel {
         {
             return;
         }
-        round_entries.push(entry.clone());
+        // The round slot is only created once the signature checked out,
+        // so forged entries cannot grow the per-round map.
+        self.entries.entry(round).or_default().push(entry.clone());
     }
 
     /// Drives the round state machine.

@@ -187,6 +187,14 @@ impl Wire for u64 {
     }
 }
 
+/// Version of the wire format described by `WIRE_SCHEMA.json`.
+///
+/// `sintra-lint`'s `wire-schema` rule extracts the codec schema from the
+/// `Wire` impls and diffs it against the committed golden; any schema
+/// change must bump this constant in the same commit, making wire breaks
+/// an explicit, reviewable event rather than a silent drift.
+pub const WIRE_FORMAT_VERSION: u32 = 1;
+
 /// Wire discriminants. Explicit and append-only: renumbering or reusing
 /// a tag byte is a wire-format break (`sintra-lint`'s `wire-stability`
 /// rule bans raw tag literals so every tag lives here, under a name).

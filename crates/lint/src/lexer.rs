@@ -145,10 +145,11 @@ pub fn lex(src: &str) -> Lexed {
             });
             continue;
         }
-        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#, b'..'
-        if c == 'r' || c == 'b' {
+        // Raw / byte / C string prefixes: r"..", r#".."#, b"..", br#".."#,
+        // b'..', c"..", cr#".."# (and the multi-hash forms r##".."## etc.).
+        if c == 'r' || c == 'b' || c == 'c' {
             let mut j = i + 1;
-            if c == 'b' && at(j) == 'r' {
+            if (c == 'b' || c == 'c') && at(j) == 'r' {
                 j += 1;
             }
             let mut hashes = 0usize;
@@ -156,7 +157,7 @@ pub fn lex(src: &str) -> Lexed {
                 hashes += 1;
                 j += 1;
             }
-            let raw = c == 'r' || (c == 'b' && at(i + 1) == 'r');
+            let raw = c == 'r' || at(i + 1) == 'r';
             if at(j) == '"' && (raw || hashes == 0) {
                 // String body: for raw strings scan for `"` + hashes; for
                 // plain byte strings honor backslash escapes.
@@ -409,6 +410,68 @@ mod tests {
             .collect();
         assert_eq!(lifetimes.len(), 2);
         assert!(toks.iter().any(|t| t.kind == TokenKind::Lit));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // `/* /* */ */` must consume through the *outer* terminator: the
+        // identifier after the inner `*/` is still comment text, and the
+        // first identifier after the outer `*/` is code again.
+        let src = "/* outer /* inner */ HashMap */ let live = 1;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "live"]);
+
+        // Two levels of nesting, spread over lines.
+        let src = "/*\n/* a /* b */ c */\nHashMap\n*/\nlet x = 1;";
+        let toks = lex(src).tokens;
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(toks[0].text, "let");
+        assert_eq!(toks[0].line, 5, "lines inside the comment still count");
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_on_their_own_fence() {
+        // r##"..."## may contain `"#` without terminating.
+        let src = r####"let a = r##"quote "# HashMap "##; let b = 1;"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+
+        // br##"..."## gets the same treatment.
+        let src = r####"let a = br##"bytes "# HashMap "##;"####;
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn c_string_literals_are_literals() {
+        // c"..." — a C-string literal, not the identifier `c` + a string.
+        let lexed = lex(r#"let p = c"HashMap\0";"#);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ids, vec!["let", "p"], "no stray `c` ident: {ids:?}");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lit)
+                .count(),
+            1
+        );
+
+        // cr#"..."# — a raw C-string: inner `"` must not terminate it.
+        let src = r##"let p = cr#"embedded " HashMap"#; let q = 1;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "p", "let", "q"]);
+
+        // Identifiers that merely start with c/cr still lex as identifiers.
+        let ids = idents("let crate_count = cr_total;");
+        assert_eq!(ids, vec!["let", "crate_count", "cr_total"]);
     }
 
     #[test]

@@ -18,15 +18,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ir;
 pub mod lexer;
+pub mod obligations;
+pub mod parse;
 pub mod rules;
+pub mod schema;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use lexer::Comment;
 use rules::RawFinding;
+
+/// A supporting evidence location cited by a cross-file finding.
+#[derive(Debug, Clone)]
+pub struct Related {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What this location shows.
+    pub note: String,
+}
 
 /// One rule violation in one file.
 #[derive(Debug, Clone)]
@@ -42,6 +57,9 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when a `lint:allow` directive covers this finding.
     pub suppressed: Option<String>,
+    /// Evidence in other locations (cross-file rules only). Suppression
+    /// applies at the primary `path:line`, never at a related site.
+    pub related: Vec<Related>,
 }
 
 impl Finding {
@@ -150,6 +168,7 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
                 line: f.line,
                 message: f.message,
                 suppressed,
+                related: Vec::new(),
             }
         })
         .collect();
@@ -159,9 +178,121 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
         line: f.line,
         message: f.message,
         suppressed: None,
+        related: Vec::new(),
     }));
     out.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
     out
+}
+
+/// Analyzes a set of files together: every per-file rule plus the
+/// cross-file rule families (`verify-before-mutate`, `wire-schema`) that
+/// need the whole workspace IR.
+///
+/// `golden` is the committed `WIRE_SCHEMA.json` text, when drift against
+/// it should be checked (pass `None` in fixture tests that exercise only
+/// the extraction itself).
+///
+/// Cross-file findings carry [`Related`] evidence locations; suppression
+/// applies at the finding's *primary* location — a `lint:allow` on the
+/// handler match arm suppresses a verify-before-mutate finding even when
+/// the mutation evidence lives in another file.
+pub fn analyze_sources(files: &[(String, String)], golden: Option<&str>) -> Vec<Finding> {
+    let normed: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.replace('\\', "/"), s.clone()))
+        .collect();
+    let workspace = ir::WorkspaceIr::build(&normed);
+
+    let mut out = Vec::new();
+    // path → directive coverage (rule, line, reason), for cross findings.
+    let mut coverage: BTreeMap<String, Vec<(&'static str, u32, String)>> = BTreeMap::new();
+    for file in &workspace.files {
+        let (directives, malformed) = parse_directives(&file.lexed.comments);
+        let mut covered: Vec<(&'static str, u32, String)> = Vec::new();
+        for d in &directives {
+            covered.push((d.rule, d.line, d.reason.clone()));
+            if let Some(next) = file
+                .lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|l| *l > d.line)
+            {
+                covered.push((d.rule, next, d.reason.clone()));
+            }
+        }
+        for f in rules::run_rules(&file.path, &file.lexed) {
+            let suppressed = covered
+                .iter()
+                .find(|(r, l, _)| *r == f.rule && *l == f.line)
+                .map(|(_, _, reason)| reason.clone());
+            out.push(Finding {
+                rule: f.rule,
+                path: file.path.clone(),
+                line: f.line,
+                message: f.message,
+                suppressed,
+                related: Vec::new(),
+            });
+        }
+        for f in malformed {
+            out.push(Finding {
+                rule: f.rule,
+                path: file.path.clone(),
+                line: f.line,
+                message: f.message,
+                suppressed: None,
+                related: Vec::new(),
+            });
+        }
+        coverage.insert(file.path.clone(), covered);
+    }
+
+    let mut cross = obligations::check(&workspace);
+    let (schema_json, schema_findings) = schema::extract(&workspace);
+    cross.extend(schema_findings);
+    if let Some(golden) = golden {
+        cross.extend(schema::golden_findings(&workspace, &schema_json, golden));
+    }
+    for c in cross {
+        let suppressed = coverage.get(&c.path).and_then(|cov| {
+            cov.iter()
+                .find(|(r, l, _)| *r == c.rule && *l == c.line)
+                .map(|(_, _, reason)| reason.clone())
+        });
+        out.push(Finding {
+            rule: c.rule,
+            path: c.path,
+            line: c.line,
+            message: c.message,
+            suppressed,
+            related: c
+                .related
+                .into_iter()
+                .map(|r| Related {
+                    path: r.path,
+                    line: r.line,
+                    note: r.note,
+                })
+                .collect(),
+        });
+    }
+
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    out
+}
+
+/// Extracts the wire schema from a set of files (no findings, no golden
+/// comparison) — the `--write-wire-schema` path.
+pub fn extract_wire_schema(files: &[(String, String)]) -> String {
+    let normed: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.replace('\\', "/"), s.clone()))
+        .collect();
+    let workspace = ir::WorkspaceIr::build(&normed);
+    schema::extract(&workspace).0
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -182,19 +313,17 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Analyzes every `crates/*/src/**/*.rs` file under a workspace root.
-///
-/// Files are visited in sorted path order so output (and the JSON report)
-/// is deterministic — the analyzer holds itself to the rule it enforces.
+/// Reads every `crates/*/src/**/*.rs` file under a workspace root into
+/// `(workspace-relative path, source)` pairs, sorted by path.
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(&root.join("crates"), &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -204,10 +333,25 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         if !rel.contains("/src/") {
             continue;
         }
-        let src = std::fs::read_to_string(&file)?;
-        findings.extend(analyze_source(&rel, &src));
+        out.push((rel, std::fs::read_to_string(&file)?));
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Analyzes every `crates/*/src/**/*.rs` file under a workspace root,
+/// including the cross-file rules and the `WIRE_SCHEMA.json` golden diff
+/// (a missing golden reads as empty and therefore as drift).
+///
+/// Files are visited in sorted path order so output (and the JSON report)
+/// is deterministic — the analyzer holds itself to the rule it enforces.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = collect_workspace_files(root)?;
+    let golden = std::fs::read_to_string(root.join("WIRE_SCHEMA.json")).unwrap_or_default();
+    Ok(analyze_sources(&files, Some(&golden)))
 }
 
 /// Parses a baseline file: a JSON array of finding-key strings.
@@ -316,7 +460,12 @@ pub fn status_of(f: &Finding, baseline: &BTreeSet<String>) -> Status {
     }
 }
 
-/// Renders the `sintra-lint-v1` JSON report.
+/// Renders the `sintra-lint-v2` JSON report.
+///
+/// v2 extends v1 with a `related` array per finding: the evidence
+/// locations of cross-file rules (e.g. the mutation site and the wire
+/// body declaration behind a `verify-before-mutate` hit). Findings from
+/// per-file rules carry an empty array.
 pub fn render_json(findings: &[Finding], baseline: &BTreeSet<String>) -> String {
     let mut open = 0usize;
     let mut suppressed = 0usize;
@@ -353,10 +502,23 @@ pub fn render_json(findings: &[Finding], baseline: &BTreeSet<String>) -> String 
         if let Some(reason) = &f.suppressed {
             let _ = write!(body, ", \"reason\": \"{}\"", json_escape(reason));
         }
+        let related: Vec<String> = f
+            .related
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"path\": \"{}\", \"line\": {}, \"note\": \"{}\"}}",
+                    json_escape(&r.path),
+                    r.line,
+                    json_escape(&r.note)
+                )
+            })
+            .collect();
+        let _ = write!(body, ", \"related\": [{}]", related.join(", "));
         body.push('}');
     }
     format!(
-        "{{\n  \"format\": \"sintra-lint-v1\",\n  \"rules\": [{}],\n  \"summary\": {{\"total\": {}, \"open\": {}, \"suppressed\": {}, \"baselined\": {}}},\n  \"findings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"format\": \"sintra-lint-v2\",\n  \"rules\": [{}],\n  \"summary\": {{\"total\": {}, \"open\": {}, \"suppressed\": {}, \"baselined\": {}}},\n  \"findings\": [\n{}\n  ]\n}}\n",
         rules::RULES
             .iter()
             .map(|r| format!("\"{r}\""))
@@ -471,8 +633,9 @@ mod tests {
     fn json_report_is_tagged_and_escaped() {
         let findings = analyze_source(CORE, "use std::collections::HashMap;\n");
         let json = render_json(&findings, &BTreeSet::new());
-        assert!(json.contains("\"format\": \"sintra-lint-v1\""));
+        assert!(json.contains("\"format\": \"sintra-lint-v2\""));
         assert!(json.contains("\"open\": 1"));
         assert!(json.contains("`HashMap`"));
+        assert!(json.contains("\"related\": []"));
     }
 }

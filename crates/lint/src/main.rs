@@ -2,28 +2,104 @@
 //!
 //! ```text
 //! cargo run -p sintra-lint [-- --root DIR --format human|json --out FILE
-//!                             --baseline FILE --write-baseline]
+//!                             --baseline FILE --write-baseline
+//!                             --changed-only [--base REF]
+//!                             --write-wire-schema]
 //! ```
 //!
-//! Exit codes: `0` clean (or baseline written), `1` open findings,
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (or baseline/schema written), `1` open findings,
+//! `2` usage or I/O error — including a refused schema write when the
+//! wire format changed without a `WIRE_FORMAT_VERSION` bump.
 
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use sintra_lint::{
-    analyze_workspace, parse_baseline, render_baseline, render_human, render_json, status_of,
-    Status,
+    analyze_workspace, collect_workspace_files, extract_wire_schema, parse_baseline,
+    render_baseline, render_human, render_json, schema, status_of, Finding, Status,
 };
 
-const USAGE: &str = "usage: sintra-lint [--root DIR] [--format human|json] [--out FILE] [--baseline FILE] [--write-baseline]";
+const USAGE: &str = "usage: sintra-lint [--root DIR] [--format human|json] [--out FILE] [--baseline FILE] [--write-baseline] [--changed-only [--base REF]] [--write-wire-schema]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sintra-lint: {msg}");
     ExitCode::from(2)
+}
+
+/// The schema with its `wire_format_version` line removed, so two schemas
+/// can be compared for *structural* drift independent of the version bump.
+fn schema_body(schema: &str) -> String {
+    schema
+        .lines()
+        .filter(|l| !l.contains("\"wire_format_version\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Regenerates `WIRE_SCHEMA.json`, refusing (exit 2) when the schema body
+/// changed but `WIRE_FORMAT_VERSION` did not: a wire-format break must be
+/// an explicit, versioned event.
+fn write_wire_schema(root: &Path) -> ExitCode {
+    let files = match collect_workspace_files(root) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("walking workspace: {e}")),
+    };
+    let schema = extract_wire_schema(&files);
+    if schema.is_empty() {
+        return fail("workspace defines no Wire impls; nothing to extract");
+    }
+    let golden_path = root.join("WIRE_SCHEMA.json");
+    let old = std::fs::read_to_string(&golden_path).unwrap_or_default();
+    if !old.is_empty()
+        && schema_body(&old) != schema_body(&schema)
+        && schema::schema_version(&old) == schema::schema_version(&schema)
+    {
+        return fail(
+            "wire schema changed but WIRE_FORMAT_VERSION did not: bump the const in \
+             crates/core/src/wire.rs in the same commit, then rerun --write-wire-schema",
+        );
+    }
+    if let Err(e) = std::fs::write(&golden_path, &schema) {
+        return fail(&format!("writing {}: {e}", golden_path.display()));
+    }
+    if old == schema {
+        println!("sintra-lint: {} is up to date", golden_path.display());
+    } else {
+        println!("sintra-lint: wrote {}", golden_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Workspace-relative paths changed against `base`, per
+/// `git diff --name-only`, plus anything not yet committed.
+fn changed_paths(root: &Path, base: &str) -> Result<BTreeSet<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("diff")
+        .arg("--name-only")
+        .arg(base)
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("running git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {base} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+/// Whether a finding touches any changed path, at its primary location or
+/// any related (cross-file evidence) location.
+fn touches_changed(f: &Finding, changed: &BTreeSet<String>) -> bool {
+    changed.contains(&f.path) || f.related.iter().any(|r| changed.contains(&r.path))
 }
 
 fn main() -> ExitCode {
@@ -32,6 +108,9 @@ fn main() -> ExitCode {
     let mut out_file: Option<PathBuf> = None;
     let mut baseline_file: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut changed_only = false;
+    let mut base = "HEAD".to_string();
+    let mut write_schema = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +132,12 @@ fn main() -> ExitCode {
                 None => return fail(USAGE),
             },
             "--write-baseline" => write_baseline = true,
+            "--changed-only" => changed_only = true,
+            "--base" => match args.next() {
+                Some(v) => base = v,
+                None => return fail(USAGE),
+            },
+            "--write-wire-schema" => write_schema = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -68,10 +153,24 @@ fn main() -> ExitCode {
         ));
     }
 
-    let findings = match analyze_workspace(&root) {
+    if write_schema {
+        return write_wire_schema(&root);
+    }
+
+    let mut findings = match analyze_workspace(&root) {
         Ok(f) => f,
         Err(e) => return fail(&format!("walking workspace: {e}")),
     };
+
+    if changed_only {
+        // Analysis always runs over the whole workspace (the cross-file
+        // rules need global context); only the report is narrowed.
+        let changed = match changed_paths(&root, &base) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        };
+        findings.retain(|f| touches_changed(f, &changed));
+    }
 
     let baseline_path = baseline_file.unwrap_or_else(|| root.join("crates/lint/baseline.json"));
     if write_baseline {

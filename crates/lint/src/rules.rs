@@ -34,6 +34,12 @@ pub const PANIC_POLICY: &str = "panic-policy";
 pub const WIRE_STABILITY: &str = "wire-stability";
 /// Rule name: `unsafe` only via the per-crate allowlist.
 pub const UNSAFE_BUDGET: &str = "unsafe-budget";
+/// Rule name: handlers must discharge the message's verification
+/// obligation before the first protocol-state mutation (cross-file).
+pub const VERIFY_MUTATE: &str = "verify-before-mutate";
+/// Rule name: extracted wire schema must be encode/decode-symmetric and
+/// match the committed `WIRE_SCHEMA.json` golden (cross-file).
+pub const WIRE_SCHEMA: &str = "wire-schema";
 /// Pseudo-rule for malformed `lint:allow` directives (cannot be suppressed).
 pub const LINT_DIRECTIVE: &str = "lint-directive";
 
@@ -44,6 +50,8 @@ pub const RULES: &[&str] = &[
     PANIC_POLICY,
     WIRE_STABILITY,
     UNSAFE_BUDGET,
+    VERIFY_MUTATE,
+    WIRE_SCHEMA,
 ];
 
 /// Crate-path prefixes permitted to contain `unsafe` code. Deliberately
@@ -61,6 +69,18 @@ pub struct RawFinding {
     pub message: String,
 }
 
+/// A supporting evidence location for a cross-file finding, before
+/// suppression processing.
+#[derive(Debug, Clone)]
+pub struct RawRelated {
+    /// Workspace-relative path of the evidence.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What this location shows (e.g. "first mutation here").
+    pub note: String,
+}
+
 fn in_core(path: &str) -> bool {
     path.contains("crates/core/src/")
 }
@@ -74,7 +94,7 @@ fn in_net(path: &str) -> bool {
 /// verdict must be a pure function of the envelope bytes and key material),
 /// so the determinism bans — including the wall-clock ban — follow the
 /// module wherever it lives, not just under `crates/core`.
-fn in_verify_stage(path: &str) -> bool {
+pub(crate) fn in_verify_stage(path: &str) -> bool {
     path.ends_with("preverify.rs") || path.contains("/preverify/")
 }
 

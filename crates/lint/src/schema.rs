@@ -1,0 +1,1066 @@
+//! Wire-schema extraction and the `wire-schema` rule.
+//!
+//! Every `impl Wire for T` in the workspace is walked on both sides:
+//! the `encode` body is linearized into *write ops* (tag bytes, raw
+//! integers, length prefixes, length-prefixed byte strings, nested
+//! encodes) and the `decode` body into *read ops* (reader primitives,
+//! nested decodes, tag matches). The two sides are then paired — per
+//! variant for enums, positionally for structs — and any asymmetry
+//! (missing arm, field-count drift, name or kind mismatch) is a finding:
+//! a replica that encodes bytes its peers decode differently has broken
+//! the protocol even though `rustc` is perfectly happy.
+//!
+//! The encode side is also rendered to a deterministic JSON document —
+//! the machine-readable schema of the wire format. The committed
+//! `WIRE_SCHEMA.json` golden is diffed against it on every lint run, so
+//! a wire-breaking change cannot land silently: it must regenerate the
+//! golden *and* bump `WIRE_FORMAT_VERSION` in `crates/core/src/wire.rs`
+//! in the same change.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{FnId, WorkspaceIr};
+use crate::lexer::{Token, TokenKind};
+use crate::obligations::CrossFinding;
+use crate::rules::{self, RawRelated};
+
+/// Identifiers that are never the field name of a codec operand.
+const NAME_NOISE: &[&str] = &[
+    "self",
+    "buf",
+    "if",
+    "else",
+    "as",
+    "match",
+    "to_be_bytes",
+    "as_bytes",
+    "mut",
+    "ref",
+];
+
+/// Rust integer type names (skipped when hunting for an operand name).
+const INT_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "usize", "i32", "i64"];
+
+/// One codec operation, from either side of a `Wire` impl.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    /// `buf.push(TAG_X)` — a named discriminant byte.
+    Tag(String),
+    /// `buf.push(<expr>)` — a raw byte write.
+    Byte(Option<String>),
+    /// `buf.extend_from_slice(..)` — raw bytes, fixed width or array.
+    Raw(Option<String>),
+    /// `put_bytes(buf, ..)` — a length-prefixed byte string.
+    Bytes(Option<String>),
+    /// `put_len(buf, ..)` — a bare `u32` length prefix.
+    Len,
+    /// `x.encode(buf)` — a nested encode, with an optional `as uN` cast.
+    Enc {
+        /// Operand name, when recoverable.
+        name: Option<String>,
+        /// Cast width for `(x as u32).encode(..)` style writes.
+        cast: Option<String>,
+    },
+    /// `r.u8()` / `r.u32()` / `r.bytes()` / `r.take_arr()` — a reader
+    /// primitive, by method name.
+    Prim {
+        /// Reader method (`u8`, `u32`, `u64`, `bytes`, `take_arr`, ...).
+        kind: String,
+        /// Bound name, when recoverable.
+        name: Option<String>,
+    },
+    /// `T::decode(r)` — a nested decode.
+    Dec {
+        /// The decoded type path, normalized (`Vec<u8>`, `[u8;32]`, ...).
+        ty: String,
+        /// Destination field name, when recoverable.
+        name: Option<String>,
+    },
+}
+
+impl Op {
+    /// Stable rendering, used both in the JSON schema and in messages.
+    fn render(&self) -> String {
+        let name = |n: &Option<String>| n.as_deref().map(|n| format!("={n}")).unwrap_or_default();
+        match self {
+            Op::Tag(c) => format!("tag({c})"),
+            Op::Byte(n) => format!("byte{}", name(n)),
+            Op::Raw(n) => format!("raw{}", name(n)),
+            Op::Bytes(n) => format!("bytes{}", name(n)),
+            Op::Len => "len".to_string(),
+            Op::Enc { name: n, cast } => match cast {
+                Some(c) => format!("enc({c}){}", name(n)),
+                None => format!("enc{}", name(n)),
+            },
+            Op::Prim { kind, name: n } => format!("read({kind}){}", name(n)),
+            Op::Dec { ty, name: n } => format!("dec({ty}){}", name(n)),
+        }
+    }
+
+    fn name(&self) -> Option<&str> {
+        match self {
+            Op::Tag(_) | Op::Len => None,
+            Op::Byte(n) | Op::Raw(n) | Op::Bytes(n) => n.as_deref(),
+            Op::Enc { name, .. } | Op::Prim { name, .. } | Op::Dec { name, .. } => name.as_deref(),
+        }
+    }
+}
+
+/// One variant arm of an enum codec (or the single arm of a struct).
+#[derive(Debug, Default)]
+struct ArmOps {
+    /// Variant name on the encode side (empty for struct/positional).
+    variant: String,
+    /// Tag constant pairing encode and decode arms.
+    tag: Option<String>,
+    /// 1-based line of the arm (encode side).
+    line: u32,
+    ops: Vec<Op>,
+}
+
+/// One side (encode or decode) of a `Wire` impl, linearized.
+#[derive(Debug, Default)]
+struct SideOps {
+    /// Ops outside any variant dispatch, in order.
+    prefix: Vec<Op>,
+    /// Variant arms, in source order. Empty when there is no dispatch.
+    arms: Vec<ArmOps>,
+}
+
+/// A `Wire` implementation with both sides extracted.
+struct WireImpl {
+    ty: String,
+    file: usize,
+    enc_line: u32,
+    dec_line: u32,
+    enc: SideOps,
+    dec: SideOps,
+}
+
+fn skip_group(toks: &[Token], i: usize) -> usize {
+    let Some(open) = toks.get(i) else { return i };
+    let (o, c) = match () {
+        _ if open.is_punct('(') => ('(', ')'),
+        _ if open.is_punct('{') => ('{', '}'),
+        _ if open.is_punct('[') => ('[', ']'),
+        _ => return i,
+    };
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(o) {
+            depth += 1;
+        } else if toks[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// The likeliest operand name inside a paren group: the first identifier
+/// that is not noise, not an integer type, and not itself a call head.
+fn group_name(toks: &[Token], open: usize, close: usize) -> Option<String> {
+    let mut last_num: Option<String> = None;
+    for j in open + 1..close {
+        let t = &toks[j];
+        if t.kind == TokenKind::Num {
+            last_num = Some(t.text.clone());
+            continue;
+        }
+        if t.kind != TokenKind::Ident
+            || NAME_NOISE.contains(&t.text.as_str())
+            || INT_TYPES.contains(&t.text.as_str())
+            || toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        return Some(t.text.clone());
+    }
+    // `(self.0 as u32)` — tuple-field writes name by index.
+    last_num
+}
+
+fn normalize_name(n: Option<String>) -> Option<String> {
+    n.filter(|n| n != "self")
+}
+
+/// The name bound to a decode read: `field: r.u32()?` in a struct literal
+/// or `let field = r.u32()?`. `at` is the first token of the read expr.
+fn decode_name(toks: &[Token], at: usize) -> Option<String> {
+    if at >= 2
+        && toks[at - 1].is_punct(':')
+        && !toks
+            .get(at.wrapping_sub(2))
+            .is_some_and(|t| t.is_punct(':'))
+        && toks[at - 2].kind == TokenKind::Ident
+    {
+        return Some(toks[at - 2].text.clone());
+    }
+    if at >= 2 && toks[at - 1].is_punct('=') && !toks[at - 1].is_punct('<') {
+        let mut j = at - 2;
+        if toks[j].kind == TokenKind::Ident && toks[j].is_ident("mut") && j > 0 {
+            j -= 1;
+        }
+        if toks[j].kind == TokenKind::Ident && !toks[j].is_ident("mut") {
+            return Some(toks[j].text.clone());
+        }
+    }
+    None
+}
+
+/// Linearizes encode-side ops over a token range (no dispatch handling).
+fn encode_ops(toks: &[Token], lo: usize, hi: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        let t = &toks[i];
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if t.kind == TokenKind::Ident && called {
+            let close = skip_group(toks, i + 1).saturating_sub(1);
+            match t.text.as_str() {
+                "push" if prev_dot && i >= 2 && toks[i - 2].is_ident("buf") => {
+                    // A single uppercase identifier is a named tag.
+                    let single = close == i + 3
+                        && toks[i + 2].kind == TokenKind::Ident
+                        && toks[i + 2]
+                            .text
+                            .chars()
+                            .next()
+                            .is_some_and(char::is_uppercase);
+                    if single {
+                        ops.push(Op::Tag(toks[i + 2].text.clone()));
+                    } else {
+                        ops.push(Op::Byte(normalize_name(group_name(toks, i + 1, close))));
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                "extend_from_slice" if prev_dot && i >= 2 && toks[i - 2].is_ident("buf") => {
+                    // `buf.extend_from_slice(&(x.len() as u32).to_be_bytes())`
+                    // is the hand-rolled form of `put_len` — a `.len()`
+                    // call inside the operand marks it as a length prefix,
+                    // not payload bytes.
+                    let is_len = (i + 1..close).any(|k| {
+                        toks[k].is_ident("len") && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                    });
+                    if is_len {
+                        ops.push(Op::Len);
+                    } else {
+                        ops.push(Op::Raw(normalize_name(group_name(toks, i + 1, close))));
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                "put_bytes" if !prev_dot => {
+                    ops.push(Op::Bytes(normalize_name(group_name(toks, i + 1, close))));
+                    i = close + 1;
+                    continue;
+                }
+                "put_len" if !prev_dot => {
+                    ops.push(Op::Len);
+                    i = close + 1;
+                    continue;
+                }
+                "encode" if prev_dot => {
+                    // Operand is whatever precedes the `.`: an identifier,
+                    // a tuple index, or a parenthesized (cast) expression.
+                    let before = i.checked_sub(2).map(|p| &toks[p]);
+                    let (name, cast) = match before {
+                        Some(b) if b.kind == TokenKind::Ident || b.kind == TokenKind::Num => {
+                            (Some(b.text.clone()), None)
+                        }
+                        Some(b) if b.is_punct(')') => {
+                            // Walk back to the matching `(`.
+                            let mut depth = 0isize;
+                            let mut j = i - 2;
+                            loop {
+                                if toks[j].is_punct(')') {
+                                    depth += 1;
+                                } else if toks[j].is_punct('(') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                if j == 0 {
+                                    break;
+                                }
+                                j -= 1;
+                            }
+                            let cast = (j..i - 2)
+                                .find(|&k| toks[k].is_ident("as"))
+                                .and_then(|k| toks.get(k + 1))
+                                .filter(|t| INT_TYPES.contains(&t.text.as_str()))
+                                .map(|t| t.text.clone());
+                            (group_name(toks, j, i - 2), cast)
+                        }
+                        _ => (None, None),
+                    };
+                    ops.push(Op::Enc {
+                        name: normalize_name(name),
+                        cast,
+                    });
+                    i = close + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// Whether the `match` starting at `at` scrutinizes a reader tag byte
+/// (`match r.u8()? { ... }`); returns its block-open index if so.
+fn tag_match_open(toks: &[Token], at: usize) -> Option<usize> {
+    let mut j = at + 1;
+    let mut saw_read = false;
+    let mut budget = 16usize;
+    while budget > 0 {
+        budget -= 1;
+        let t = toks.get(j)?;
+        if t.is_punct('{') {
+            return saw_read.then_some(j);
+        }
+        if t.is_ident("u8") && j >= 2 && toks[j - 1].is_punct('.') && toks[j - 2].is_ident("r") {
+            saw_read = true;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Linearizes decode-side ops over a range; tag matches split into arms.
+fn decode_side(toks: &[Token], lo: usize, hi: usize) -> SideOps {
+    let mut side = SideOps::default();
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_ident("match") {
+            if let Some(open) = tag_match_open(toks, i) {
+                let end = skip_group(toks, open);
+                decode_arms(toks, open + 1, end.saturating_sub(1), &mut side.arms);
+                i = end;
+                continue;
+            }
+        }
+        if let Some((op, next)) = decode_op(toks, i) {
+            side.prefix.push(op);
+            i = next;
+            continue;
+        }
+        i += 1;
+    }
+    side
+}
+
+/// One decode read op starting at token `i`, if any.
+fn decode_op(toks: &[Token], i: usize) -> Option<(Op, usize)> {
+    let t = &toks[i];
+    if t.kind != TokenKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    let close = skip_group(toks, i + 1);
+    let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+    if prev_dot && i >= 2 && toks[i - 2].is_ident("r") {
+        let kind = t.text.as_str();
+        if matches!(
+            kind,
+            "u8" | "u32" | "u64" | "bytes" | "take" | "take_arr" | "take_rest"
+        ) {
+            let name = decode_name(toks, i - 2);
+            return Some((
+                Op::Prim {
+                    kind: kind.to_string(),
+                    name,
+                },
+                close,
+            ));
+        }
+        return None;
+    }
+    if t.is_ident("decode") && i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        // Reconstruct the type path backwards: idents, nums, and the
+        // puncts a path can contain. A lone `:` (struct-literal field
+        // separator) terminates the walk; `::` does not.
+        let mut j = i - 2; // index of the second `:` of `::`
+        let mut start = j;
+        while start > 0 {
+            let p = &toks[start - 1];
+            let pathish = p.kind == TokenKind::Ident
+                || p.kind == TokenKind::Num
+                || p.is_punct('<')
+                || p.is_punct('>')
+                || p.is_punct('[')
+                || p.is_punct(']')
+                || p.is_punct(';');
+            let double_colon = p.is_punct(':')
+                && (start >= 2 && toks[start - 2].is_punct(':')
+                    || toks.get(start).is_some_and(|t| t.is_punct(':')));
+            if pathish || double_colon {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        // Drop a trailing `::` that belongs to `::decode` itself.
+        j = i - 2;
+        while j > start && toks[j - 1].is_punct(':') {
+            j -= 1;
+        }
+        let mut ty: String = toks[start..j].iter().map(|t| t.text.as_str()).collect();
+        ty = ty.replace("::<", "<");
+        if ty.starts_with('<') && ty.ends_with('>') {
+            ty = ty[1..ty.len() - 1].to_string();
+        }
+        if ty.is_empty() {
+            return None;
+        }
+        let name = decode_name(toks, start);
+        return Some((Op::Dec { ty, name }, close));
+    }
+    None
+}
+
+/// Splits a tag-match block body into keyed arms with their ops.
+fn decode_arms(toks: &[Token], lo: usize, hi: usize, arms: &mut Vec<ArmOps>) {
+    let mut i = lo;
+    while i < hi {
+        // Pattern head.
+        let head = &toks[i];
+        let keyed = head.kind == TokenKind::Ident
+            && head.text.chars().next().is_some_and(char::is_uppercase);
+        // Scan to `=>`.
+        let mut j = i;
+        let mut found = false;
+        while j < hi {
+            if toks[j].is_punct('=')
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('>'))
+                && !toks.get(j.wrapping_sub(1)).is_some_and(|t| {
+                    t.is_punct('=') || t.is_punct('<') || t.is_punct('>') || t.is_punct('!')
+                })
+            {
+                found = true;
+                break;
+            }
+            j += 1;
+        }
+        if !found {
+            break;
+        }
+        // Arm body: block, or expression up to a top-level `,`.
+        let mut k = j + 2;
+        let body_lo = k;
+        let body_hi;
+        if toks.get(k).is_some_and(|t| t.is_punct('{')) {
+            body_hi = skip_group(toks, k);
+            k = body_hi;
+        } else {
+            let mut depth = 0isize;
+            while k < hi {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct('}') || t.is_punct(']') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    break;
+                }
+                k += 1;
+            }
+            body_hi = k;
+        }
+        if keyed {
+            let inner = decode_side(toks, body_lo, body_hi);
+            let mut ops = inner.prefix;
+            // A nested tag match inside an arm (none today) flattens.
+            for a in inner.arms {
+                ops.extend(a.ops);
+            }
+            arms.push(ArmOps {
+                variant: String::new(),
+                tag: Some(head.text.clone()),
+                line: head.line,
+                ops,
+            });
+        }
+        // Step past the `,` separating arms, if present.
+        i = if toks.get(k).is_some_and(|t| t.is_punct(',')) {
+            k + 1
+        } else {
+            k.max(i + 1)
+        };
+    }
+}
+
+/// Linearizes the encode side; a statement-level `match` splits into arms.
+fn encode_side(toks: &[Token], lo: usize, hi: usize) -> SideOps {
+    let mut side = SideOps::default();
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        let t = &toks[i];
+        // Statement-level dispatch: `match self {` / `match &self.body {`
+        // directly in the fn body (not inside `buf.push(..)` parens).
+        if t.is_ident("match")
+            && i > 0
+            && (toks[i - 1].is_punct('{') || toks[i - 1].is_punct(';') || toks[i - 1].is_punct('}'))
+        {
+            let Some(open) = (i..hi).find(|&j| toks[j].is_punct('{')) else {
+                i += 1;
+                continue;
+            };
+            let end = skip_group(toks, open);
+            encode_arms(toks, open + 1, end.saturating_sub(1), &mut side.arms);
+            i = end;
+            continue;
+        }
+        // Flush any ops between statements (prefix like SigShare's index).
+        let upto = (i..hi.min(toks.len()))
+            .find(|&j| {
+                toks[j].is_ident("match")
+                    && j > 0
+                    && (toks[j - 1].is_punct('{')
+                        || toks[j - 1].is_punct(';')
+                        || toks[j - 1].is_punct('}'))
+            })
+            .unwrap_or(hi.min(toks.len()));
+        side.prefix.extend(encode_ops(toks, i, upto));
+        i = upto;
+    }
+    side
+}
+
+/// Splits an encode-side `match` block into variant arms with their ops.
+fn encode_arms(toks: &[Token], lo: usize, hi: usize, arms: &mut Vec<ArmOps>) {
+    let mut i = lo;
+    while i < hi {
+        // Pattern: a path like `Body :: CbFinal` (or a bare `None`),
+        // optionally followed by a binding group.
+        let mut j = i;
+        let mut variant: Option<(String, u32)> = None;
+        while j < hi {
+            let t = &toks[j];
+            if t.kind == TokenKind::Ident {
+                variant = Some((t.text.clone(), t.line));
+                j += 1;
+                continue;
+            }
+            if t.is_punct(':') {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if toks
+            .get(j)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+        {
+            j = skip_group(toks, j);
+        }
+        // `=>`.
+        if !(toks.get(j).is_some_and(|t| t.is_punct('='))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            // Not an arm shape we understand; bail out of this block.
+            break;
+        }
+        let mut k = j + 2;
+        let body_lo = k;
+        let body_hi;
+        if toks.get(k).is_some_and(|t| t.is_punct('{')) {
+            body_hi = skip_group(toks, k);
+            k = body_hi;
+        } else {
+            let mut depth = 0isize;
+            while k < hi {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct('}') || t.is_punct(']') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(',') {
+                    break;
+                }
+                k += 1;
+            }
+            body_hi = k;
+        }
+        if let Some((name, line)) = variant {
+            let mut ops = encode_ops(toks, body_lo, body_hi);
+            let tag = match ops.first() {
+                Some(Op::Tag(c)) => {
+                    let c = c.clone();
+                    ops.remove(0);
+                    Some(c)
+                }
+                _ => None,
+            };
+            arms.push(ArmOps {
+                variant: name,
+                tag,
+                line,
+                ops,
+            });
+        }
+        i = if toks.get(k).is_some_and(|t| t.is_punct(',')) {
+            k + 1
+        } else {
+            k.max(i + 1)
+        };
+    }
+}
+
+/// Collects every `Wire` impl with both sides linearized.
+fn collect_impls(ir: &WorkspaceIr) -> (Vec<WireImpl>, Vec<CrossFinding>) {
+    let mut findings = Vec::new();
+    // (type, file) → (encode fn, decode fn)
+    let mut pairs: BTreeMap<(String, usize), (Option<FnId>, Option<FnId>)> = BTreeMap::new();
+    for (fi, file) in ir.files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.trait_name.as_deref() != Some("Wire") || f.in_test {
+                continue;
+            }
+            let Some(ty) = f.self_type.clone() else {
+                continue;
+            };
+            let entry = pairs.entry((ty, fi)).or_default();
+            match f.name.as_str() {
+                "encode" => entry.0 = Some((fi, gi)),
+                "decode" => entry.1 = Some((fi, gi)),
+                _ => {}
+            }
+        }
+    }
+    let mut impls = Vec::new();
+    for ((ty, fi), (enc, dec)) in pairs {
+        let (Some(enc), Some(dec)) = (enc, dec) else {
+            let present = enc.or(dec).expect("pair has at least one side");
+            let f = ir.fn_item(present);
+            findings.push(CrossFinding {
+                rule: rules::WIRE_SCHEMA,
+                path: ir.files[fi].path.clone(),
+                line: f.line,
+                message: format!(
+                    "`{ty}` implements Wire `{}` without a matching `{}`: every wire type \
+                     must round-trip",
+                    f.name,
+                    if f.name == "encode" {
+                        "decode"
+                    } else {
+                        "encode"
+                    },
+                ),
+                related: Vec::new(),
+            });
+            continue;
+        };
+        let ef = ir.fn_item(enc);
+        let df = ir.fn_item(dec);
+        let toks = &ir.files[fi].lexed.tokens;
+        impls.push(WireImpl {
+            ty,
+            file: fi,
+            enc_line: ef.line,
+            dec_line: df.line,
+            enc: encode_side(toks, ef.body.0, ef.body.1),
+            dec: decode_side(toks, df.body.0, df.body.1),
+        });
+    }
+    (impls, findings)
+}
+
+/// Whether an encode op and a decode op are shape-compatible.
+fn compatible(e: &Op, d: &Op) -> bool {
+    match (e, d) {
+        (Op::Tag(_), Op::Prim { kind, .. }) => kind == "u8",
+        (Op::Byte(_), Op::Prim { kind, .. }) => kind == "u8",
+        (Op::Raw(_), Op::Prim { kind, .. }) => kind != "bytes",
+        (Op::Raw(_), Op::Dec { .. }) => true,
+        (Op::Bytes(_), Op::Prim { kind, .. }) => kind == "bytes",
+        (Op::Bytes(_), Op::Dec { ty, .. }) => ty == "Vec<u8>" || ty == "String",
+        (Op::Len, Op::Prim { kind, .. }) => kind == "u32",
+        (Op::Enc { .. }, Op::Dec { .. }) => true,
+        (Op::Enc { cast, .. }, Op::Prim { kind, .. }) => match cast {
+            Some(c) => c == kind,
+            None => kind != "bytes",
+        },
+        _ => false,
+    }
+}
+
+/// Whether two operand names agree (unknown names agree with anything;
+/// `pid` agrees with `pid_bytes`-style derived locals).
+fn names_agree(e: &Op, d: &Op) -> bool {
+    match (e.name(), d.name()) {
+        (Some(a), Some(b)) => {
+            a == b
+                || b.strip_prefix(a).is_some_and(|r| r.starts_with('_'))
+                || a.strip_prefix(b).is_some_and(|r| r.starts_with('_'))
+        }
+        _ => true,
+    }
+}
+
+/// Compares one encode op list with one decode op list.
+fn compare_ops(
+    w: &WireImpl,
+    ctx: &str,
+    enc: &[Op],
+    dec: &[Op],
+    path: &str,
+    line: u32,
+    findings: &mut Vec<CrossFinding>,
+) {
+    let related = |w: &WireImpl| {
+        vec![RawRelated {
+            path: path.to_string(),
+            line: w.dec_line,
+            note: "decode side here".to_string(),
+        }]
+    };
+    if enc.len() != dec.len() {
+        findings.push(CrossFinding {
+            rule: rules::WIRE_SCHEMA,
+            path: path.to_string(),
+            line,
+            message: format!(
+                "encode/decode asymmetry in `{}`{ctx}: encode writes {} fields but decode \
+                 reads {} ([{}] vs [{}])",
+                w.ty,
+                enc.len(),
+                dec.len(),
+                enc.iter().map(Op::render).collect::<Vec<_>>().join(", "),
+                dec.iter().map(Op::render).collect::<Vec<_>>().join(", "),
+            ),
+            related: related(w),
+        });
+        return;
+    }
+    for (idx, (e, d)) in enc.iter().zip(dec.iter()).enumerate() {
+        if !compatible(e, d) || !names_agree(e, d) {
+            findings.push(CrossFinding {
+                rule: rules::WIRE_SCHEMA,
+                path: path.to_string(),
+                line,
+                message: format!(
+                    "encode/decode asymmetry in `{}`{ctx}: field {} is written as `{}` but \
+                     read as `{}`",
+                    w.ty,
+                    idx + 1,
+                    e.render(),
+                    d.render(),
+                ),
+                related: related(w),
+            });
+        }
+    }
+}
+
+/// A byte-coded enum: one raw byte on encode, a unit-arm tag match on
+/// decode (`bool`, `MainVote`, `PayloadKind`).
+fn is_byte_coded(w: &WireImpl) -> bool {
+    w.enc.arms.is_empty()
+        && !w.dec.arms.is_empty()
+        && w.enc.prefix.len() == 1
+        && matches!(w.enc.prefix[0], Op::Byte(_))
+        && w.dec.arms.iter().all(|a| a.ops.is_empty())
+        && w.dec.prefix.is_empty()
+}
+
+/// Runs the symmetry check over one impl.
+fn check_impl(ir: &WorkspaceIr, w: &WireImpl, findings: &mut Vec<CrossFinding>) {
+    let path = ir.files[w.file].path.clone();
+    if is_byte_coded(w) {
+        return;
+    }
+    // Variant dispatch must exist on both sides or neither.
+    if w.enc.arms.is_empty() != w.dec.arms.is_empty() {
+        let (has, lacks) = if w.enc.arms.is_empty() {
+            ("decode", "encode")
+        } else {
+            ("encode", "decode")
+        };
+        findings.push(CrossFinding {
+            rule: rules::WIRE_SCHEMA,
+            path: path.clone(),
+            line: w.enc_line,
+            message: format!(
+                "encode/decode asymmetry in `{}`: {has} dispatches on a discriminant but \
+                 {lacks} does not",
+                w.ty
+            ),
+            related: vec![RawRelated {
+                path: path.clone(),
+                line: w.dec_line,
+                note: "decode side here".to_string(),
+            }],
+        });
+        return;
+    }
+    compare_ops(
+        w,
+        "",
+        &w.enc.prefix,
+        &w.dec.prefix,
+        &path,
+        w.enc_line,
+        findings,
+    );
+    for arm in &w.enc.arms {
+        let ctx = format!(" variant `{}`", arm.variant);
+        let Some(tag) = &arm.tag else {
+            findings.push(CrossFinding {
+                rule: rules::WIRE_SCHEMA,
+                path: path.clone(),
+                line: arm.line,
+                message: format!(
+                    "encode arm `{}` of `{}` does not start with a named tag byte",
+                    arm.variant, w.ty
+                ),
+                related: Vec::new(),
+            });
+            continue;
+        };
+        let Some(dec_arm) = w.dec.arms.iter().find(|a| a.tag.as_ref() == Some(tag)) else {
+            findings.push(CrossFinding {
+                rule: rules::WIRE_SCHEMA,
+                path: path.clone(),
+                line: arm.line,
+                message: format!(
+                    "variant `{}` of `{}` is encoded under `{tag}` but decode has no arm \
+                     for that tag",
+                    arm.variant, w.ty
+                ),
+                related: vec![RawRelated {
+                    path: path.clone(),
+                    line: w.dec_line,
+                    note: "decode side here".to_string(),
+                }],
+            });
+            continue;
+        };
+        compare_ops(w, &ctx, &arm.ops, &dec_arm.ops, &path, arm.line, findings);
+    }
+    for dec_arm in &w.dec.arms {
+        let tag = dec_arm.tag.as_deref().unwrap_or("");
+        if !w.enc.arms.iter().any(|a| a.tag.as_deref() == Some(tag)) {
+            findings.push(CrossFinding {
+                rule: rules::WIRE_SCHEMA,
+                path: path.clone(),
+                line: dec_arm.line,
+                message: format!(
+                    "decode of `{}` accepts tag `{tag}` but no encode arm ever writes it",
+                    w.ty
+                ),
+                related: vec![RawRelated {
+                    path: path.clone(),
+                    line: w.enc_line,
+                    note: "encode side here".to_string(),
+                }],
+            });
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the extracted schema as deterministic JSON.
+fn render_schema(ir: &WorkspaceIr, impls: &[WireImpl]) -> String {
+    let version = ir.const_value("WIRE_FORMAT_VERSION").unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n  \"format\": \"sintra-wire-schema-v1\",\n");
+    out.push_str(&format!("  \"wire_format_version\": {version},\n"));
+
+    // Every named discriminant in files that define Wire impls.
+    let mut tags: BTreeMap<String, u64> = BTreeMap::new();
+    let wire_files: Vec<usize> = {
+        let mut fs: Vec<usize> = impls.iter().map(|w| w.file).collect();
+        fs.sort_unstable();
+        fs.dedup();
+        fs
+    };
+    for &fi in &wire_files {
+        for c in &ir.files[fi].consts {
+            if (c.name.starts_with("TAG_") || c.name.starts_with("CODE_")) && c.value.is_some() {
+                tags.insert(c.name.clone(), c.value.unwrap_or(0));
+            }
+        }
+    }
+    out.push_str("  \"tags\": {\n");
+    let tag_lines: Vec<String> = tags
+        .iter()
+        .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), v))
+        .collect();
+    out.push_str(&tag_lines.join(",\n"));
+    out.push_str("\n  },\n");
+
+    // Types, sorted by name (then path for duplicates across files).
+    let mut sorted: Vec<&WireImpl> = impls.iter().collect();
+    sorted.sort_by(|a, b| (&a.ty, a.file).cmp(&(&b.ty, b.file)));
+    out.push_str("  \"types\": [\n");
+    let mut type_blobs = Vec::new();
+    for w in sorted {
+        let mut b = String::new();
+        b.push_str("    {\n");
+        b.push_str(&format!("      \"type\": \"{}\",\n", json_escape(&w.ty)));
+        b.push_str(&format!(
+            "      \"file\": \"{}\",\n",
+            json_escape(&ir.files[w.file].path)
+        ));
+        if is_byte_coded(w) {
+            let keys: Vec<String> = w
+                .dec
+                .arms
+                .iter()
+                .map(|a| format!("\"{}\"", json_escape(a.tag.as_deref().unwrap_or(""))))
+                .collect();
+            b.push_str(&format!("      \"byte_coded\": [{}]\n", keys.join(", ")));
+        } else if w.enc.arms.is_empty() {
+            let fields: Vec<String> = w
+                .enc
+                .prefix
+                .iter()
+                .map(|o| format!("\"{}\"", json_escape(&o.render())))
+                .collect();
+            b.push_str(&format!("      \"fields\": [{}]\n", fields.join(", ")));
+        } else {
+            if !w.enc.prefix.is_empty() {
+                let fields: Vec<String> = w
+                    .enc
+                    .prefix
+                    .iter()
+                    .map(|o| format!("\"{}\"", json_escape(&o.render())))
+                    .collect();
+                b.push_str(&format!("      \"prefix\": [{}],\n", fields.join(", ")));
+            }
+            b.push_str("      \"variants\": [\n");
+            let mut arm_blobs = Vec::new();
+            for a in &w.enc.arms {
+                let fields: Vec<String> = a
+                    .ops
+                    .iter()
+                    .map(|o| format!("\"{}\"", json_escape(&o.render())))
+                    .collect();
+                arm_blobs.push(format!(
+                    "        {{\"variant\": \"{}\", \"tag\": \"{}\", \"fields\": [{}]}}",
+                    json_escape(&a.variant),
+                    json_escape(a.tag.as_deref().unwrap_or("")),
+                    fields.join(", ")
+                ));
+            }
+            b.push_str(&arm_blobs.join(",\n"));
+            b.push_str("\n      ]\n");
+        }
+        b.push_str("    }");
+        type_blobs.push(b);
+    }
+    out.push_str(&type_blobs.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts the wire schema and runs the symmetry checks.
+///
+/// Returns the rendered schema JSON (empty when the file set has no
+/// `Wire` impls) and the asymmetry findings.
+pub fn extract(ir: &WorkspaceIr) -> (String, Vec<CrossFinding>) {
+    let (impls, mut findings) = collect_impls(ir);
+    if impls.is_empty() && findings.is_empty() {
+        return (String::new(), findings);
+    }
+    for w in &impls {
+        check_impl(ir, w, &mut findings);
+    }
+    if !impls.is_empty() && ir.const_value("WIRE_FORMAT_VERSION").is_none() {
+        let fi = impls[0].file;
+        findings.push(CrossFinding {
+            rule: rules::WIRE_SCHEMA,
+            path: ir.files[fi].path.clone(),
+            line: 1,
+            message: "workspace defines Wire impls but no `WIRE_FORMAT_VERSION` const: the \
+                      schema-version bump gate needs it in crates/core/src/wire.rs"
+                .to_string(),
+            related: Vec::new(),
+        });
+    }
+    let schema = if impls.is_empty() {
+        String::new()
+    } else {
+        render_schema(ir, &impls)
+    };
+    (schema, findings)
+}
+
+/// The `wire_format_version` recorded in a rendered or committed schema.
+pub fn schema_version(schema: &str) -> Option<u64> {
+    let at = schema.find("\"wire_format_version\":")?;
+    let rest = schema[at + "\"wire_format_version\":".len()..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// Compares the extracted schema against the committed golden.
+pub fn golden_findings(ir: &WorkspaceIr, schema: &str, golden: &str) -> Vec<CrossFinding> {
+    let mut findings = Vec::new();
+    if schema.is_empty() || schema == golden {
+        return findings;
+    }
+    let mut related = Vec::new();
+    for file in &ir.files {
+        if file.path.ends_with("wire.rs") || file.path.ends_with("message.rs") {
+            related.push(RawRelated {
+                path: file.path.clone(),
+                line: 1,
+                note: "wire definitions extracted from here".to_string(),
+            });
+        }
+    }
+    findings.push(CrossFinding {
+        rule: rules::WIRE_SCHEMA,
+        path: "WIRE_SCHEMA.json".to_string(),
+        line: 1,
+        message: "extracted wire schema differs from the committed WIRE_SCHEMA.json golden: \
+                  regenerate with `cargo run -p sintra-lint -- --write-wire-schema` (a wire \
+                  format change also requires bumping WIRE_FORMAT_VERSION in \
+                  crates/core/src/wire.rs)"
+            .to_string(),
+        related: related.clone(),
+    });
+    if schema_version(schema) == schema_version(golden) {
+        findings.push(CrossFinding {
+            rule: rules::WIRE_SCHEMA,
+            path: "WIRE_SCHEMA.json".to_string(),
+            line: 1,
+            message: "wire schema changed without a WIRE_FORMAT_VERSION bump: wire-breaking \
+                      changes must increment the version in crates/core/src/wire.rs in the \
+                      same change"
+                .to_string(),
+            related,
+        });
+    }
+    findings
+}

@@ -1,0 +1,9 @@
+//! Mini wire-body registry shared by the verify-before-mutate fixtures.
+//! Variant names are real rows of the obligation table, so the registry
+//! completeness check stays silent; the interesting behavior lives in the
+//! handler fixtures analyzed alongside this file.
+
+pub enum Body {
+    CbEcho(SigShare),
+    AcEntry { round: u64, entry: Entry },
+}

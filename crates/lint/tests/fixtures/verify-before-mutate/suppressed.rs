@@ -1,0 +1,13 @@
+//! Suppressed: the dispatch arm hands the share to `on_echo`, which lives
+//! in *another file* (`suppressed-handlers.rs`) and parks it before
+//! verifying. The `lint:allow` at the arm — the finding's primary
+//! location — must cover the whole cross-file finding.
+
+impl Channel {
+    fn handle_envelope(&mut self, from: PartyId, body: &Body) {
+        match body {
+            // lint:allow(verify-before-mutate): echoes are parked pre-verification and evicted on failure, bounded by one slot per sender
+            Body::CbEcho(share) => self.on_echo(from, share),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Pass: a round-tripping codec — every encode op has a matching decode
+//! op, in order, with agreeing operand names.
+
+pub const WIRE_FORMAT_VERSION: u32 = 1;
+
+impl Wire for Ping {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        put_bytes(buf, &self.data);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let seq = u64::decode(r)?;
+        let data = r.bytes()?.to_vec();
+        Ok(Ping { seq, data })
+    }
+}

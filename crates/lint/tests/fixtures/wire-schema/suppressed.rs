@@ -1,0 +1,17 @@
+//! Suppressed: the same swap as the trigger, with a `lint:allow` at the
+//! encode side — the asymmetry finding's primary anchor.
+
+pub const WIRE_FORMAT_VERSION: u32 = 1;
+
+impl Wire for Ping {
+    // lint:allow(wire-schema): transitional double-read shim while peers upgrade, tracked for removal with the v2 format
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.flag.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let flag = bool::decode(r)?;
+        let seq = u64::decode(r)?;
+        Ok(Ping { seq, flag })
+    }
+}

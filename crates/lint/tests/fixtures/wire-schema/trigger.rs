@@ -1,0 +1,16 @@
+//! Trigger: `Ping` writes `seq` then `flag`, but reads them in the other
+//! order — a silent wire corruption the schema extractor must refuse.
+
+pub const WIRE_FORMAT_VERSION: u32 = 1;
+
+impl Wire for Ping {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seq.encode(buf);
+        self.flag.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let flag = bool::decode(r)?;
+        let seq = u64::decode(r)?;
+        Ok(Ping { seq, flag })
+    }
+}
